@@ -1,0 +1,60 @@
+"""Ablation: hybrid provisioning (MArk-style) and adaptive batching.
+
+Two strategies the paper positions as alternatives or future work:
+a hybrid of always-on servers plus serverless overflow, and an adaptive
+batching policy.  These benchmarks quantify both on the simulated cloud.
+"""
+
+from conftest import run_once
+
+from repro.cloud import get_provider
+from repro.models import LatencyProfiles, get_model
+from repro.runtimes import get_runtime
+from repro.tools import AdaptiveBatchingPolicy, HybridPlanner
+
+
+def _hybrid(context):
+    planner = HybridPlanner(provider=get_provider("aws"),
+                            model=get_model("mobilenet"),
+                            runtime=get_runtime("tf1.15"),
+                            profiles=LatencyProfiles())
+    workload = context.workload("w-200")
+    return planner.plan(workload.trace)
+
+
+def test_ablation_hybrid_provisioning(benchmark, context):
+    plan = run_once(benchmark, _hybrid, context)
+    assert plan.servers >= 1
+    assert plan.hybrid_cost > 0
+    # The hybrid never costs more than provisioning servers for the peak.
+    assert plan.hybrid_cost <= plan.pure_server_cost * 1.001
+    print()
+    print(f"hybrid: {plan.servers} servers + {plan.overflow_requests} "
+          f"overflow requests -> ${plan.hybrid_cost:.4f} "
+          f"(pure serverless ${plan.pure_serverless_cost:.4f}, "
+          f"pure servers ${plan.pure_server_cost:.4f})")
+
+
+def _batching(context):
+    policy = AdaptiveBatchingPolicy(provider="aws", model="vgg",
+                                    runtime="ort1.4", latency_slo_s=4.0)
+    workload = context.workload("w-120")
+    adaptive = policy.evaluate(workload)
+    fixed = policy.evaluate(workload, batch_size=1)
+    return adaptive, fixed
+
+
+def test_ablation_adaptive_batching(benchmark, context):
+    adaptive, fixed = run_once(benchmark, _batching, context)
+    # The adaptive policy picks a batch size and never costs meaningfully
+    # more than the unbatched baseline; at full scale it also meets the
+    # SLO it was configured with.
+    assert adaptive["batch_size"] >= 1
+    assert adaptive["cost_usd"] <= fixed["cost_usd"] * 1.10
+    if context.scale >= 0.5:
+        assert adaptive["met_slo"]
+    print()
+    print(f"adaptive batch={adaptive['batch_size']}: "
+          f"{adaptive['avg_latency_s']:.2f}s, ${adaptive['cost_usd']:.4f}")
+    print(f"no batching            : {fixed['avg_latency_s']:.2f}s, "
+          f"${fixed['cost_usd']:.4f}")

@@ -1,0 +1,45 @@
+"""Ablation: what if managed ML autoscaling reacted in seconds, not minutes?
+
+The paper blames the managed services' poor showing on their minutes-long
+scale-out actuation (Section 4.2, Figure 7).  This ablation gives
+SageMaker an idealised autoscaler (30-second evaluation, 30-second
+instance launches) and measures how much of the gap to serverless it
+closes.
+"""
+
+from conftest import run_once
+
+from repro.cloud import aws
+from repro.core.benchmark import ServingBenchmark
+from repro.core.planner import Planner
+
+
+def _run_pair(context):
+    planner = Planner()
+    benchmark = ServingBenchmark(seed=context.seed)
+    workload = context.workload("w-40")
+    slow_provider = aws()
+    fast_provider = aws().with_managed_ml(scale_evaluation_period_s=30.0,
+                                          scale_out_delay_s=30.0,
+                                          max_scale_step=10,
+                                          max_instances=10)
+    slow = benchmark.run(
+        planner.plan(slow_provider, "mobilenet", "tf1.15", "managed_ml"),
+        workload)
+    fast = benchmark.run(
+        planner.plan(fast_provider, "mobilenet", "tf1.15", "managed_ml"),
+        workload)
+    return slow, fast
+
+
+def test_ablation_managed_scaleout_delay(benchmark, context):
+    slow, fast = run_once(benchmark, _run_pair, context)
+    # A fast autoscaler markedly improves latency and success ratio,
+    # confirming the actuation delay is the bottleneck.
+    assert fast.average_latency < slow.average_latency
+    assert fast.success_ratio >= slow.success_ratio
+    print()
+    print(f"paper-like scaling : {slow.average_latency:.2f}s, "
+          f"SR {slow.success_ratio:.3f}, ${slow.cost:.4f}")
+    print(f"idealised scaling  : {fast.average_latency:.2f}s, "
+          f"SR {fast.success_ratio:.3f}, ${fast.cost:.4f}")

@@ -1,0 +1,41 @@
+"""Ablation: how much of GCP's cost/latency gap is over-provisioning?
+
+Section 5.1 attributes part of GCP-Serverless' higher cost to
+over-provisioning (instances started speculatively that never earn their
+cold start back).  This ablation re-runs GCP serving with the speculative
+factor turned off and compares instance counts and cost.
+"""
+
+from conftest import run_once
+
+from repro.cloud import gcp
+from repro.core.benchmark import ServingBenchmark
+from repro.core.planner import Planner
+
+
+def _run_pair(context):
+    planner = Planner()
+    benchmark = ServingBenchmark(seed=context.seed)
+    workload = context.workload("w-120")
+    default_provider = gcp()
+    lean_provider = gcp().with_serverless(overprovision_factor=1.0)
+    default = benchmark.run(
+        planner.plan(default_provider, "mobilenet", "tf1.15", "serverless"),
+        workload)
+    lean = benchmark.run(
+        planner.plan(lean_provider, "mobilenet", "tf1.15", "serverless"),
+        workload)
+    return default, lean
+
+
+def test_ablation_overprovisioning(benchmark, context):
+    default, lean = run_once(benchmark, _run_pair, context)
+    # Disabling speculative starts creates fewer instances...
+    assert lean.usage.instances_created < default.usage.instances_created
+    # ...without hurting the success ratio.
+    assert lean.success_ratio > 0.97
+    print()
+    print(f"default over-provisioning: {default.usage.instances_created} "
+          f"instances, ${default.cost:.4f}, {default.average_latency:.3f}s")
+    print(f"no over-provisioning     : {lean.usage.instances_created} "
+          f"instances, ${lean.cost:.4f}, {lean.average_latency:.3f}s")

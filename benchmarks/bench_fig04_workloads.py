@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 4 (the MMPP workloads)."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig04_workloads(benchmark, context):
+    result = run_once(benchmark, run_experiment, "fig04", context)
+    rows = {row["workload"]: row for row in result.rows}
+    # The three workloads keep the paper's ordering of request volume.
+    assert rows["w-40"]["requests"] < rows["w-120"]["requests"]
+    assert rows["w-120"]["requests"] < rows["w-200"]["requests"]
+    # Peak rates approach the nominal high rates.
+    assert rows["w-200"]["peak_rate_1s"] > rows["w-40"]["peak_rate_1s"]
+    print()
+    print(result.to_text())

@@ -1,0 +1,46 @@
+"""Benchmark: regenerate Figure 5 (system comparison, all cells)."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def _cell(rows, provider, model, workload, platform):
+    for row in rows:
+        if (row["provider"], row["model"], row["workload"],
+                row["platform"]) == (provider, model, workload, platform):
+            return row
+    raise AssertionError("missing cell")
+
+
+def test_fig05_system_comparison(benchmark, context, bench_scale):
+    result = run_once(benchmark, run_experiment, "fig05", context)
+    rows = result.rows
+    assert len(rows) == 2 * 3 * 3 * 4
+
+    # Serverless keeps its success ratio across every cell (Section 4.1).
+    serverless_rows = [r for r in rows if r["platform"] == "serverless"]
+    assert all(r["success_ratio"] > 0.97 for r in serverless_rows)
+
+    # The full gaps (two orders of magnitude vs ManagedML, 77.5x vs the
+    # GPU server) need the paper's full 15-minute workloads, where cold
+    # starts amortise over a long warm phase; at compressed scales we
+    # assert the direction with a smaller factor.
+    managed_factor = 20 if bench_scale >= 0.5 else 3
+    gpu_factor = 10 if bench_scale >= 0.5 else 1
+
+    sls = _cell(rows, "aws", "mobilenet", "w-40", "serverless")
+    managed = _cell(rows, "aws", "mobilenet", "w-40", "managed_ml")
+    assert managed["avg_latency_s"] > managed_factor * sls["avg_latency_s"]
+
+    gpu = _cell(rows, "aws", "mobilenet", "w-200", "gpu_server")
+    sls200 = _cell(rows, "aws", "mobilenet", "w-200", "serverless")
+    assert sls200["avg_latency_s"] < gpu["avg_latency_s"] / gpu_factor
+
+    # The CPU server degrades under w-120 for MobileNet (Figure 5a).
+    cpu = _cell(rows, "aws", "mobilenet", "w-120", "cpu_server")
+    cpu40 = _cell(rows, "aws", "mobilenet", "w-40", "cpu_server")
+    assert cpu["success_ratio"] < 0.7 or bench_scale < 0.5
+    assert cpu["avg_latency_s"] > cpu40["avg_latency_s"]
+    print()
+    print(result.to_text())

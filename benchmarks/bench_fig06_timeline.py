@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 6 (serverless vs ManagedML over time)."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig06_serverless_vs_managed_timeline(benchmark, context):
+    result = run_once(benchmark, run_experiment, "fig06", context)
+    by_key = {(row["panel"], row["platform"]): row for row in result.rows}
+
+    aws_panel = "mobilenet-w-40-aws"
+    serverless = by_key[(aws_panel, "serverless")]
+    managed = by_key[(aws_panel, "managed_ml")]
+    # ManagedML cannot keep up once the demand surge arrives.
+    assert managed["avg_latency_s"] > serverless["avg_latency_s"]
+    assert managed["success_ratio"] <= serverless["success_ratio"]
+
+    # The time series exist and cover the experiment.
+    assert result.series[f"{aws_panel}/serverless"]
+    assert result.series[f"{aws_panel}/managed_ml"]
+    print()
+    print(result.to_text()[:4000])

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 7 (#instances on managed ML services)."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig07_managed_instances(benchmark, context):
+    result = run_once(benchmark, run_experiment, "fig07", context)
+    assert len(result.rows) == 6  # 2 providers x 3 models
+    # Managed services stay within a handful of instances (the paper sees
+    # at most ~5 on AWS and 2-3 on GCP under w-40).
+    assert all(1 <= row["peak_instances"] <= 10 for row in result.rows)
+    # Each series is a step function that never decreases (no scale-in
+    # within the paper's 15-minute runs).
+    for series in result.series.values():
+        counts = [point["instances"] for point in series]
+        assert all(b >= a for a, b in zip(counts, counts[1:]))
+    print()
+    print(result.to_text()[:3000])

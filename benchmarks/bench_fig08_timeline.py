@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 8 (serverless vs CPU server over time)."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig08_serverless_vs_cpu_timeline(benchmark, context, bench_scale):
+    result = run_once(benchmark, run_experiment, "fig08", context)
+    by_key = {(row["panel"], row["platform"]): row for row in result.rows}
+
+    panel = "albert-w-120-aws"
+    serverless = by_key[(panel, "serverless")]
+    cpu = by_key[(panel, "cpu_server")]
+    # The CPU server's latency shoots up at the first peak while
+    # serverless stays low and lossless; the success-ratio collapse needs
+    # the full-length workload to show.
+    factor = 10 if bench_scale >= 0.5 else 2
+    assert cpu["avg_latency_s"] > factor * serverless["avg_latency_s"]
+    if bench_scale >= 0.5:
+        assert cpu["success_ratio"] < 0.8
+    assert serverless["success_ratio"] > 0.97
+
+    cpu_series = result.series[f"{panel}/cpu_server"]
+    late_bins = [p for p in cpu_series if p["time_s"] > 0.2 * cpu_series[-1]["time_s"]]
+    assert max(p["avg_latency_s"] for p in late_bins) > 5.0
+    print()
+    print(result.to_text()[:4000])

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 9 (serverless vs GPU server over time)."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig09_serverless_vs_gpu_timeline(benchmark, context):
+    result = run_once(benchmark, run_experiment, "fig09", context)
+    by_key = {(row["panel"], row["platform"]): row for row in result.rows}
+
+    # Under w-40 the GPU server is the faster option for VGG (Figure 9a).
+    low = "vgg-w-40-aws"
+    assert (by_key[(low, "gpu_server")]["avg_latency_s"]
+            < by_key[(low, "serverless")]["avg_latency_s"])
+
+    # Under w-200 the GPU server queues up and serverless wins (Figure 9b).
+    high = "vgg-w-200-aws"
+    assert (by_key[(high, "serverless")]["avg_latency_s"]
+            < by_key[(high, "gpu_server")]["avg_latency_s"])
+    print()
+    print(result.to_text()[:4000])

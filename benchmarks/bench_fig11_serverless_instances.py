@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 11 (#instances on serverless platforms)."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig11_serverless_instances(benchmark, context):
+    result = run_once(benchmark, run_experiment, "fig11", context)
+    rows = {(row["provider"], row["model"]): row for row in result.rows}
+
+    # Both platforms scale to tens or hundreds of instances under w-40.
+    for row in rows.values():
+        assert row["instances_created"] >= 10
+
+    # GCP over-provisions: it creates far more instances than AWS for the
+    # same model (Section 5.1, Figure 11b vs 11a).
+    for model in ("mobilenet", "albert", "vgg"):
+        assert (rows[("gcp", model)]["instances_created"]
+                > 1.4 * rows[("aws", model)]["instances_created"])
+    print()
+    print(result.to_text()[:3000])

@@ -1,0 +1,41 @@
+"""Benchmark: regenerate Figure 12 (serverless micro-benchmarks)."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def _panel(rows, panel, provider, model):
+    filtered = [row for row in rows
+                if row["panel"] == panel and row["provider"] == provider
+                and row["model"] == model]
+    assert filtered, f"no rows for {panel}/{provider}/{model}"
+    return filtered
+
+
+def test_fig12_microbenchmarks(benchmark, context):
+    result = run_once(benchmark, run_experiment, "fig12", context)
+    rows = result.rows
+
+    # 12a: container size barely changes the cold start (well under 2x).
+    container = _panel(rows, "12a-container-size", "aws", "mobilenet")
+    values = [row["metric_s"] for row in container]
+    assert max(values) < 1.6 * min(values)
+
+    # 12b: +300 MB of extra download slows the cold start, much more on
+    # GCP than on AWS (storage bandwidth gap).
+    for provider, min_gain in (("aws", 1.0), ("gcp", 5.0)):
+        download = _panel(rows, "12b-download-size", provider, "albert")
+        base = download[0]["metric_s"]
+        heavy = download[-1]["metric_s"]
+        assert heavy - base > min_gain
+
+    # 12c: packing more samples per request has only a minor effect.
+    samples = _panel(rows, "12c-input-samples", "aws", "mobilenet")
+    assert samples[-1]["metric_s"] < samples[0]["metric_s"] + 0.5
+
+    # 12d: more inferences per request grow the latency significantly.
+    inferences = _panel(rows, "12d-inferences", "aws", "vgg")
+    assert inferences[-1]["metric_s"] > 3 * inferences[0]["metric_s"]
+    print()
+    print(result.to_text()[:4000])

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 13 (TF1.15 vs ORT1.4 latency)."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig13_runtime_comparison(benchmark, context):
+    result = run_once(benchmark, run_experiment, "fig13", context)
+    rows = result.rows
+    assert len(rows) == 2 * 2 * 3  # providers x models x workloads
+
+    # ORT is faster than TF in every cell (Section 5.2).
+    assert all(row["ort_speedup"] > 1.0 for row in rows)
+
+    # The improvement is larger for MobileNet than for VGG on average.
+    def mean_speedup(model):
+        cells = [row["ort_speedup"] for row in rows if row["model"] == model]
+        return sum(cells) / len(cells)
+
+    assert mean_speedup("mobilenet") > mean_speedup("vgg")
+    print()
+    print(result.to_text())

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 14 (runtime sub-stage breakdown)."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig14_runtime_breakdown(benchmark, context):
+    result = run_once(benchmark, run_experiment, "fig14", context)
+    rows = {(row["provider"], row["runtime"]): row for row in result.rows}
+
+    for provider in ("aws", "gcp"):
+        tf = rows[(provider, "tf1.15")]
+        ort = rows[(provider, "ort1.4")]
+        # Switching to ORT collapses the import and load stages and cuts
+        # the cold-start E2E to roughly a third (Section 5.2).
+        assert ort["import"] < tf["import"] / 3
+        assert ort["load"] < tf["load"]
+        assert ort["E2E (cs)"] < tf["E2E (cs)"] / 2
+        # Warm prediction is also faster with ORT.
+        assert ort["predict (wu)"] < tf["predict (wu)"]
+    print()
+    print(result.to_text())

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 15 (memory-size sweep on AWS)."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig15_memory_size(benchmark, context):
+    result = run_once(benchmark, run_experiment, "fig15", context)
+    rows = result.rows
+
+    def series(model, runtime):
+        cells = [row for row in rows
+                 if row["model"] == model and row["runtime"] == runtime]
+        return sorted(cells, key=lambda row: row["memory_gb"])
+
+    # Latency decreases with memory for both models; the drop is sharper
+    # for VGG than for MobileNet (Section 5.3).
+    vgg = series("vgg", "tf1.15")
+    mobilenet = series("mobilenet", "tf1.15")
+    assert vgg[-1]["avg_latency_s"] < vgg[0]["avg_latency_s"]
+    assert mobilenet[-1]["avg_latency_s"] <= mobilenet[0]["avg_latency_s"] + 0.02
+    vgg_drop = vgg[0]["avg_latency_s"] - vgg[-1]["avg_latency_s"]
+    mobilenet_drop = mobilenet[0]["avg_latency_s"] - mobilenet[-1]["avg_latency_s"]
+    assert vgg_drop > mobilenet_drop
+
+    # Cost is not proportional to memory: going from 2 GB to 4 GB costs
+    # far less than 2x for VGG (and can even be cheaper).
+    assert vgg[1]["cost_usd"] < 2.0 * vgg[0]["cost_usd"]
+    print()
+    print(result.to_text())

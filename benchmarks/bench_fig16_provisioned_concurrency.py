@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Figure 16 (provisioned concurrency on AWS)."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig16_provisioned_concurrency(benchmark, context):
+    result = run_once(benchmark, run_experiment, "fig16", context)
+    rows = result.rows
+
+    def series(model, runtime):
+        return [row for row in rows
+                if row["model"] == model and row["runtime"] == runtime]
+
+    # Provisioned concurrency adds a reservation fee, so cost never drops
+    # dramatically, and it does not reliably reduce latency (Section 5.4).
+    for model, runtime in (("mobilenet", "tf1.15"), ("vgg", "tf1.15")):
+        cells = series(model, runtime)
+        baseline = next(row for row in cells if row["provisioned"] == "None")
+        provisioned = [row for row in cells if row["provisioned"] != "None"]
+        assert provisioned
+        # The reservation fee keeps provisioned configurations from being
+        # dramatically cheaper (at compressed scales cold starts dominate
+        # the baseline bill, so the bound is loose).
+        cost_floor = 0.8 if context.scale >= 0.5 else 0.3
+        assert all(row["cost_usd"] > cost_floor * baseline["cost_usd"]
+                   for row in provisioned)
+        best_latency = min(row["avg_latency_s"] for row in provisioned)
+        # No dramatic latency win from provisioned concurrency.
+        assert best_latency > 0.2 * baseline["avg_latency_s"]
+    print()
+    print(result.to_text())

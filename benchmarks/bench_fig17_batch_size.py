@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 17 (batch-size sweep on AWS)."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig17_batch_size(benchmark, context):
+    result = run_once(benchmark, run_experiment, "fig17", context)
+    rows = result.rows
+
+    def series(model, runtime):
+        cells = [row for row in rows
+                 if row["model"] == model and row["runtime"] == runtime]
+        return sorted(cells, key=lambda row: row["batch_size"])
+
+    for model in ("mobilenet", "vgg"):
+        cells = series(model, "tf1.15")
+        # Latency grows roughly linearly with the batch size.
+        assert cells[-1]["avg_latency_s"] > 3 * cells[0]["avg_latency_s"]
+        # Batching reduces (or at worst keeps) the cost.
+        assert cells[-1]["cost_usd"] <= cells[0]["cost_usd"] * 1.10
+        # Fewer instances cold start when batching.
+        assert cells[-1]["cold_starts"] <= cells[0]["cold_starts"]
+    print()
+    print(result.to_text())

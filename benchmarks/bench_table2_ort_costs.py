@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Table 2 (serverless costs with ORT1.4)."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_table2_ort_costs(benchmark, context):
+    result = run_once(benchmark, run_experiment, "table2", context)
+    rows = {(row["provider"], row["model"]): row for row in result.rows}
+
+    # Costs grow with the workload.
+    for row in rows.values():
+        assert row["w-40_usd"] < row["w-120_usd"] < row["w-200_usd"]
+
+    # VGG costs more than MobileNet on both clouds.
+    for provider in ("aws", "gcp"):
+        assert (rows[(provider, "vgg")]["w-120_usd"]
+                > rows[(provider, "mobilenet")]["w-120_usd"])
+
+    # AWS is cheaper than GCP for MobileNet with ORT (Table 2).
+    assert (rows[("aws", "mobilenet")]["w-200_usd"]
+            < rows[("gcp", "mobilenet")]["w-200_usd"])
+    print()
+    print(result.to_text())

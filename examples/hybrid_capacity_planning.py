@@ -1,0 +1,76 @@
+"""Hybrid provisioning and adaptive batching for a cost-sensitive service.
+
+Two of the strategies the paper discusses for making serving cheaper:
+
+* the MArk-style hybrid (Section 2.3 / related work): always-on servers
+  for the base load, serverless for the overflow;
+* adaptive batching (Section 5.5): batch requests as aggressively as the
+  latency SLO allows.
+
+This example plans both for the VGG model under the heavy w-200
+workload and compares their estimated/measured costs against pure
+serverless.
+
+Run with::
+
+    python examples/hybrid_capacity_planning.py
+"""
+
+from repro import get_model, get_provider, get_runtime, standard_workload
+from repro.models import LatencyProfiles
+from repro.tools import AdaptiveBatchingPolicy, HybridPlanner
+
+MODEL = "vgg"
+WORKLOAD = "w-200"
+SCALE = 0.1
+LATENCY_SLO_S = 4.0
+
+
+def plan_hybrid() -> None:
+    provider = get_provider("aws")
+    planner = HybridPlanner(
+        provider=provider,
+        model=get_model(MODEL),
+        runtime=get_runtime("tf1.15"),
+        profiles=LatencyProfiles(),
+        base_load_percentile=60.0,
+    )
+    workload = standard_workload(WORKLOAD, scale=SCALE)
+    plan = planner.plan(workload.trace)
+    print(f"Hybrid plan for {MODEL} under {WORKLOAD} (scale {SCALE}):")
+    print(f"  always-on CPU servers : {plan.servers} "
+          f"({plan.server_capacity_rps:.1f} req/s capacity)")
+    print(f"  overflow to serverless: {plan.overflow_requests} requests "
+          f"({plan.overflow_fraction:.1%})")
+    print(f"  hybrid cost           : ${plan.hybrid_cost:.4f}")
+    print(f"  pure serverless cost  : ${plan.pure_serverless_cost:.4f}")
+    print(f"  pure server cost      : ${plan.pure_server_cost:.4f} "
+          f"({plan.pure_server_instances} servers for the peak)")
+    print(f"  cheapest strategy     : {plan.best_strategy()}")
+
+
+def plan_batching() -> None:
+    policy = AdaptiveBatchingPolicy(
+        provider="aws", model=MODEL, runtime="ort1.4",
+        latency_slo_s=LATENCY_SLO_S)
+    workload = standard_workload(WORKLOAD, scale=SCALE)
+    decision = policy.decide(workload.trace.mean_rate)
+    print(f"\nAdaptive batching under a {LATENCY_SLO_S}s SLO:")
+    print(f"  observed mean rate : {workload.trace.mean_rate:.1f} req/s")
+    print(f"  chosen batch size  : {decision.batch_size} "
+          f"(expected latency {decision.expected_latency_s:.2f}s)")
+    measured = policy.evaluate(workload, batch_size=decision.batch_size)
+    baseline = policy.evaluate(workload, batch_size=1)
+    print(f"  measured (batched) : {measured['avg_latency_s']:.2f}s, "
+          f"${measured['cost_usd']:.4f}")
+    print(f"  measured (no batch): {baseline['avg_latency_s']:.2f}s, "
+          f"${baseline['cost_usd']:.4f}")
+
+
+def main() -> None:
+    plan_hybrid()
+    plan_batching()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""ALBERT question-answering API: exploring the serverless design space.
+
+A data scientist exposes an ALBERT-based NLP model as an API and wants
+to know how the serverless design-space choices from Section 5 of the
+paper — serving runtime, memory size, and batch size — affect latency
+and cost.  The example first sweeps the choices explicitly and then lets
+the design-space navigator (Section 6, challenge #3) pick a
+configuration under a latency constraint, and the memory tuner refine
+the memory size.
+
+Run with::
+
+    python examples/nlp_api_design_space.py
+"""
+
+from repro import Planner, ServingBenchmark, standard_workload
+from repro.tools import DesignSpaceNavigator, MemoryTuner, NavigationConstraints
+
+MODEL = "albert"
+PROVIDER = "aws"
+WORKLOAD = "w-40"
+SCALE = 0.15
+LATENCY_SLO_S = 1.0
+
+
+def sweep() -> None:
+    planner = Planner()
+    benchmark = ServingBenchmark(seed=3)
+    workload = standard_workload(WORKLOAD, seed=3, scale=SCALE)
+    print("Manual design-space sweep (runtime x memory):")
+    for runtime in ("tf1.15", "ort1.4"):
+        for memory_gb in (2.0, 4.0):
+            deployment = planner.plan(PROVIDER, MODEL, runtime, "serverless",
+                                      memory_gb=memory_gb)
+            result = benchmark.run(deployment, workload)
+            print(f"  {runtime:<8s} {memory_gb:.0f}GB  "
+                  f"latency {result.average_latency:.3f}s  "
+                  f"cost ${result.cost:.4f}  "
+                  f"cold starts {result.usage.cold_starts}")
+
+
+def navigate() -> None:
+    workload = standard_workload(WORKLOAD, seed=3, scale=SCALE)
+    navigator = DesignSpaceNavigator(
+        provider=PROVIDER,
+        model=MODEL,
+        memory_sizes_gb=(2.0, 4.0),
+        batch_sizes=(1, 2),
+    )
+    constraints = NavigationConstraints(max_latency_s=LATENCY_SLO_S,
+                                        min_success_ratio=0.99,
+                                        objective="cost")
+    outcome = navigator.search(workload, constraints)
+    print(f"\nNavigator evaluated {len(outcome.evaluated)} configurations, "
+          f"{len(outcome.feasible)} feasible.")
+    if outcome.found:
+        best = outcome.best
+        print(f"Best under a {LATENCY_SLO_S}s SLO: {best['runtime']} / "
+              f"{best['memory_gb']:.0f}GB / batch {best['batch_size']} — "
+              f"{best['avg_latency_s']:.3f}s, ${best['cost_usd']:.4f}")
+    else:
+        print("No configuration met the constraints.")
+
+
+def tune_memory() -> None:
+    tuner = MemoryTuner()
+    workload = standard_workload(WORKLOAD, seed=3, scale=0.1)
+    outcome = tuner.tune(PROVIDER, MODEL, "ort1.4", workload,
+                         candidates_gb=(1.0, 2.0, 4.0),
+                         latency_target_s=LATENCY_SLO_S)
+    print("\nMemory tuning (ORT1.4):")
+    for row in outcome.rows:
+        print(f"  {row['memory_gb']:.0f}GB  latency {row['avg_latency_s']:.3f}s  "
+              f"cost ${row['cost_usd']:.4f}")
+    print(f"Recommended memory size: {outcome.best_memory_gb} GB")
+
+
+def main() -> None:
+    sweep()
+    navigate()
+    tune_memory()
+
+
+if __name__ == "__main__":
+    main()

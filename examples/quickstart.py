@@ -1,0 +1,50 @@
+"""Quickstart: serve a model on the simulated cloud and read the metrics.
+
+Runs the paper's default configuration — MobileNet, TensorFlow 1.15,
+2 GB AWS Lambda functions — against a time-compressed copy of the w-40
+workload, and compares it with a self-rented GPU server, reproducing the
+paper's three metrics (latency, success ratio, cost) for both.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Analyzer, Planner, ServingBenchmark, standard_workload
+
+
+def main() -> None:
+    planner = Planner()
+    benchmark = ServingBenchmark(seed=7)
+    analyzer = Analyzer()
+
+    # A 20%-length copy of the paper's w-40 workload: same request rates
+    # and burstiness, just a shorter run so the example finishes quickly.
+    workload = standard_workload("w-40", scale=0.2)
+    print(f"Workload: {workload.summary()}")
+
+    serverless = planner.plan("aws", "mobilenet", "tf1.15", "serverless")
+    gpu_server = planner.plan("aws", "mobilenet", "tf1.15", "gpu_server")
+
+    print("\nRunning AWS Lambda (serverless) ...")
+    serverless_result = benchmark.run(serverless, workload)
+    print("Running AWS GPU server (g4dn.2xlarge) ...")
+    gpu_result = benchmark.run(gpu_server, workload)
+
+    print("\n=== Results ===")
+    for result in (serverless_result, gpu_result):
+        row = analyzer.summarize(result)
+        print(f"{row['platform']:<12s} "
+              f"latency {row['avg_latency_s']:.3f}s  "
+              f"p99 {row['p99_latency_s']:.3f}s  "
+              f"success {row['success_ratio']:.3f}  "
+              f"cost ${row['cost_usd']:.4f}  "
+              f"cold starts {row['cold_starts']}")
+
+    speedup = analyzer.speedup(gpu_result, serverless_result)
+    print(f"\nServerless vs GPU latency ratio: {speedup:.1f}x "
+          f"(>1 means serverless is faster)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The project is configured entirely through ``pyproject.toml``; this file
+exists so that editable installs keep working on machines without the
+``wheel`` package (offline environments cannot fetch it), via::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,67 @@
+"""repro — a reproduction of "Serverless Data Science — Are We There Yet?
+A Case Study of Model Serving" (SIGMOD 2022).
+
+The package simulates the cloud model-serving systems the paper
+evaluates (AWS Lambda, Google Cloud Functions, SageMaker, AI Platform,
+and self-rented CPU/GPU servers), drives them with the paper's
+MMPP-generated workloads, and reproduces every figure and table of the
+paper's evaluation.
+
+Quick start::
+
+    from repro import Planner, ServingBenchmark, standard_workload
+
+    planner = Planner()
+    deployment = planner.plan("aws", "mobilenet", "tf1.15", "serverless")
+    workload = standard_workload("w-40", scale=0.2)
+    result = ServingBenchmark(seed=7).run(deployment, workload)
+    print(result.average_latency, result.success_ratio, result.cost)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every experiment.
+"""
+
+from repro.cloud import aws, gcp, get_provider
+from repro.core import Analyzer, Executor, Planner, RunResult, ServingBenchmark
+from repro.models import LatencyProfiles, get_model, list_models
+from repro.runtimes import get_runtime, list_runtimes
+from repro.serving import Deployment, PlatformKind, RequestOutcome, ServiceConfig
+from repro.workload import (
+    ArrivalTrace,
+    MMPP,
+    Workload,
+    WorkloadSpec,
+    generate_workload,
+    standard_workload,
+    standard_workload_specs,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Analyzer",
+    "ArrivalTrace",
+    "Deployment",
+    "Executor",
+    "LatencyProfiles",
+    "MMPP",
+    "PlatformKind",
+    "Planner",
+    "RequestOutcome",
+    "RunResult",
+    "ServiceConfig",
+    "ServingBenchmark",
+    "Workload",
+    "WorkloadSpec",
+    "__version__",
+    "aws",
+    "gcp",
+    "generate_workload",
+    "get_model",
+    "get_provider",
+    "get_runtime",
+    "list_models",
+    "list_runtimes",
+    "standard_workload",
+    "standard_workload_specs",
+]

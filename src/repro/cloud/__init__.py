@@ -1,0 +1,49 @@
+"""Simulated cloud substrate: providers, pricing, storage, network.
+
+The paper's experiments run on two public clouds (AWS and GCP).  This
+package models the provider-level building blocks those experiments rely
+on:
+
+* :mod:`repro.cloud.providers` — provider descriptors bundling the other
+  pieces, plus the two built-in providers ``aws()`` and ``gcp()``.
+* :mod:`repro.cloud.pricing` — the pricing catalog and billing
+  calculators for serverless functions, managed ML endpoints, and VMs.
+* :mod:`repro.cloud.instances` — the VM / managed-instance type catalog
+  (ml.m4.2xlarge, n1-standard-8, g4dn.2xlarge, ...).
+* :mod:`repro.cloud.storage` — object storage with provider-specific
+  download bandwidth (model artifacts are downloaded at cold start).
+* :mod:`repro.cloud.network` — client-to-endpoint latency and payload
+  transfer times.
+* :mod:`repro.cloud.registry` — the container image registry, including
+  the occasional slow first-pull on a fresh physical host.
+"""
+
+from repro.cloud.instances import InstanceType, instance_catalog
+from repro.cloud.network import NetworkModel
+from repro.cloud.pricing import (
+    ManagedMlPricing,
+    PricingCatalog,
+    ServerlessBill,
+    ServerlessPricing,
+    VmPricing,
+)
+from repro.cloud.providers import CloudProvider, aws, gcp, get_provider
+from repro.cloud.registry import ContainerRegistry
+from repro.cloud.storage import ObjectStorage
+
+__all__ = [
+    "CloudProvider",
+    "ContainerRegistry",
+    "InstanceType",
+    "ManagedMlPricing",
+    "NetworkModel",
+    "ObjectStorage",
+    "PricingCatalog",
+    "ServerlessBill",
+    "ServerlessPricing",
+    "VmPricing",
+    "aws",
+    "gcp",
+    "get_provider",
+    "instance_catalog",
+]

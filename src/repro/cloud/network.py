@@ -1,0 +1,48 @@
+"""Client-to-endpoint network model.
+
+Requests travel from the load-generating clients to the serving endpoint
+(the serverless proxy, the managed-ML endpoint, or the VM's load
+balancer) and the response travels back.  Figure 12c of the paper shows
+that payload size has only a minor effect on end-to-end latency, which is
+what a fixed round-trip time plus a bandwidth-proportional transfer term
+produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim import RandomStreams
+
+__all__ = ["NetworkModel"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Round-trip latency plus payload transfer time."""
+
+    #: One-way base latency between client and endpoint, seconds.
+    one_way_latency_s: float
+    #: Payload bandwidth between client and endpoint, MB/s.
+    bandwidth_mbps: float
+    #: Lognormal jitter applied to the latency component.
+    jitter_cv: float = 0.15
+
+    def transfer_time(self, payload_mb: float,
+                      rng: Optional[RandomStreams] = None,
+                      stream: str = "network") -> float:
+        """Seconds for a one-way message carrying ``payload_mb`` megabytes."""
+        if payload_mb < 0:
+            raise ValueError("payload_mb must be non-negative")
+        latency = self.one_way_latency_s
+        if rng is not None and self.jitter_cv > 0:
+            latency = rng.lognormal_around(stream, latency, self.jitter_cv)
+        return latency + payload_mb / self.bandwidth_mbps
+
+    def round_trip_time(self, request_mb: float, response_mb: float,
+                        rng: Optional[RandomStreams] = None,
+                        stream: str = "network") -> float:
+        """Seconds for request upload plus response download."""
+        return (self.transfer_time(request_mb, rng, stream)
+                + self.transfer_time(response_mb, rng, stream))

@@ -1,0 +1,192 @@
+"""Pricing catalog and billing calculators.
+
+Rates are the public on-demand prices of the services the paper evaluates
+(AWS Lambda, Google Cloud Functions, SageMaker, AI Platform, EC2, Compute
+Engine) as of the paper's measurement period (2021, us-east / us-central
+regions).  Absolute dollar figures in the reproduction therefore land in
+the same range as Table 1 / Table 2 of the paper, although exact values
+depend on the simulated durations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = [
+    "ServerlessPricing",
+    "ManagedMlPricing",
+    "VmPricing",
+    "ServerlessBill",
+    "PricingCatalog",
+    "aws_pricing",
+    "gcp_pricing",
+]
+
+
+@dataclass(frozen=True)
+class ServerlessPricing:
+    """Pricing model of a Functions-as-a-Service platform.
+
+    AWS Lambda charges per GB-second of configured memory plus a flat fee
+    per request; Google Cloud Functions charges per GB-second *and* per
+    GHz-second (CPU is allocated proportionally to memory) plus a fee per
+    invocation.  Provisioned (always-warm) capacity is billed per
+    GB-second of reserved memory regardless of use.
+    """
+
+    per_gb_second: float
+    per_request: float
+    per_ghz_second: float = 0.0
+    ghz_per_gb: float = 0.0
+    provisioned_per_gb_second: float = 0.0
+    provisioned_duration_per_gb_second: float = 0.0
+
+    def execution_cost(self, memory_gb: float, billed_seconds: float,
+                       requests: int, provisioned: bool = False) -> float:
+        """Cost of executing ``requests`` invocations totalling ``billed_seconds``."""
+        if memory_gb <= 0:
+            raise ValueError("memory_gb must be positive")
+        if billed_seconds < 0 or requests < 0:
+            raise ValueError("billed_seconds and requests must be non-negative")
+        gb_rate = (self.provisioned_duration_per_gb_second
+                   if provisioned and self.provisioned_duration_per_gb_second
+                   else self.per_gb_second)
+        cost = billed_seconds * memory_gb * gb_rate
+        cost += billed_seconds * memory_gb * self.ghz_per_gb * self.per_ghz_second
+        cost += requests * self.per_request
+        return cost
+
+    def provisioned_cost(self, memory_gb: float, instances: int,
+                         seconds: float) -> float:
+        """Cost of keeping ``instances`` warm instances reserved for ``seconds``."""
+        if instances < 0 or seconds < 0:
+            raise ValueError("instances and seconds must be non-negative")
+        return instances * seconds * memory_gb * self.provisioned_per_gb_second
+
+
+@dataclass(frozen=True)
+class ManagedMlPricing:
+    """Managed ML serving endpoints are billed per active instance-hour."""
+
+    per_instance_hour: Dict[str, float]
+
+    def cost(self, instance_type: str, instance_seconds: float) -> float:
+        """Cost of ``instance_seconds`` cumulative seconds of active instances."""
+        if instance_type not in self.per_instance_hour:
+            raise KeyError(f"unknown managed instance type: {instance_type!r}")
+        if instance_seconds < 0:
+            raise ValueError("instance_seconds must be non-negative")
+        return self.per_instance_hour[instance_type] * instance_seconds / 3600.0
+
+
+@dataclass(frozen=True)
+class VmPricing:
+    """Self-rented virtual machines are billed per instance-hour."""
+
+    per_instance_hour: Dict[str, float]
+
+    def cost(self, instance_type: str, instance_seconds: float) -> float:
+        """Cost of renting one or more VMs for ``instance_seconds`` in total."""
+        if instance_type not in self.per_instance_hour:
+            raise KeyError(f"unknown VM instance type: {instance_type!r}")
+        if instance_seconds < 0:
+            raise ValueError("instance_seconds must be non-negative")
+        return self.per_instance_hour[instance_type] * instance_seconds / 3600.0
+
+
+@dataclass
+class ServerlessBill:
+    """Accumulates the billable quantities of one serverless experiment."""
+
+    memory_gb: float
+    pricing: ServerlessPricing
+    billed_seconds: float = 0.0
+    requests: int = 0
+    provisioned_instance_seconds: float = 0.0
+    provisioned_billed_seconds: float = 0.0
+    provisioned_requests: int = 0
+
+    def add_invocation(self, duration_seconds: float,
+                       provisioned: bool = False) -> None:
+        """Record one function invocation of the given billed duration."""
+        if duration_seconds < 0:
+            raise ValueError("duration_seconds must be non-negative")
+        if provisioned:
+            self.provisioned_billed_seconds += duration_seconds
+            self.provisioned_requests += 1
+        else:
+            self.billed_seconds += duration_seconds
+            self.requests += 1
+
+    def add_provisioned_reservation(self, instances: int, seconds: float) -> None:
+        """Record reserved-warm capacity (provisioned concurrency)."""
+        self.provisioned_instance_seconds += instances * seconds
+
+    def total(self) -> float:
+        """Total cost in dollars."""
+        cost = self.pricing.execution_cost(
+            self.memory_gb, self.billed_seconds, self.requests)
+        cost += self.pricing.execution_cost(
+            self.memory_gb, self.provisioned_billed_seconds,
+            self.provisioned_requests, provisioned=True)
+        cost += self.pricing.provisioned_cost(
+            self.memory_gb, 1, self.provisioned_instance_seconds)
+        return cost
+
+
+@dataclass(frozen=True)
+class PricingCatalog:
+    """All pricing information for one cloud provider."""
+
+    provider_name: str
+    serverless: ServerlessPricing
+    managed_ml: ManagedMlPricing
+    vm: VmPricing
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+def aws_pricing() -> PricingCatalog:
+    """Public on-demand prices for the AWS services the paper uses."""
+    return PricingCatalog(
+        provider_name="aws",
+        serverless=ServerlessPricing(
+            # Lambda: $0.0000166667 per GB-second, $0.20 per million requests.
+            per_gb_second=1.66667e-5,
+            per_request=2.0e-7,
+            # Provisioned concurrency: $0.0000041667 per GB-second reserved,
+            # executions billed at the reduced $0.0000097222 per GB-second.
+            provisioned_per_gb_second=4.1667e-6,
+            provisioned_duration_per_gb_second=9.7222e-6,
+        ),
+        managed_ml=ManagedMlPricing(per_instance_hour={
+            "ml.m4.2xlarge": 0.56,
+        }),
+        vm=VmPricing(per_instance_hour={
+            "m5.2xlarge": 0.384,
+            "g4dn.2xlarge": 0.752,
+        }),
+    )
+
+
+def gcp_pricing() -> PricingCatalog:
+    """Public on-demand prices for the GCP services the paper uses."""
+    return PricingCatalog(
+        provider_name="gcp",
+        serverless=ServerlessPricing(
+            # Cloud Functions: $0.0000025 per GB-second, $0.0000100 per
+            # GHz-second (a 2 GB function gets 2.4 GHz), $0.40 per million
+            # invocations.
+            per_gb_second=2.5e-6,
+            per_request=4.0e-7,
+            per_ghz_second=1.0e-5,
+            ghz_per_gb=1.2,
+        ),
+        managed_ml=ManagedMlPricing(per_instance_hour={
+            "n1-standard-8": 0.4520,
+        }),
+        vm=VmPricing(per_instance_hour={
+            "n1-standard-8": 0.3800,
+            "n1-standard-8-t4": 0.7300,
+        }),
+    )

@@ -1,0 +1,35 @@
+"""The evaluation framework (paper Figure 3).
+
+The framework has four components, mirroring the paper's design:
+
+* **Load generator** — lives in :mod:`repro.workload`.
+* **Planner** (:mod:`repro.core.planner`) — turns (provider, model,
+  runtime, service configuration) names into a concrete
+  :class:`~repro.serving.deployment.Deployment`.
+* **Executor** (:mod:`repro.core.executor`) — simulated clients that
+  replay the workload against a deployed platform and log one
+  :class:`~repro.serving.records.RequestOutcome` per request.
+* **Analyzer** (:mod:`repro.core.analyzer`) — computes the paper's three
+  metrics (response latency, request success ratio, cost) plus the
+  time-series and cold-start breakdowns used in the figures.
+
+:class:`~repro.core.benchmark.ServingBenchmark` is the façade that wires
+the pieces together; most users only need it plus the planner.
+"""
+
+from repro.core.analyzer import Analyzer
+from repro.core.benchmark import ServingBenchmark
+from repro.core.executor import Executor
+from repro.core.metrics import LatencyStats, percentile
+from repro.core.planner import Planner
+from repro.core.results import RunResult
+
+__all__ = [
+    "Analyzer",
+    "Executor",
+    "LatencyStats",
+    "Planner",
+    "RunResult",
+    "ServingBenchmark",
+    "percentile",
+]

@@ -1,0 +1,166 @@
+"""Analyzer: the paper's three metrics plus figure-level derived series.
+
+The analyzer turns a :class:`~repro.core.results.RunResult` (or several)
+into the numbers the paper reports:
+
+* headline metrics — average response latency of successful requests,
+  request success ratio, and cost (Figure 5 / Table 1);
+* latency and success-ratio time-series (Figures 6, 8, 9);
+* cold-start / warm-up sub-stage breakdowns (Figures 10 and 14);
+* instance-count time-series (Figures 7 and 11);
+* comparison tables across systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.metrics import LatencyStats
+from repro.core.results import RunResult
+from repro.serving.records import Stage
+
+__all__ = ["Analyzer", "TimelinePoint", "BreakdownSummary"]
+
+
+@dataclass(frozen=True)
+class TimelinePoint:
+    """One bin of a latency / success-ratio timeline."""
+
+    time: float
+    requests: int
+    average_latency: float
+    success_ratio: float
+
+
+@dataclass(frozen=True)
+class BreakdownSummary:
+    """Average sub-stage latencies, split by cold-start vs warm requests.
+
+    Mirrors Figure 10 / Figure 14: for cold-start requests the end-to-end
+    latency plus the import / download / load / predict sub-stages; for
+    warm requests the end-to-end latency and the predict time.
+    """
+
+    cold_e2e: float
+    cold_import: float
+    cold_download: float
+    cold_load: float
+    cold_predict: float
+    warm_e2e: float
+    warm_predict: float
+    cold_requests: int
+    warm_requests: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """The breakdown as a flat dictionary (keys match the figure labels)."""
+        return {
+            "E2E (cs)": self.cold_e2e,
+            "import": self.cold_import,
+            "download": self.cold_download,
+            "load": self.cold_load,
+            "predict (cs)": self.cold_predict,
+            "E2E (wu)": self.warm_e2e,
+            "predict (wu)": self.warm_predict,
+        }
+
+
+class Analyzer:
+    """Computes metrics, timelines, and breakdowns from run results."""
+
+    # -- headline metrics -----------------------------------------------------
+    def summarize(self, result: RunResult) -> Dict[str, object]:
+        """The paper's three metrics plus context, as a flat dictionary."""
+        stats = result.latency_stats()
+        row = result.as_row()
+        row.update({
+            "p50_latency_s": round(stats.p50, 4),
+            "p99_latency_s": round(stats.p99, 4),
+            "cold_start_ratio": round(result.cold_start_ratio, 4),
+        })
+        return row
+
+    def comparison_table(self, results: Iterable[RunResult]) -> List[Dict[str, object]]:
+        """Summaries of several runs, sorted for stable presentation."""
+        rows = [self.summarize(result) for result in results]
+        return sorted(rows, key=lambda row: (row["provider"], row["model"],
+                                             row["workload"], row["platform"]))
+
+    # -- timelines ------------------------------------------------------------
+    def latency_timeline(self, result: RunResult,
+                         bin_seconds: float = 20.0) -> List[TimelinePoint]:
+        """Average latency and success ratio per time bin (Figures 6, 8, 9)."""
+        if bin_seconds <= 0:
+            raise ValueError("bin_seconds must be positive")
+        outcomes = result.outcomes
+        if not outcomes:
+            return []
+        horizon = max(o.send_time for o in outcomes) + bin_seconds
+        edges = np.arange(0.0, horizon + bin_seconds, bin_seconds)
+        points: List[TimelinePoint] = []
+        for start, end in zip(edges[:-1], edges[1:]):
+            in_bin = [o for o in outcomes if start <= o.send_time < end]
+            if not in_bin:
+                continue
+            successes = [o for o in in_bin if o.success and o.latency is not None]
+            avg = (sum(o.latency for o in successes) / len(successes)
+                   if successes else 0.0)
+            points.append(TimelinePoint(
+                time=float(start),
+                requests=len(in_bin),
+                average_latency=avg,
+                success_ratio=len(successes) / len(in_bin),
+            ))
+        return points
+
+    def instance_timeline(self, result: RunResult,
+                          bin_seconds: float = 60.0) -> List[Tuple[float, float]]:
+        """Number of active instances over time (Figures 7 and 11)."""
+        series = result.usage.instance_count
+        if len(series) == 0:
+            return []
+        horizon = max(series.times[-1], result.duration_s)
+        grid = np.arange(0.0, horizon + bin_seconds, bin_seconds)
+        return list(zip(grid.tolist(), series.resample(grid.tolist())))
+
+    # -- breakdowns -------------------------------------------------------------
+    def coldstart_breakdown(self, result: RunResult) -> BreakdownSummary:
+        """Average cold-start and warm-up sub-stages (Figures 10 and 14)."""
+        cold = [o for o in result.successful if o.cold_start]
+        warm = [o for o in result.successful if not o.cold_start]
+
+        def avg(outcomes: Sequence, getter) -> float:
+            values = [getter(o) for o in outcomes]
+            values = [v for v in values if v is not None]
+            return float(np.mean(values)) if values else 0.0
+
+        return BreakdownSummary(
+            cold_e2e=avg(cold, lambda o: o.latency),
+            cold_import=avg(cold, lambda o: o.stage(Stage.IMPORT)),
+            cold_download=avg(cold, lambda o: o.stage(Stage.DOWNLOAD)),
+            cold_load=avg(cold, lambda o: o.stage(Stage.LOAD)),
+            cold_predict=avg(cold, lambda o: o.stage(Stage.PREDICT)),
+            warm_e2e=avg(warm, lambda o: o.latency),
+            warm_predict=avg(warm, lambda o: o.stage(Stage.PREDICT)),
+            cold_requests=len(cold),
+            warm_requests=len(warm),
+        )
+
+    # -- cross-run helpers -------------------------------------------------------
+    def speedup(self, baseline: RunResult, improved: RunResult) -> float:
+        """Latency ratio baseline / improved (">1" means improved is faster)."""
+        if improved.average_latency == 0:
+            return 0.0
+        return baseline.average_latency / improved.average_latency
+
+    def cost_ratio(self, baseline: RunResult, improved: RunResult) -> float:
+        """Cost ratio baseline / improved (">1" means improved is cheaper)."""
+        if improved.cost == 0:
+            return 0.0
+        return baseline.cost / improved.cost
+
+    def stats(self, result: RunResult) -> LatencyStats:
+        """Latency distribution statistics for successful requests."""
+        return result.latency_stats()

@@ -1,0 +1,94 @@
+"""ServingBenchmark: the one-call façade over the evaluation framework.
+
+Typical use::
+
+    from repro import Planner, ServingBenchmark, standard_workload
+
+    planner = Planner()
+    deployment = planner.plan("aws", "mobilenet", "tf1.15", "serverless")
+    workload = standard_workload("w-40", scale=0.2)
+
+    bench = ServingBenchmark(seed=7)
+    result = bench.run(deployment, workload)
+    print(result.average_latency, result.success_ratio, result.cost)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.executor import Executor
+from repro.core.results import RunResult
+from repro.models.profiles import LatencyProfiles
+from repro.platforms.base import build_platform
+from repro.serving.deployment import Deployment
+from repro.sim import Environment, RandomStreams
+from repro.workload.generator import Workload
+from repro.workload.requests import RequestPool
+
+__all__ = ["ServingBenchmark"]
+
+
+@dataclass
+class ServingBenchmark:
+    """Runs (deployment, workload) experiments on the simulated cloud."""
+
+    seed: int = 7
+    profiles: LatencyProfiles = field(default_factory=LatencyProfiles)
+    #: Extra simulated time after the last arrival to let requests drain.
+    drain_timeout_s: float = 400.0
+
+    def run(self, deployment: Deployment, workload: Workload,
+            workload_scale: float = 1.0) -> RunResult:
+        """Run one experiment and return its result."""
+        env = Environment()
+        rng = RandomStreams(self.seed)
+        platform = build_platform(env, deployment, self.profiles, rng)
+        pool = RequestPool(
+            sample_payload_mb=deployment.model.input_payload_mb,
+            pool_size=workload.spec.request_pool_size,
+            seed=self.seed,
+        )
+        executor = Executor(env=env, platform=platform, workload=workload,
+                            request_pool=pool, rng=rng)
+        horizon = workload.spec.duration_s + self.drain_timeout_s
+        outcomes = executor.run(until=horizon)
+        end_time = max(executor.last_completion_time, workload.trace.duration)
+        usage = platform.finalize(end_time=end_time)
+        self._fail_unfinished(outcomes, horizon)
+        return RunResult(
+            deployment=deployment,
+            workload_name=workload.name,
+            outcomes=outcomes,
+            usage=usage,
+            duration_s=end_time,
+            workload_scale=workload_scale,
+        )
+
+    def run_many(self, deployments: Iterable[Deployment],
+                 workload: Workload,
+                 workload_scale: float = 1.0) -> List[RunResult]:
+        """Run the same workload against several deployments."""
+        return [self.run(deployment, workload, workload_scale)
+                for deployment in deployments]
+
+    def run_matrix(self, deployments: Iterable[Deployment],
+                   workloads: Iterable[Workload],
+                   workload_scale: float = 1.0) -> Dict[str, List[RunResult]]:
+        """Run every deployment under every workload, keyed by workload name."""
+        results: Dict[str, List[RunResult]] = {}
+        deployments = list(deployments)
+        for workload in workloads:
+            results[workload.name] = self.run_many(deployments, workload,
+                                                   workload_scale)
+        return results
+
+    # -- internals -------------------------------------------------------------
+    @staticmethod
+    def _fail_unfinished(outcomes, horizon: float) -> None:
+        """Mark requests still open when the horizon was reached as failed."""
+        for outcome in outcomes:
+            if outcome.completion_time is None:
+                outcome.finish(max(horizon, outcome.send_time),
+                               success=False, error="unfinished")

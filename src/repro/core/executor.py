@@ -1,0 +1,125 @@
+"""Executor: simulated load-generating clients (paper Figure 3).
+
+The executor owns the client side of an experiment.  Each client replays
+its share of the workload: it waits for the next arrival time, picks a
+request uniformly at random from the request pool, sends it to the
+platform, and records the outcome.  Client-side batching (Figure 17) and
+the Figure 12c/12d micro-benchmark knobs (samples per request, inferences
+per request) are applied here because they are client decisions, not
+platform ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.platforms.base import ServingPlatform
+from repro.platforms.batching import BatchAccumulator
+from repro.serving.records import RequestOutcome
+from repro.sim import Environment, RandomStreams
+from repro.workload.generator import Workload
+from repro.workload.requests import RequestPool
+
+__all__ = ["Executor"]
+
+
+@dataclass
+class Executor:
+    """Replays a workload against a serving platform."""
+
+    env: Environment
+    platform: ServingPlatform
+    workload: Workload
+    request_pool: RequestPool
+    rng: RandomStreams
+    #: Filled in by :meth:`run`.
+    outcomes: List[RequestOutcome] = field(default_factory=list)
+    _next_request_id: int = 0
+    _last_completion: float = 0.0
+
+    # -- public ---------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> List[RequestOutcome]:
+        """Run the experiment to completion and return all outcomes."""
+        self.platform.start()
+        for client_id, trace in enumerate(self.workload.client_traces):
+            self.env.process(self._client(client_id, trace))
+        self.env.run(until=until)
+        return self.outcomes
+
+    @property
+    def last_completion_time(self) -> float:
+        """Completion time of the last finished request (0 if none)."""
+        return self._last_completion
+
+    # -- clients ---------------------------------------------------------------
+    def _client(self, client_id: int, trace):
+        config = self.platform.config
+        batcher = BatchAccumulator(config.batch_size)
+        last_index = len(trace) - 1
+        previous = 0.0
+        for index, arrival in enumerate(trace):
+            gap = arrival - previous
+            previous = arrival
+            if gap > 0:
+                yield self.env.timeout(gap)
+            outcome = self._new_outcome(client_id)
+            self.outcomes.append(outcome)
+            if config.batch_size == 1:
+                self.env.process(self._send_single(outcome))
+            else:
+                batch = batcher.add(outcome)
+                if batch is None and index == last_index:
+                    batch = batcher.flush()
+                if batch:
+                    self.env.process(self._send_batch(client_id, batch))
+
+    def _new_outcome(self, client_id: int) -> RequestOutcome:
+        config = self.platform.config
+        outcome = RequestOutcome(
+            request_id=self._next_request_id,
+            client_id=client_id,
+            send_time=self.env.now,
+            inferences=config.inferences_per_request,
+        )
+        self._next_request_id += 1
+        return outcome
+
+    def _payload_mb(self) -> float:
+        config = self.platform.config
+        template = self.request_pool.pick(self.rng)
+        return template.payload_mb * config.samples_per_request
+
+    def _send_single(self, outcome: RequestOutcome):
+        payload = self._payload_mb()
+        response = self.platform.model.output_payload_mb
+        yield self.platform.submit(outcome, payload, response)
+        self._note_completion(outcome)
+
+    def _send_batch(self, client_id: int, batch: List[RequestOutcome]):
+        """Send one invocation carrying a whole client-side batch."""
+        config = self.platform.config
+        carrier = RequestOutcome(
+            request_id=self._next_request_id,
+            client_id=client_id,
+            send_time=self.env.now,
+            inferences=len(batch) * config.inferences_per_request,
+        )
+        self._next_request_id += 1
+        payload = self._payload_mb() * len(batch)
+        response = self.platform.model.output_payload_mb * len(batch)
+        yield self.platform.submit(carrier, payload, response)
+        for member in batch:
+            member.cold_start = carrier.cold_start
+            member.instance_id = carrier.instance_id
+            member.breakdown = dict(carrier.breakdown)
+            member.finish(carrier.completion_time
+                          if carrier.completion_time is not None
+                          else self.env.now,
+                          carrier.success, carrier.error)
+            self._note_completion(member)
+
+    def _note_completion(self, outcome: RequestOutcome) -> None:
+        if outcome.completion_time is not None:
+            self._last_completion = max(self._last_completion,
+                                        outcome.completion_time)

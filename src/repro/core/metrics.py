@@ -1,0 +1,85 @@
+"""Latency statistics helpers used by the analyzer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+__all__ = ["percentile", "LatencyStats"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) of ``values`` (0.0 for empty input)."""
+    if not 0 <= q <= 100:
+        raise ValueError("q must be within [0, 100]")
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        return 0.0
+    return float(np.percentile(array, q))
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary statistics over a set of response latencies."""
+
+    count: int
+    mean: float
+    std: float
+    p50: float
+    p90: float
+    p95: float
+    p99: float
+    min: float
+    max: float
+
+    @staticmethod
+    def from_values(values: Iterable[float]) -> "LatencyStats":
+        """Compute statistics from raw latency values (seconds)."""
+        array = np.asarray(list(values), dtype=float)
+        if array.size == 0:
+            return LatencyStats(count=0, mean=0.0, std=0.0, p50=0.0, p90=0.0,
+                                p95=0.0, p99=0.0, min=0.0, max=0.0)
+        if np.any(array < 0):
+            raise ValueError("latencies must be non-negative")
+        return LatencyStats(
+            count=int(array.size),
+            mean=float(array.mean()),
+            std=float(array.std()),
+            p50=float(np.percentile(array, 50)),
+            p90=float(np.percentile(array, 90)),
+            p95=float(np.percentile(array, 95)),
+            p99=float(np.percentile(array, 99)),
+            min=float(array.min()),
+            max=float(array.max()),
+        )
+
+    def as_dict(self) -> dict:
+        """The statistics as a plain dictionary (for result tables)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p95": self.p95,
+            "p99": self.p99,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+def mean_or_zero(values: Sequence[float]) -> float:
+    """Arithmetic mean, or 0.0 for an empty sequence."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return float(np.mean(values))
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """A safe ratio that returns 0.0 when the denominator is zero."""
+    if denominator == 0:
+        return 0.0
+    return numerator / denominator

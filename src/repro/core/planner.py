@@ -1,0 +1,98 @@
+"""Planner: build deployments from human-level choices (paper Figure 3).
+
+The planner resolves names ("aws", "mobilenet", "tf1.15", "serverless")
+into a fully specified :class:`~repro.serving.deployment.Deployment`,
+applying the defaults the paper uses in Section 3: 2 GB serverless
+memory, ``ml.m4.2xlarge`` / ``n1-standard-8`` managed instances with
+autoscaling on and a minimum of one instance, a single always-on VM for
+CPU/GPU servers, and so on.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Iterable, List, Optional
+
+from repro.cloud.providers import CloudProvider, get_provider
+from repro.models.zoo import ModelSpec, get_model
+from repro.runtimes.base import ServingRuntime
+from repro.runtimes.registry import get_runtime
+from repro.serving.deployment import Deployment, PlatformKind, ServiceConfig
+
+__all__ = ["Planner"]
+
+
+class Planner:
+    """Builds deployments for the evaluated serving systems."""
+
+    #: Default serverless memory size in the paper's experiments.
+    DEFAULT_MEMORY_GB = 2.0
+
+    def plan(self, provider: str | CloudProvider, model: str | ModelSpec,
+             runtime: str | ServingRuntime,
+             platform: str = PlatformKind.SERVERLESS,
+             **config_overrides) -> Deployment:
+        """Build one deployment.
+
+        ``config_overrides`` are forwarded to
+        :class:`~repro.serving.deployment.ServiceConfig` after the paper's
+        platform-specific defaults have been applied.
+        """
+        provider_obj = (provider if isinstance(provider, CloudProvider)
+                        else get_provider(provider))
+        model_obj = model if isinstance(model, ModelSpec) else get_model(model)
+        runtime_obj = (runtime if isinstance(runtime, ServingRuntime)
+                       else get_runtime(runtime))
+        defaults = self._platform_defaults(platform)
+        defaults.update(config_overrides)
+        config = ServiceConfig(platform=platform, **defaults)
+        return Deployment(provider=provider_obj, model=model_obj,
+                          runtime=runtime_obj, config=config)
+
+    def plan_matrix(self, providers: Iterable[str], models: Iterable[str],
+                    runtimes: Iterable[str], platforms: Iterable[str],
+                    **config_overrides) -> List[Deployment]:
+        """The cross-product of the given dimensions, skipping unsupported
+        combinations (e.g. OnnxRuntime on managed ML services)."""
+        deployments = []
+        for provider, model, runtime, platform in product(
+                providers, models, runtimes, platforms):
+            try:
+                deployments.append(self.plan(provider, model, runtime,
+                                             platform, **config_overrides))
+            except ValueError:
+                # Unsupported combination (the paper skips these too).
+                continue
+        return deployments
+
+    def plan_paper_systems(self, provider: str, model: str,
+                           runtime: str = "tf1.15") -> Dict[str, Deployment]:
+        """The four systems compared per provider in Figure 5 / Table 1."""
+        systems = {
+            "serverless": self.plan(provider, model, runtime,
+                                    PlatformKind.SERVERLESS),
+            "cpu_server": self.plan(provider, model, runtime,
+                                    PlatformKind.CPU_SERVER),
+            "gpu_server": self.plan(provider, model, runtime,
+                                    PlatformKind.GPU_SERVER),
+        }
+        try:
+            systems["managed_ml"] = self.plan(provider, model, runtime,
+                                              PlatformKind.MANAGED_ML)
+        except ValueError:
+            # The managed service does not support this runtime.
+            pass
+        return systems
+
+    # -- internals -----------------------------------------------------------
+    def _platform_defaults(self, platform: str) -> Dict[str, object]:
+        if platform == PlatformKind.SERVERLESS:
+            return {"memory_gb": self.DEFAULT_MEMORY_GB}
+        if platform == PlatformKind.MANAGED_ML:
+            # Autoscaling enabled, minimum of one running instance (S4.2).
+            return {"initial_instances": 1, "autoscaling": True}
+        if platform in (PlatformKind.CPU_SERVER, PlatformKind.GPU_SERVER):
+            # A single self-rented, always-on VM; the paper's autoscaling
+            # group experiments are run explicitly via config overrides.
+            return {"initial_instances": 1, "autoscaling": False}
+        raise ValueError(f"unknown platform kind {platform!r}")

@@ -1,0 +1,100 @@
+"""Run results: the raw material the analyzer works on."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.metrics import LatencyStats
+from repro.platforms.base import PlatformUsage
+from repro.serving.deployment import Deployment
+from repro.serving.records import RequestOutcome
+
+__all__ = ["RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Everything produced by one (deployment, workload) experiment."""
+
+    deployment: Deployment
+    workload_name: str
+    outcomes: List[RequestOutcome]
+    usage: PlatformUsage
+    #: Simulated wall-clock length of the experiment (last completion).
+    duration_s: float
+    #: Fraction of the paper's full workload that was replayed (1.0 = full).
+    workload_scale: float = 1.0
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    # -- headline metrics -----------------------------------------------------
+    @property
+    def total_requests(self) -> int:
+        """Number of client requests issued."""
+        return len(self.outcomes)
+
+    @property
+    def successful(self) -> List[RequestOutcome]:
+        """Outcomes of the requests that succeeded."""
+        return [o for o in self.outcomes if o.success]
+
+    @property
+    def failed(self) -> List[RequestOutcome]:
+        """Outcomes of the requests that failed."""
+        return [o for o in self.outcomes if not o.success]
+
+    @property
+    def success_ratio(self) -> float:
+        """Fraction of requests that succeeded (the paper's SR metric)."""
+        if not self.outcomes:
+            return 0.0
+        return len(self.successful) / len(self.outcomes)
+
+    @property
+    def average_latency(self) -> float:
+        """Mean end-to-end latency of the *successful* requests (paper metric)."""
+        latencies = [o.latency for o in self.successful if o.latency is not None]
+        if not latencies:
+            return 0.0
+        return sum(latencies) / len(latencies)
+
+    @property
+    def cost(self) -> float:
+        """Total cost of the experiment in dollars."""
+        return self.usage.cost
+
+    @property
+    def cold_start_ratio(self) -> float:
+        """Fraction of successful requests served by a cold instance."""
+        successful = self.successful
+        if not successful:
+            return 0.0
+        return sum(1 for o in successful if o.cold_start) / len(successful)
+
+    def latency_stats(self) -> LatencyStats:
+        """Distributional statistics over successful-request latencies."""
+        return LatencyStats.from_values(
+            o.latency for o in self.successful if o.latency is not None)
+
+    # -- presentation ---------------------------------------------------------
+    @property
+    def label(self) -> str:
+        """Short identifier: deployment label plus workload name."""
+        return f"{self.deployment.label}@{self.workload_name}"
+
+    def as_row(self) -> Dict[str, object]:
+        """A flat dictionary suitable for result tables."""
+        return {
+            "provider": self.deployment.provider.name,
+            "platform": self.deployment.config.platform,
+            "model": self.deployment.model.name,
+            "runtime": self.deployment.runtime.key,
+            "workload": self.workload_name,
+            "requests": self.total_requests,
+            "avg_latency_s": round(self.average_latency, 4),
+            "success_ratio": round(self.success_ratio, 4),
+            "cost_usd": round(self.cost, 4),
+            "cold_starts": self.usage.cold_starts,
+            "instances": self.usage.instances_created,
+            "workload_scale": self.workload_scale,
+        }

@@ -1,0 +1,43 @@
+"""Reproduction of every experiment in the paper's evaluation.
+
+Each module reproduces one figure or table:
+
+==========================  =================================================
+module                      paper artefact
+==========================  =================================================
+``fig04_workloads``         Figure 4 — the three MMPP workloads
+``fig05_system_comparison`` Figure 5 — latency & success ratio, all systems
+``table1_costs``            Table 1 — cost of every system/model/workload
+``fig06_timeline``          Figure 6 — serverless vs ManagedML time-series
+``fig07_managed_instances`` Figure 7 — #instances on managed ML services
+``fig08_timeline``          Figure 8 — serverless vs CPU server time-series
+``fig09_timeline``          Figure 9 — serverless vs GPU server time-series
+``fig10_breakdown``         Figure 10 — cold-start sub-stage breakdown
+``fig11_serverless_instances``  Figure 11 — #instances on serverless
+``fig12_microbenchmarks``   Figure 12 — container/download/input/predict
+``fig13_runtime_comparison``    Figure 13 — TF1.15 vs ORT1.4 latency
+``fig14_runtime_breakdown``     Figure 14 — TF1.15 vs ORT1.4 breakdown
+``table2_ort_costs``        Table 2 — serverless cost with ORT1.4
+``fig15_memory_size``       Figure 15 — memory size sweep
+``fig16_provisioned_concurrency``  Figure 16 — provisioned concurrency sweep
+``fig17_batch_size``        Figure 17 — batch size sweep
+==========================  =================================================
+
+All experiments accept an :class:`~repro.experiments.base.ExperimentContext`
+so that the workload scale, seed, and benchmark configuration are shared;
+``repro-experiments`` (see :mod:`repro.experiments.runner`) is the CLI.
+"""
+
+from repro.experiments.base import (
+    ExperimentContext,
+    ExperimentResult,
+    list_experiments,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentContext",
+    "ExperimentResult",
+    "list_experiments",
+    "run_experiment",
+]

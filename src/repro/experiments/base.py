@@ -1,0 +1,161 @@
+"""Shared infrastructure for the experiment modules."""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.analyzer import Analyzer
+from repro.core.benchmark import ServingBenchmark
+from repro.core.planner import Planner
+from repro.core.results import RunResult
+from repro.serving.deployment import Deployment
+from repro.workload.generator import Workload, standard_workload
+
+__all__ = [
+    "ExperimentContext",
+    "ExperimentResult",
+    "list_experiments",
+    "run_experiment",
+    "format_table",
+]
+
+#: Registry of experiment ids to the module implementing them.
+EXPERIMENTS: Dict[str, str] = {
+    "fig04": "repro.experiments.fig04_workloads",
+    "fig05": "repro.experiments.fig05_system_comparison",
+    "table1": "repro.experiments.table1_costs",
+    "fig06": "repro.experiments.fig06_timeline",
+    "fig07": "repro.experiments.fig07_managed_instances",
+    "fig08": "repro.experiments.fig08_timeline",
+    "fig09": "repro.experiments.fig09_timeline",
+    "fig10": "repro.experiments.fig10_breakdown",
+    "fig11": "repro.experiments.fig11_serverless_instances",
+    "fig12": "repro.experiments.fig12_microbenchmarks",
+    "fig13": "repro.experiments.fig13_runtime_comparison",
+    "fig14": "repro.experiments.fig14_runtime_breakdown",
+    "table2": "repro.experiments.table2_ort_costs",
+    "fig15": "repro.experiments.fig15_memory_size",
+    "fig16": "repro.experiments.fig16_provisioned_concurrency",
+    "fig17": "repro.experiments.fig17_batch_size",
+}
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one experiment."""
+
+    experiment_id: str
+    title: str
+    rows: List[Dict[str, object]]
+    #: Named series (e.g. timelines), each a list of dictionaries.
+    series: Dict[str, List[Dict[str, object]]] = field(default_factory=dict)
+    notes: Dict[str, object] = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        """Render the experiment as a plain-text report."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        if self.notes:
+            for key, value in self.notes.items():
+                lines.append(f"  note: {key} = {value}")
+        if self.rows:
+            lines.append(format_table(self.rows))
+        for name, series in self.series.items():
+            lines.append(f"-- series: {name} --")
+            lines.append(format_table(series))
+        return "\n".join(lines)
+
+
+@dataclass
+class ExperimentContext:
+    """Shared configuration and caches for experiment runs.
+
+    ``scale`` compresses the paper's 15-minute workloads in time while
+    keeping the request rates (and therefore all queueing behaviour)
+    unchanged; 1.0 reproduces the full workloads.
+    """
+
+    seed: int = 7
+    scale: float = 1.0
+    providers: Sequence[str] = ("aws", "gcp")
+    benchmark: ServingBenchmark = field(default_factory=lambda: ServingBenchmark(seed=7))
+    planner: Planner = field(default_factory=Planner)
+    analyzer: Analyzer = field(default_factory=Analyzer)
+    _workloads: Dict[str, Workload] = field(default_factory=dict)
+    _runs: Dict[str, RunResult] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.scale <= 1.0:
+            raise ValueError("scale must be in (0, 1]")
+        self.benchmark.seed = self.seed
+
+    # -- workloads -------------------------------------------------------------
+    def workload(self, name: str) -> Workload:
+        """The named standard workload at this context's scale (cached)."""
+        if name not in self._workloads:
+            self._workloads[name] = standard_workload(name, seed=self.seed,
+                                                      scale=self.scale)
+        return self._workloads[name]
+
+    # -- runs -------------------------------------------------------------------
+    def run(self, deployment: Deployment, workload_name: str,
+            cache_key: Optional[str] = None) -> RunResult:
+        """Run one experiment cell, with caching across experiment modules."""
+        key = cache_key or f"{deployment.label}|{deployment.config}|{workload_name}"
+        if key not in self._runs:
+            self._runs[key] = self.benchmark.run(
+                deployment, self.workload(workload_name),
+                workload_scale=self.scale)
+        return self._runs[key]
+
+    def run_cell(self, provider: str, model: str, runtime: str, platform: str,
+                 workload_name: str, **config_overrides) -> RunResult:
+        """Plan and run a (provider, model, runtime, platform, workload) cell."""
+        deployment = self.planner.plan(provider, model, runtime, platform,
+                                       **config_overrides)
+        return self.run(deployment, workload_name)
+
+
+def format_table(rows: Sequence[Dict[str, object]]) -> str:
+    """Render a list of dictionaries as an aligned plain-text table."""
+    if not rows:
+        return "(no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    rendered = [[_format_cell(row.get(column, "")) for column in columns]
+                for row in rows]
+    widths = [max(len(column), *(len(line[i]) for line in rendered))
+              for i, column in enumerate(columns)]
+    header = "  ".join(column.ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line))
+        for line in rendered
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def list_experiments() -> List[str]:
+    """Identifiers of all registered experiments."""
+    return sorted(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str,
+                   context: Optional[ExperimentContext] = None) -> ExperimentResult:
+    """Run one experiment by id (e.g. ``"fig05"``)."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {experiment_id!r}; "
+                       f"known: {list_experiments()}")
+    module = importlib.import_module(EXPERIMENTS[experiment_id])
+    context = context or ExperimentContext()
+    return module.run(context)

@@ -1,0 +1,41 @@
+"""Figure 4: the three MMPP workloads (w-40, w-120, w-200)."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentContext, ExperimentResult
+
+EXPERIMENT_ID = "fig04"
+TITLE = "Generated MMPP workloads (Figure 4)"
+
+#: Bin width for the request-rate series, seconds.
+RATE_BIN_S = 30.0
+
+
+def run(context: ExperimentContext) -> ExperimentResult:
+    """Generate the standard workloads and report their characteristics."""
+    rows = []
+    series = {}
+    for name in ("w-40", "w-120", "w-200"):
+        workload = context.workload(name)
+        summary = workload.summary()
+        rows.append({
+            "workload": name,
+            "requests": summary["requests"],
+            "target_requests": summary["target_requests"],
+            "duration_s": summary["duration_s"],
+            "mean_rate": summary["mean_rate"],
+            "peak_rate_1s": summary["peak_rate_1s"],
+            "clients": summary["clients"],
+        })
+        times, rates = workload.trace.rate_series(RATE_BIN_S)
+        series[name] = [
+            {"time_s": float(t), "rate_req_s": float(r)}
+            for t, r in zip(times, rates)
+        ]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        series=series,
+        notes={"scale": context.scale, "seed": context.seed},
+    )

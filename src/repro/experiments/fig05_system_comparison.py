@@ -1,0 +1,48 @@
+"""Figure 5: latency and success ratio of all model serving systems.
+
+Reproduces the paper's headline comparison: {Serverless, ManagedML, CPU
+server, GPU server} x {MobileNet, ALBERT, VGG} x {w-40, w-120, w-200} on
+AWS and GCP, with TensorFlow 1.15 as the serving runtime.  The paper
+marks cells whose success ratio collapses as "N.A."; here every cell is
+reported with its measured success ratio instead.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentContext, ExperimentResult
+from repro.serving.deployment import PlatformKind
+
+EXPERIMENT_ID = "fig05"
+TITLE = "Model serving systems' performance comparison (Figure 5)"
+
+MODELS = ("mobilenet", "albert", "vgg")
+WORKLOADS = ("w-40", "w-120", "w-200")
+PLATFORMS = (PlatformKind.SERVERLESS, PlatformKind.MANAGED_ML,
+             PlatformKind.CPU_SERVER, PlatformKind.GPU_SERVER)
+RUNTIME = "tf1.15"
+
+
+def run(context: ExperimentContext) -> ExperimentResult:
+    """Run the full system-comparison matrix."""
+    rows = []
+    for provider in context.providers:
+        for model in MODELS:
+            for workload in WORKLOADS:
+                for platform in PLATFORMS:
+                    result = context.run_cell(provider, model, RUNTIME,
+                                              platform, workload)
+                    rows.append({
+                        "provider": provider,
+                        "model": model,
+                        "workload": workload,
+                        "platform": platform,
+                        "avg_latency_s": round(result.average_latency, 4),
+                        "success_ratio": round(result.success_ratio, 4),
+                        "cost_usd": round(result.cost, 4),
+                    })
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        notes={"runtime": RUNTIME, "scale": context.scale},
+    )

@@ -1,0 +1,55 @@
+"""Figure 6: serverless vs ManagedML latency over time.
+
+Two panels: MobileNet with w-40 on AWS and ALBERT with w-40 on GCP.
+For each system the experiment reports a per-time-bin average latency and
+success ratio, showing the managed service falling behind once the first
+demand surge arrives while serverless stays flat after warming up.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentContext, ExperimentResult
+from repro.serving.deployment import PlatformKind
+
+EXPERIMENT_ID = "fig06"
+TITLE = "Serverless and ManagedML comparison over time (Figure 6)"
+
+PANELS = (
+    ("aws", "mobilenet", "w-40"),
+    ("gcp", "albert", "w-40"),
+)
+RUNTIME = "tf1.15"
+BIN_S = 20.0
+
+
+def run(context: ExperimentContext) -> ExperimentResult:
+    """Produce the two latency-over-time panels."""
+    rows = []
+    series = {}
+    for provider, model, workload in PANELS:
+        if provider not in context.providers:
+            continue
+        panel = f"{model}-{workload}-{provider}"
+        for platform in (PlatformKind.SERVERLESS, PlatformKind.MANAGED_ML):
+            result = context.run_cell(provider, model, RUNTIME, platform,
+                                      workload)
+            timeline = context.analyzer.latency_timeline(result, BIN_S)
+            series[f"{panel}/{platform}"] = [
+                {"time_s": point.time,
+                 "avg_latency_s": round(point.average_latency, 4),
+                 "success_ratio": round(point.success_ratio, 4)}
+                for point in timeline
+            ]
+            rows.append({
+                "panel": panel,
+                "platform": platform,
+                "avg_latency_s": round(result.average_latency, 4),
+                "success_ratio": round(result.success_ratio, 4),
+            })
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        series=series,
+        notes={"bin_s": BIN_S, "scale": context.scale},
+    )

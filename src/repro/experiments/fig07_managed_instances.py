@@ -1,0 +1,50 @@
+"""Figure 7: the number of instances on the managed ML services.
+
+For each model under w-40, track how many endpoint instances are in
+service over time.  The point of the figure is the actuation delay: on
+AWS the endpoint wants more instances early in the first burst but they
+only come online minutes later; GCP reacts a little earlier but adds
+instances one at a time.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentContext, ExperimentResult
+from repro.serving.deployment import PlatformKind
+
+EXPERIMENT_ID = "fig07"
+TITLE = "Number of instances on ManagedML services (Figure 7)"
+
+MODELS = ("mobilenet", "albert", "vgg")
+WORKLOAD = "w-40"
+RUNTIME = "tf1.15"
+BIN_S = 60.0
+
+
+def run(context: ExperimentContext) -> ExperimentResult:
+    """Track managed-ML instance counts over time per model."""
+    rows = []
+    series = {}
+    for provider in context.providers:
+        for model in MODELS:
+            result = context.run_cell(provider, model, RUNTIME,
+                                      PlatformKind.MANAGED_ML, WORKLOAD)
+            timeline = context.analyzer.instance_timeline(result, BIN_S)
+            series[f"{provider}/{model}"] = [
+                {"time_s": round(t, 1), "instances": int(count)}
+                for t, count in timeline
+            ]
+            rows.append({
+                "provider": provider,
+                "model": model,
+                "peak_instances": result.usage.peak_instances,
+                "instances_created": result.usage.instances_created,
+                "success_ratio": round(result.success_ratio, 4),
+            })
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        series=series,
+        notes={"workload": WORKLOAD, "bin_s": BIN_S, "scale": context.scale},
+    )

@@ -1,0 +1,55 @@
+"""Figure 8: serverless vs CPU server latency over time.
+
+Two panels: ALBERT with w-120 on AWS and MobileNet with w-120 on GCP.
+The CPU server's latency shoots up at the first demand surge and stays
+high (its queue never fully drains), while serverless remains low after
+the initial cold starts.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentContext, ExperimentResult
+from repro.serving.deployment import PlatformKind
+
+EXPERIMENT_ID = "fig08"
+TITLE = "Serverless and CPU server comparison over time (Figure 8)"
+
+PANELS = (
+    ("aws", "albert", "w-120"),
+    ("gcp", "mobilenet", "w-120"),
+)
+RUNTIME = "tf1.15"
+BIN_S = 20.0
+
+
+def run(context: ExperimentContext) -> ExperimentResult:
+    """Produce the two latency-over-time panels."""
+    rows = []
+    series = {}
+    for provider, model, workload in PANELS:
+        if provider not in context.providers:
+            continue
+        panel = f"{model}-{workload}-{provider}"
+        for platform in (PlatformKind.SERVERLESS, PlatformKind.CPU_SERVER):
+            result = context.run_cell(provider, model, RUNTIME, platform,
+                                      workload)
+            timeline = context.analyzer.latency_timeline(result, BIN_S)
+            series[f"{panel}/{platform}"] = [
+                {"time_s": point.time,
+                 "avg_latency_s": round(point.average_latency, 4),
+                 "success_ratio": round(point.success_ratio, 4)}
+                for point in timeline
+            ]
+            rows.append({
+                "panel": panel,
+                "platform": platform,
+                "avg_latency_s": round(result.average_latency, 4),
+                "success_ratio": round(result.success_ratio, 4),
+            })
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        series=series,
+        notes={"bin_s": BIN_S, "scale": context.scale},
+    )

@@ -1,0 +1,55 @@
+"""Figure 9: serverless vs GPU server latency over time.
+
+Two panels, both VGG on AWS: under w-40 the GPU server is consistently
+faster (serverless pays cold starts early on); under w-200 the GPU
+server's queue builds up during the demand surges and serverless — once
+warm — delivers lower latency through most of the run.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentContext, ExperimentResult
+from repro.serving.deployment import PlatformKind
+
+EXPERIMENT_ID = "fig09"
+TITLE = "Serverless and GPU server comparison over time (Figure 9)"
+
+PANELS = (
+    ("aws", "vgg", "w-40"),
+    ("aws", "vgg", "w-200"),
+)
+RUNTIME = "tf1.15"
+BIN_S = 20.0
+
+
+def run(context: ExperimentContext) -> ExperimentResult:
+    """Produce the two latency-over-time panels."""
+    rows = []
+    series = {}
+    for provider, model, workload in PANELS:
+        if provider not in context.providers:
+            continue
+        panel = f"{model}-{workload}-{provider}"
+        for platform in (PlatformKind.SERVERLESS, PlatformKind.GPU_SERVER):
+            result = context.run_cell(provider, model, RUNTIME, platform,
+                                      workload)
+            timeline = context.analyzer.latency_timeline(result, BIN_S)
+            series[f"{panel}/{platform}"] = [
+                {"time_s": point.time,
+                 "avg_latency_s": round(point.average_latency, 4),
+                 "success_ratio": round(point.success_ratio, 4)}
+                for point in timeline
+            ]
+            rows.append({
+                "panel": panel,
+                "platform": platform,
+                "avg_latency_s": round(result.average_latency, 4),
+                "success_ratio": round(result.success_ratio, 4),
+            })
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        series=series,
+        notes={"bin_s": BIN_S, "scale": context.scale},
+    )

@@ -1,0 +1,50 @@
+"""Figure 10: cold-start / warm-up sub-stage breakdown on serverless.
+
+For MobileNet and ALBERT under w-120 on both clouds, break the serverless
+latency down into the paper's sub-stages: end-to-end cold start, runtime
+import, model download, model load, first ("cold") prediction, and — for
+warm requests — end-to-end latency and predict time.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentContext, ExperimentResult
+from repro.serving.deployment import PlatformKind
+
+EXPERIMENT_ID = "fig10"
+TITLE = "Breakdown comparison of serverless platforms (Figure 10)"
+
+MODELS = ("mobilenet", "albert")
+WORKLOAD = "w-120"
+RUNTIME = "tf1.15"
+
+#: End-to-end cold-start latencies reported in the paper (seconds).
+PAPER_COLD_E2E = {
+    ("aws", "mobilenet"): 9.08,
+    ("aws", "albert"): 9.49,
+    ("gcp", "mobilenet"): 11.71,
+    ("gcp", "albert"): 14.19,
+}
+
+
+def run(context: ExperimentContext) -> ExperimentResult:
+    """Measure the serverless sub-stage breakdown per provider and model."""
+    rows = []
+    for provider in context.providers:
+        for model in MODELS:
+            result = context.run_cell(provider, model, RUNTIME,
+                                      PlatformKind.SERVERLESS, WORKLOAD)
+            breakdown = context.analyzer.coldstart_breakdown(result)
+            row = {"provider": provider, "model": model}
+            row.update({key: round(value, 3)
+                        for key, value in breakdown.as_dict().items()})
+            row["cold_requests"] = breakdown.cold_requests
+            row["paper_E2E_cs"] = PAPER_COLD_E2E.get((provider, model))
+            rows.append(row)
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        notes={"workload": WORKLOAD, "runtime": RUNTIME,
+               "scale": context.scale},
+    )

@@ -1,0 +1,49 @@
+"""Figure 11: the number of instances on the serverless platforms.
+
+Under w-40, both serverless platforms scale to tens or hundreds of
+instances within the first demand surge; GCP consistently starts far more
+instances than are needed (the over-provisioning problem of Section 5.1),
+while the second surge mostly reuses warm instances.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentContext, ExperimentResult
+from repro.serving.deployment import PlatformKind
+
+EXPERIMENT_ID = "fig11"
+TITLE = "Number of instances on serverless platforms (Figure 11)"
+
+MODELS = ("mobilenet", "albert", "vgg")
+WORKLOAD = "w-40"
+RUNTIME = "tf1.15"
+BIN_S = 60.0
+
+
+def run(context: ExperimentContext) -> ExperimentResult:
+    """Track serverless instance counts over time per model."""
+    rows = []
+    series = {}
+    for provider in context.providers:
+        for model in MODELS:
+            result = context.run_cell(provider, model, RUNTIME,
+                                      PlatformKind.SERVERLESS, WORKLOAD)
+            timeline = context.analyzer.instance_timeline(result, BIN_S)
+            series[f"{provider}/{model}"] = [
+                {"time_s": round(t, 1), "instances": int(count)}
+                for t, count in timeline
+            ]
+            rows.append({
+                "provider": provider,
+                "model": model,
+                "instances_created": result.usage.instances_created,
+                "cold_starts": result.usage.cold_starts,
+                "peak_instances": result.usage.peak_instances,
+            })
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        series=series,
+        notes={"workload": WORKLOAD, "bin_s": BIN_S, "scale": context.scale},
+    )

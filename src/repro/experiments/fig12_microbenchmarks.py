@@ -1,0 +1,116 @@
+"""Figure 12: in-depth micro-benchmarks of the serverless platforms.
+
+Four sweeps, all under w-120 with TensorFlow 1.15:
+
+* **12a** — inflate the container image by 0 / 0.5 / 1.0 / 1.5 GB and
+  measure the cold-start end-to-end latency (it barely changes, because
+  images are normally cached on the host).
+* **12b** — download 0 / 100 / 200 / 300 MB of extra data at cold start
+  (latency grows, much faster on GCP whose storage bandwidth is lower).
+* **12c** — pack 1 / 2 / 4 / 8 samples into each request but predict only
+  one (warm end-to-end latency grows only slightly).
+* **12d** — run 1 / 2 / 4 / 8 inferences per request (latency grows
+  roughly linearly; predict time dominates).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.experiments.base import ExperimentContext, ExperimentResult
+from repro.serving.deployment import PlatformKind
+
+EXPERIMENT_ID = "fig12"
+TITLE = "In-depth serverless analysis with w-120 (Figure 12)"
+
+WORKLOAD = "w-120"
+RUNTIME = "tf1.15"
+
+CONTAINER_EXTRA_MB = (0.0, 512.0, 1024.0, 1536.0)
+DOWNLOAD_EXTRA_MB = (0.0, 100.0, 200.0, 300.0)
+SAMPLES_PER_REQUEST = (1, 2, 4, 8)
+INFERENCES_PER_REQUEST = (1, 2, 4, 8)
+
+PANEL_MODELS = {
+    "12a-container-size": ("mobilenet", "vgg"),
+    "12b-download-size": ("mobilenet", "albert"),
+    "12c-input-samples": ("mobilenet", "vgg"),
+    "12d-inferences": ("mobilenet", "vgg"),
+}
+
+
+def _cold_e2e(result) -> float:
+    values = [o.latency for o in result.successful
+              if o.cold_start and o.latency is not None]
+    return float(np.mean(values)) if values else 0.0
+
+
+def _warm_e2e(result) -> float:
+    values = [o.latency for o in result.successful
+              if not o.cold_start and o.latency is not None]
+    return float(np.mean(values)) if values else 0.0
+
+
+def run(context: ExperimentContext) -> ExperimentResult:
+    """Run the four micro-benchmark sweeps."""
+    rows: List[Dict[str, object]] = []
+
+    for provider in context.providers:
+        # 12a: container size has little effect on the cold start.
+        for model in PANEL_MODELS["12a-container-size"]:
+            for extra in CONTAINER_EXTRA_MB:
+                result = context.run_cell(
+                    provider, model, RUNTIME, PlatformKind.SERVERLESS,
+                    WORKLOAD, extra_container_mb=extra)
+                rows.append({
+                    "panel": "12a-container-size", "provider": provider,
+                    "model": model, "value": f"base+{int(extra)}MB",
+                    "metric_s": round(_cold_e2e(result), 3),
+                    "metric": "cold-start E2E",
+                })
+        # 12b: extra download size increases the cold start.
+        for model in PANEL_MODELS["12b-download-size"]:
+            for extra in DOWNLOAD_EXTRA_MB:
+                result = context.run_cell(
+                    provider, model, RUNTIME, PlatformKind.SERVERLESS,
+                    WORKLOAD, extra_download_mb=extra)
+                rows.append({
+                    "panel": "12b-download-size", "provider": provider,
+                    "model": model, "value": f"base+{int(extra)}MB",
+                    "metric_s": round(_cold_e2e(result), 3),
+                    "metric": "cold-start E2E",
+                })
+        # 12c: request payload size has a minor effect on warm latency.
+        for model in PANEL_MODELS["12c-input-samples"]:
+            for samples in SAMPLES_PER_REQUEST:
+                result = context.run_cell(
+                    provider, model, RUNTIME, PlatformKind.SERVERLESS,
+                    WORKLOAD, samples_per_request=samples)
+                rows.append({
+                    "panel": "12c-input-samples", "provider": provider,
+                    "model": model, "value": samples,
+                    "metric_s": round(_warm_e2e(result), 3),
+                    "metric": "warm E2E",
+                })
+        # 12d: the number of inferences dominates the overall latency.
+        for model in PANEL_MODELS["12d-inferences"]:
+            for inferences in INFERENCES_PER_REQUEST:
+                result = context.run_cell(
+                    provider, model, RUNTIME, PlatformKind.SERVERLESS,
+                    WORKLOAD, inferences_per_request=inferences)
+                rows.append({
+                    "panel": "12d-inferences", "provider": provider,
+                    "model": model, "value": inferences,
+                    "metric_s": round(result.average_latency, 3),
+                    "metric": "overall latency",
+                })
+
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        notes={"workload": WORKLOAD, "runtime": RUNTIME,
+               "scale": context.scale},
+    )

@@ -1,0 +1,53 @@
+"""Figure 13: serving-runtime comparison (TF1.15 vs ORT1.4) on serverless.
+
+Average latency (with standard deviation) for MobileNet and VGG under the
+three workloads, on both clouds, with both serving runtimes.  The
+lightweight OnnxRuntime reduces latency on every cell, and much more so
+for MobileNet (whose latency is dominated by the cold start) than for VGG
+(whose per-request execution time dominates).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentContext, ExperimentResult
+from repro.serving.deployment import PlatformKind
+
+EXPERIMENT_ID = "fig13"
+TITLE = "Runtime comparison: latency w.r.t. workloads (Figure 13)"
+
+MODELS = ("mobilenet", "vgg")
+WORKLOADS = ("w-40", "w-120", "w-200")
+RUNTIMES = ("tf1.15", "ort1.4")
+
+
+def run(context: ExperimentContext) -> ExperimentResult:
+    """Compare the two serving runtimes on serverless."""
+    rows = []
+    for provider in context.providers:
+        for model in MODELS:
+            for workload in WORKLOADS:
+                cell = {}
+                for runtime in RUNTIMES:
+                    result = context.run_cell(provider, model, runtime,
+                                              PlatformKind.SERVERLESS,
+                                              workload)
+                    stats = result.latency_stats()
+                    cell[runtime] = (result.average_latency, stats.std)
+                speedup = (cell["tf1.15"][0] / cell["ort1.4"][0]
+                           if cell["ort1.4"][0] else 0.0)
+                rows.append({
+                    "provider": provider,
+                    "model": model,
+                    "workload": workload,
+                    "tf1.15_latency_s": round(cell["tf1.15"][0], 4),
+                    "tf1.15_std_s": round(cell["tf1.15"][1], 4),
+                    "ort1.4_latency_s": round(cell["ort1.4"][0], 4),
+                    "ort1.4_std_s": round(cell["ort1.4"][1], 4),
+                    "ort_speedup": round(speedup, 2),
+                })
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        notes={"scale": context.scale},
+    )

@@ -1,0 +1,48 @@
+"""Figure 14: sub-stage breakdown of the two serving runtimes.
+
+For MobileNet under w-120, compare the cold-start and warm-up sub-stages
+of TF1.15 and ORT1.4 on both clouds.  Switching to ORT collapses the
+import and load stages, dropping the cold-start end-to-end latency from
+~9.1 s to ~2.8 s on AWS and from ~11.7 s to ~2.9 s on GCP.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentContext, ExperimentResult
+from repro.serving.deployment import PlatformKind
+
+EXPERIMENT_ID = "fig14"
+TITLE = "Breakdown comparison of different runtimes (Figure 14)"
+
+MODEL = "mobilenet"
+WORKLOAD = "w-120"
+RUNTIMES = ("tf1.15", "ort1.4")
+
+#: Cold-start end-to-end latencies reported in the paper (seconds).
+PAPER_COLD_E2E = {
+    ("aws", "tf1.15"): 9.08,
+    ("aws", "ort1.4"): 2.775,
+    ("gcp", "tf1.15"): 11.71,
+    ("gcp", "ort1.4"): 2.917,
+}
+
+
+def run(context: ExperimentContext) -> ExperimentResult:
+    """Measure the per-runtime sub-stage breakdown."""
+    rows = []
+    for provider in context.providers:
+        for runtime in RUNTIMES:
+            result = context.run_cell(provider, MODEL, runtime,
+                                      PlatformKind.SERVERLESS, WORKLOAD)
+            breakdown = context.analyzer.coldstart_breakdown(result)
+            row = {"provider": provider, "runtime": runtime}
+            row.update({key: round(value, 3)
+                        for key, value in breakdown.as_dict().items()})
+            row["paper_E2E_cs"] = PAPER_COLD_E2E.get((provider, runtime))
+            rows.append(row)
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        notes={"model": MODEL, "workload": WORKLOAD, "scale": context.scale},
+    )

@@ -1,0 +1,52 @@
+"""Figure 15: the impact of the serverless memory size (AWS).
+
+For MobileNet and VGG under w-120, sweep the Lambda memory size over
+2 / 4 / 6 / 8 GB with both serving runtimes.  Latency decreases with more
+memory (sharply for VGG, barely for MobileNet), while the cost is
+non-monotonic: 4 GB can be slightly cheaper than 2 GB for VGG because
+requests finish faster and fewer instances cold start, but beyond that
+the higher per-GB-second price dominates.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentContext, ExperimentResult
+from repro.serving.deployment import PlatformKind
+
+EXPERIMENT_ID = "fig15"
+TITLE = "Vary memory size on AWS serverless (Figure 15)"
+
+PROVIDER = "aws"
+MODELS = ("mobilenet", "vgg")
+WORKLOAD = "w-120"
+RUNTIMES = ("tf1.15", "ort1.4")
+MEMORY_SIZES_GB = (2.0, 4.0, 6.0, 8.0)
+
+
+def run(context: ExperimentContext) -> ExperimentResult:
+    """Sweep the serverless memory size."""
+    rows = []
+    if PROVIDER not in context.providers:
+        return ExperimentResult(EXPERIMENT_ID, TITLE, rows,
+                                notes={"skipped": "aws not in providers"})
+    for model in MODELS:
+        for runtime in RUNTIMES:
+            for memory_gb in MEMORY_SIZES_GB:
+                result = context.run_cell(PROVIDER, model, runtime,
+                                          PlatformKind.SERVERLESS, WORKLOAD,
+                                          memory_gb=memory_gb)
+                rows.append({
+                    "model": model,
+                    "runtime": runtime,
+                    "memory_gb": memory_gb,
+                    "avg_latency_s": round(result.average_latency, 4),
+                    "cost_usd": round(result.cost, 4),
+                    "cold_starts": result.usage.cold_starts,
+                })
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        notes={"workload": WORKLOAD, "provider": PROVIDER,
+               "scale": context.scale},
+    )

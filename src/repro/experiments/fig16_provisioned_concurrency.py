@@ -1,0 +1,53 @@
+"""Figure 16: the impact of provisioned concurrency (AWS).
+
+For MobileNet (0 / 4 / 8 / 16 provisioned instances) and VGG
+(0 / 8 / 16 / 32) under w-120 with both runtimes.  Keeping instances warm
+does not reliably reduce latency — the platform scales more aggressively
+once the provisioned instances are saturated, so the number of cold
+starts can even increase — while the reservation fee adds to the cost.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentContext, ExperimentResult
+from repro.serving.deployment import PlatformKind
+
+EXPERIMENT_ID = "fig16"
+TITLE = "Vary provisioned concurrency on AWS serverless (Figure 16)"
+
+PROVIDER = "aws"
+WORKLOAD = "w-120"
+RUNTIMES = ("tf1.15", "ort1.4")
+CONCURRENCY_LEVELS = {
+    "mobilenet": (0, 4, 8, 16),
+    "vgg": (0, 8, 16, 32),
+}
+
+
+def run(context: ExperimentContext) -> ExperimentResult:
+    """Sweep the provisioned-concurrency setting."""
+    rows = []
+    if PROVIDER not in context.providers:
+        return ExperimentResult(EXPERIMENT_ID, TITLE, rows,
+                                notes={"skipped": "aws not in providers"})
+    for model, levels in CONCURRENCY_LEVELS.items():
+        for runtime in RUNTIMES:
+            for level in levels:
+                result = context.run_cell(PROVIDER, model, runtime,
+                                          PlatformKind.SERVERLESS, WORKLOAD,
+                                          provisioned_concurrency=level)
+                rows.append({
+                    "model": model,
+                    "runtime": runtime,
+                    "provisioned": level if level else "None",
+                    "avg_latency_s": round(result.average_latency, 4),
+                    "cost_usd": round(result.cost, 4),
+                    "cold_starts": result.usage.cold_starts,
+                })
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        notes={"workload": WORKLOAD, "provider": PROVIDER,
+               "scale": context.scale},
+    )

@@ -1,0 +1,51 @@
+"""Figure 17: the impact of client-side batching (AWS).
+
+For MobileNet and VGG under w-120 with both runtimes, sweep the client
+batch size over 1 / 2 / 4 / 8.  The average latency roughly doubles with
+each doubling of the batch size (requests wait for their batch to fill
+and share one invocation), while the cost drops because there are fewer
+invocations and fewer cold-started instances.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentContext, ExperimentResult
+from repro.serving.deployment import PlatformKind
+
+EXPERIMENT_ID = "fig17"
+TITLE = "Vary batch size on AWS serverless (Figure 17)"
+
+PROVIDER = "aws"
+MODELS = ("mobilenet", "vgg")
+WORKLOAD = "w-120"
+RUNTIMES = ("tf1.15", "ort1.4")
+BATCH_SIZES = (1, 2, 4, 8)
+
+
+def run(context: ExperimentContext) -> ExperimentResult:
+    """Sweep the client-side batch size."""
+    rows = []
+    if PROVIDER not in context.providers:
+        return ExperimentResult(EXPERIMENT_ID, TITLE, rows,
+                                notes={"skipped": "aws not in providers"})
+    for model in MODELS:
+        for runtime in RUNTIMES:
+            for batch_size in BATCH_SIZES:
+                result = context.run_cell(PROVIDER, model, runtime,
+                                          PlatformKind.SERVERLESS, WORKLOAD,
+                                          batch_size=batch_size)
+                rows.append({
+                    "model": model,
+                    "runtime": runtime,
+                    "batch_size": batch_size,
+                    "avg_latency_s": round(result.average_latency, 4),
+                    "cost_usd": round(result.cost, 4),
+                    "cold_starts": result.usage.cold_starts,
+                })
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        notes={"workload": WORKLOAD, "provider": PROVIDER,
+               "scale": context.scale},
+    )

@@ -1,0 +1,92 @@
+"""Command-line runner for the paper's experiments.
+
+Examples::
+
+    repro-experiments --list
+    repro-experiments fig05 --scale 0.2
+    repro-experiments table1 fig10 --scale 1.0 --output results.txt
+    repro-experiments all --scale 0.1 --providers aws
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.base import (
+    ExperimentContext,
+    ExperimentResult,
+    list_experiments,
+    run_experiment,
+)
+
+__all__ = ["main", "build_parser", "run_selected"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the paper's figures and tables on the "
+                    "simulated cloud.")
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids (e.g. fig05 table1) or 'all'")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments and exit")
+    parser.add_argument("--scale", type=float, default=0.2,
+                        help="time-compression factor for the workloads "
+                             "(1.0 = the paper's full 15-minute workloads)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="random seed shared by all experiments")
+    parser.add_argument("--providers", default="aws,gcp",
+                        help="comma-separated providers to evaluate")
+    parser.add_argument("--output", default="",
+                        help="write the report to this file as well as stdout")
+    return parser
+
+
+def run_selected(ids: List[str], context: ExperimentContext) -> List[ExperimentResult]:
+    """Run the selected experiments, sharing the context's caches."""
+    results = []
+    for experiment_id in ids:
+        started = time.time()
+        result = run_experiment(experiment_id, context)
+        result.notes["elapsed_s"] = round(time.time() - started, 1)
+        results.append(result)
+    return results
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        print("Available experiments:")
+        for experiment_id in list_experiments():
+            print(f"  {experiment_id}")
+        return 0
+
+    ids = list_experiments() if args.experiments == ["all"] else args.experiments
+    unknown = [i for i in ids if i not in list_experiments()]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}")
+
+    context = ExperimentContext(
+        seed=args.seed,
+        scale=args.scale,
+        providers=tuple(p.strip() for p in args.providers.split(",") if p.strip()),
+    )
+    results = run_selected(ids, context)
+    report = "\n\n".join(result.to_text() for result in results)
+    print(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""Table 1: costs for the evaluated model serving systems.
+
+The table reports the absolute dollar cost of serving each workload with
+each system (TensorFlow 1.15 runtime).  Serverless systems are charged
+per request and duration, so their cost rows are model-specific; CPU and
+GPU servers are charged per hour, so one row covers all models.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentContext, ExperimentResult
+from repro.serving.deployment import PlatformKind
+
+EXPERIMENT_ID = "table1"
+TITLE = "Costs for evaluated model serving systems (Table 1)"
+
+MODELS = ("mobilenet", "albert", "vgg")
+WORKLOADS = ("w-40", "w-120", "w-200")
+RUNTIME = "tf1.15"
+
+#: Paper-reported costs, for side-by-side comparison in EXPERIMENTS.md.
+PAPER_COSTS = {
+    ("aws", PlatformKind.SERVERLESS, "mobilenet"): (0.050, 0.117, 0.186),
+    ("aws", PlatformKind.SERVERLESS, "albert"): (0.223, 0.665, 1.326),
+    ("aws", PlatformKind.SERVERLESS, "vgg"): (0.492, 1.134, 1.993),
+    ("aws", PlatformKind.MANAGED_ML, "mobilenet"): (0.428, 0.610, None),
+    ("aws", PlatformKind.MANAGED_ML, "albert"): (0.445, None, None),
+    ("aws", PlatformKind.MANAGED_ML, "vgg"): (0.436, None, None),
+    ("aws", PlatformKind.CPU_SERVER, None): (0.089, 0.089, 0.092),
+    ("aws", PlatformKind.GPU_SERVER, None): (0.181, 0.182, 0.187),
+    ("gcp", PlatformKind.SERVERLESS, "mobilenet"): (0.065, 0.279, 0.537),
+    ("gcp", PlatformKind.SERVERLESS, "albert"): (0.299, 0.887, 1.511),
+    ("gcp", PlatformKind.SERVERLESS, "vgg"): (0.507, 1.438, 2.467),
+    ("gcp", PlatformKind.MANAGED_ML, "mobilenet"): (0.164, 0.313, None),
+    ("gcp", PlatformKind.MANAGED_ML, "albert"): (0.468, None, None),
+    ("gcp", PlatformKind.MANAGED_ML, "vgg"): (0.872, None, None),
+    ("gcp", PlatformKind.CPU_SERVER, None): (0.092, 0.092, 0.094),
+    ("gcp", PlatformKind.GPU_SERVER, None): (0.176, 0.177, 0.182),
+}
+
+
+def run(context: ExperimentContext) -> ExperimentResult:
+    """Measure the cost of every system / model / workload combination."""
+    rows = []
+    for provider in context.providers:
+        for platform in (PlatformKind.SERVERLESS, PlatformKind.MANAGED_ML,
+                         PlatformKind.CPU_SERVER, PlatformKind.GPU_SERVER):
+            per_model = platform in (PlatformKind.SERVERLESS,
+                                     PlatformKind.MANAGED_ML)
+            models = MODELS if per_model else ("mobilenet",)
+            for model in models:
+                costs = {}
+                for workload in WORKLOADS:
+                    result = context.run_cell(provider, model, RUNTIME,
+                                              platform, workload)
+                    costs[workload] = round(result.cost, 4)
+                paper_key = (provider, platform, model if per_model else None)
+                paper = PAPER_COSTS.get(paper_key, (None, None, None))
+                rows.append({
+                    "provider": provider,
+                    "platform": platform,
+                    "model": model if per_model else "(any)",
+                    "w-40_usd": costs["w-40"],
+                    "w-120_usd": costs["w-120"],
+                    "w-200_usd": costs["w-200"],
+                    "paper_w-40": paper[0],
+                    "paper_w-120": paper[1],
+                    "paper_w-200": paper[2],
+                })
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        notes={"runtime": RUNTIME, "scale": context.scale,
+               "paper_costs_are_full_scale": True},
+    )

@@ -1,0 +1,56 @@
+"""Table 2: costs for serverless serving with OnnxRuntime 1.4.
+
+The lightweight runtime reduces the serverless cost for both MobileNet
+and VGG on both clouds (compare with the TF1.15 rows of Table 1), with
+the larger relative saving on MobileNet.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentContext, ExperimentResult
+from repro.serving.deployment import PlatformKind
+
+EXPERIMENT_ID = "table2"
+TITLE = "Costs for serverless serving with ORT1.4 (Table 2)"
+
+MODELS = ("mobilenet", "vgg")
+WORKLOADS = ("w-40", "w-120", "w-200")
+RUNTIME = "ort1.4"
+
+#: Paper-reported costs for the same cells.
+PAPER_COSTS = {
+    ("aws", "mobilenet"): (0.011, 0.037, 0.062),
+    ("aws", "vgg"): (0.322, 0.931, 1.644),
+    ("gcp", "mobilenet"): (0.047, 0.160, 0.272),
+    ("gcp", "vgg"): (0.383, 1.108, 2.455),
+}
+
+
+def run(context: ExperimentContext) -> ExperimentResult:
+    """Measure serverless costs with the ORT1.4 runtime."""
+    rows = []
+    for provider in context.providers:
+        for model in MODELS:
+            costs = {}
+            for workload in WORKLOADS:
+                result = context.run_cell(provider, model, RUNTIME,
+                                          PlatformKind.SERVERLESS, workload)
+                costs[workload] = round(result.cost, 4)
+            paper = PAPER_COSTS.get((provider, model), (None, None, None))
+            rows.append({
+                "provider": provider,
+                "model": model,
+                "w-40_usd": costs["w-40"],
+                "w-120_usd": costs["w-120"],
+                "w-200_usd": costs["w-200"],
+                "paper_w-40": paper[0],
+                "paper_w-120": paper[1],
+                "paper_w-200": paper[2],
+            })
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        rows=rows,
+        notes={"runtime": RUNTIME, "scale": context.scale,
+               "paper_costs_are_full_scale": True},
+    )

@@ -1,0 +1,30 @@
+"""Machine-learning models used in the paper's evaluation.
+
+The paper serves three pre-trained deep-learning models (Section 3):
+
+* **MobileNet** — a small image classification model (16 MB artifact).
+* **ALBERT** — a lite BERT for natural-language processing (51.5 MB).
+* **VGG** — a large image classification model (548 MB; it exceeds AWS
+  Lambda's 512 MB temporary-storage limit and therefore has to be packed
+  into the container image instead of being downloaded at cold start).
+
+Only the models' serving-relevant characteristics matter to the study:
+artifact size, input payload size, and per-(runtime, hardware) inference
+latency.  Those characteristics live in :mod:`repro.models.zoo` and
+:mod:`repro.models.calibration`; :mod:`repro.models.profiles` exposes the
+query API the platforms use.
+"""
+
+from repro.models.calibration import ColdStartStages, PredictCalibration
+from repro.models.profiles import LatencyProfiles
+from repro.models.zoo import ModelSpec, get_model, list_models, model_zoo
+
+__all__ = [
+    "ColdStartStages",
+    "LatencyProfiles",
+    "ModelSpec",
+    "PredictCalibration",
+    "get_model",
+    "list_models",
+    "model_zoo",
+]

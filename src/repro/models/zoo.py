@@ -1,0 +1,78 @@
+"""Model specifications and the built-in model zoo."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["ModelSpec", "model_zoo", "get_model", "list_models"]
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Serving-relevant characteristics of one pre-trained model."""
+
+    name: str
+    task: str
+    #: Size of the serialized model artifact in megabytes.
+    artifact_mb: float
+    #: Size of one input sample sent by the client (e.g. a JPEG image).
+    input_payload_mb: float
+    #: Size of the prediction returned to the client.
+    output_payload_mb: float = 0.002
+    #: Whether the artifact must be packed into the container image rather
+    #: than downloaded from object storage at cold start.  The paper does
+    #: this for VGG because AWS Lambda's /tmp is limited to 512 MB.
+    bundle_in_image: bool = False
+
+    def __post_init__(self) -> None:
+        if self.artifact_mb <= 0:
+            raise ValueError("artifact_mb must be positive")
+        if self.input_payload_mb < 0 or self.output_payload_mb < 0:
+            raise ValueError("payload sizes must be non-negative")
+
+    @property
+    def download_mb(self) -> float:
+        """Megabytes downloaded from object storage at cold start."""
+        return 0.0 if self.bundle_in_image else self.artifact_mb
+
+
+_ZOO: Dict[str, ModelSpec] = {
+    "mobilenet": ModelSpec(
+        name="mobilenet",
+        task="image-classification",
+        artifact_mb=16.0,
+        input_payload_mb=0.15,
+    ),
+    "albert": ModelSpec(
+        name="albert",
+        task="natural-language-processing",
+        artifact_mb=51.5,
+        input_payload_mb=0.002,
+    ),
+    "vgg": ModelSpec(
+        name="vgg",
+        task="image-classification",
+        artifact_mb=548.0,
+        input_payload_mb=0.15,
+        bundle_in_image=True,
+    ),
+}
+
+
+def model_zoo() -> Dict[str, ModelSpec]:
+    """A copy of the built-in model zoo."""
+    return dict(_ZOO)
+
+
+def get_model(name: str) -> ModelSpec:
+    """Look up a model by name (case-insensitive)."""
+    key = name.lower()
+    if key not in _ZOO:
+        raise KeyError(f"unknown model {name!r}; known: {sorted(_ZOO)}")
+    return _ZOO[key]
+
+
+def list_models() -> List[str]:
+    """Names of all built-in models."""
+    return sorted(_ZOO)

@@ -1,0 +1,37 @@
+"""Simulated model-serving platforms.
+
+These are the eight systems the paper evaluates, collapsed into three
+platform families parameterised by cloud provider:
+
+* :class:`~repro.platforms.serverless.ServerlessPlatform` — AWS Lambda and
+  Google Cloud Functions.
+* :class:`~repro.platforms.managed_ml.ManagedMlPlatform` — AWS SageMaker
+  and Google AI Platform.
+* :class:`~repro.platforms.vm.VmPlatform` — self-rented CPU and GPU
+  servers on EC2 and Compute Engine.
+
+All platforms implement the :class:`~repro.platforms.base.ServingPlatform`
+interface: the executor submits requests, the platform simulates queueing,
+scaling, cold starts, and execution, fills in the per-request
+:class:`~repro.serving.records.RequestOutcome`, and finally reports a
+:class:`~repro.platforms.base.PlatformUsage` with the cost and instance
+statistics the analyzer needs.
+"""
+
+from repro.platforms.autoscaling import TargetTrackingScaler
+from repro.platforms.base import PlatformUsage, ServingPlatform, build_platform
+from repro.platforms.batching import BatchAccumulator
+from repro.platforms.managed_ml import ManagedMlPlatform
+from repro.platforms.serverless import ServerlessPlatform
+from repro.platforms.vm import VmPlatform
+
+__all__ = [
+    "BatchAccumulator",
+    "ManagedMlPlatform",
+    "PlatformUsage",
+    "ServerlessPlatform",
+    "ServingPlatform",
+    "TargetTrackingScaler",
+    "VmPlatform",
+    "build_platform",
+]

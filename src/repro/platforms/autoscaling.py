@@ -1,0 +1,78 @@
+"""Autoscaling policies for server-based platforms.
+
+Managed ML services (SageMaker, AI Platform) and EC2/GCE autoscaling
+groups both follow the same pattern the paper describes: a periodic
+evaluation of current demand against a per-instance target, followed by a
+scale-out that only becomes effective minutes later (Section 4.2 and 4.3
+observe 3–5 minutes on AWS).  The policy itself is deliberately simple —
+the point the paper makes is that *any* policy with a minutes-long
+actuation delay cannot follow bursty inference workloads.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sim import Environment
+
+__all__ = ["TargetTrackingScaler"]
+
+
+@dataclass
+class TargetTrackingScaler:
+    """Periodic target-tracking scale-out controller.
+
+    Every ``evaluation_period_s`` the scaler reads the current demand
+    (in-flight plus queued requests), computes the number of instances
+    needed to keep demand per instance at ``target_per_instance``, and
+    asks the platform to launch the difference.  Scale-in is intentionally
+    not modelled: the paper's experiments are too short for it to matter.
+    """
+
+    env: Environment
+    evaluation_period_s: float
+    target_per_instance: float
+    min_instances: int
+    max_instances: int
+    #: Returns the current demand (in-flight + queued requests).
+    demand: Callable[[], float]
+    #: Returns the number of instances currently ready or being launched.
+    provisioned_total: Callable[[], int]
+    #: Launches ``n`` additional instances (platform handles the delay).
+    launch: Callable[[int], None]
+    #: Maximum number of instances added per evaluation.
+    max_scale_step: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.evaluation_period_s <= 0:
+            raise ValueError("evaluation_period_s must be positive")
+        if self.target_per_instance <= 0:
+            raise ValueError("target_per_instance must be positive")
+        if self.min_instances < 1 or self.max_instances < self.min_instances:
+            raise ValueError("need 1 <= min_instances <= max_instances")
+        if self.max_scale_step < 1:
+            raise ValueError("max_scale_step must be >= 1")
+
+    def desired_instances(self) -> int:
+        """Number of instances the current demand calls for."""
+        demand = max(self.demand(), 0.0)
+        desired = math.ceil(demand / self.target_per_instance)
+        return max(self.min_instances, min(desired, self.max_instances))
+
+    def evaluate_once(self) -> int:
+        """Run one evaluation; returns how many launches were requested."""
+        desired = self.desired_instances()
+        current = self.provisioned_total()
+        missing = min(desired - current, self.max_scale_step)
+        if missing > 0:
+            self.launch(missing)
+            return missing
+        return 0
+
+    def run(self):
+        """The scaler's periodic process (register with ``env.process``)."""
+        while True:
+            yield self.env.timeout(self.evaluation_period_s)
+            self.evaluate_once()

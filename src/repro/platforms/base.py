@@ -1,0 +1,115 @@
+"""The common interface of all simulated serving platforms."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.models.profiles import LatencyProfiles
+from repro.serving.deployment import Deployment, PlatformKind
+from repro.serving.records import RequestOutcome
+from repro.sim import Environment, Process, RandomStreams, TimeSeriesMonitor
+
+__all__ = ["PlatformUsage", "ServingPlatform", "build_platform"]
+
+
+@dataclass
+class PlatformUsage:
+    """Cost and resource statistics of one experiment on one platform."""
+
+    #: Total cost in dollars.
+    cost: float
+    #: Cost split by component (execution, requests, provisioned capacity,
+    #: instance hours, ...).
+    cost_breakdown: Dict[str, float] = field(default_factory=dict)
+    #: Number of cold starts that occurred.
+    cold_starts: int = 0
+    #: Number of serving instances created over the experiment.
+    instances_created: int = 0
+    #: Peak number of simultaneously active instances.
+    peak_instances: int = 0
+    #: Number of active instances over time (Figures 7 and 11).
+    instance_count: TimeSeriesMonitor = field(default_factory=TimeSeriesMonitor)
+    #: Total seconds billed for function execution (serverless only).
+    billed_seconds: float = 0.0
+    #: Cumulative instance-seconds billed (server-based platforms).
+    instance_seconds: float = 0.0
+    #: Free-form notes (e.g. which scaling events happened).
+    notes: Dict[str, float] = field(default_factory=dict)
+
+
+class ServingPlatform(abc.ABC):
+    """A simulated serving system that executes inference requests."""
+
+    #: Platform family used for handler-overhead lookups; subclasses override.
+    family: str = "serverless"
+
+    def __init__(self, env: Environment, deployment: Deployment,
+                 profiles: Optional[LatencyProfiles] = None,
+                 rng: Optional[RandomStreams] = None):
+        self.env = env
+        self.deployment = deployment
+        self.profiles = profiles or LatencyProfiles()
+        self.rng = rng or RandomStreams(0)
+        self.provider = deployment.provider
+        self.model = deployment.model
+        self.runtime = deployment.runtime
+        self.config = deployment.config
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> None:
+        """Launch background processes (autoscalers, pre-warmed instances).
+
+        Called once, before the first request is submitted.  The default
+        implementation does nothing.
+        """
+
+    @abc.abstractmethod
+    def submit(self, outcome: RequestOutcome, payload_mb: float,
+               response_mb: float) -> Process:
+        """Submit one request; returns the process the client waits on.
+
+        The platform fills in ``outcome`` (stages, success, billing) and
+        the returned process finishes when the client has received the
+        response or the error.
+        """
+
+    @abc.abstractmethod
+    def finalize(self, end_time: Optional[float] = None) -> PlatformUsage:
+        """Close the books: compute cost and usage statistics."""
+
+    # -- shared helpers ------------------------------------------------------
+    def _handler_overhead(self) -> float:
+        """Per-request parsing/serialisation overhead for this family."""
+        return self.profiles.handler_overhead_s(self.family)
+
+    def _network_up(self, outcome: RequestOutcome, payload_mb: float):
+        """Simulate the client-to-endpoint transfer; returns a generator."""
+        duration = self.provider.network.transfer_time(payload_mb, self.rng)
+        outcome.add_stage("network", duration)
+        return self.env.timeout(duration)
+
+    def _network_down(self, outcome: RequestOutcome, response_mb: float):
+        """Simulate the endpoint-to-client transfer; returns a generator."""
+        duration = self.provider.network.transfer_time(response_mb, self.rng)
+        outcome.add_stage("network", duration)
+        return self.env.timeout(duration)
+
+
+def build_platform(env: Environment, deployment: Deployment,
+                   profiles: Optional[LatencyProfiles] = None,
+                   rng: Optional[RandomStreams] = None) -> ServingPlatform:
+    """Instantiate the right platform class for a deployment."""
+    from repro.platforms.managed_ml import ManagedMlPlatform
+    from repro.platforms.serverless import ServerlessPlatform
+    from repro.platforms.vm import VmPlatform
+
+    kind = deployment.config.platform
+    if kind == PlatformKind.SERVERLESS:
+        return ServerlessPlatform(env, deployment, profiles, rng)
+    if kind == PlatformKind.MANAGED_ML:
+        return ManagedMlPlatform(env, deployment, profiles, rng)
+    if kind in (PlatformKind.CPU_SERVER, PlatformKind.GPU_SERVER):
+        return VmPlatform(env, deployment, profiles, rng)
+    raise ValueError(f"unknown platform kind {kind!r}")

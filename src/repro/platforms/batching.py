@@ -1,0 +1,52 @@
+"""Client-side request batching (Section 5.5 / Figure 17).
+
+With a batch size of ``B``, each client holds back requests until ``B``
+have accumulated (or the workload ends) and then sends a single
+invocation carrying all of them.  The serverless function runs ``B``
+inferences for the invocation.  Batching reduces the number of
+invocations and the number of cold-started instances — hence the cost —
+but every request in the batch waits for the last one to arrive and for
+the whole batch to be processed, which is why the average latency grows
+roughly linearly with the batch size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.serving.records import RequestOutcome
+
+__all__ = ["BatchAccumulator"]
+
+
+@dataclass
+class BatchAccumulator:
+    """Accumulates one client's requests into fixed-size batches."""
+
+    batch_size: int
+    _pending: List[RequestOutcome] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+
+    @property
+    def pending(self) -> List[RequestOutcome]:
+        """Requests currently waiting for the batch to fill up."""
+        return list(self._pending)
+
+    def add(self, outcome: RequestOutcome) -> Optional[List[RequestOutcome]]:
+        """Add one request; returns the full batch when it is ready."""
+        self._pending.append(outcome)
+        if len(self._pending) >= self.batch_size:
+            batch, self._pending = self._pending, []
+            return batch
+        return None
+
+    def flush(self) -> Optional[List[RequestOutcome]]:
+        """Return whatever is pending (used at the end of the workload)."""
+        if not self._pending:
+            return None
+        batch, self._pending = self._pending, []
+        return batch

@@ -1,0 +1,342 @@
+"""Simulated serverless (FaaS) model serving: AWS Lambda / Cloud Functions.
+
+The model follows Section 2.3 of the paper.  Requests reach the serverless
+proxy; the proxy hands each request to a warm idle instance if one exists,
+otherwise the request waits while the platform scales out.  A new instance
+runs the cold-start pipeline — sandbox setup (occasionally including a
+container-image pull), runtime import, model download from object storage,
+model load — and its first prediction is slower than steady state because
+of lazy runtime initialisation.  Warm instances serve requests one at a
+time (concurrency = 1 per instance, as on Lambda and Cloud Functions) and
+are reclaimed after a keep-alive period of idleness.
+
+Scaling behaviour is driven by the provider's
+:class:`~repro.cloud.providers.ServerlessTraits`: the router reacts every
+``scale_interval_s`` to the unserved backlog, launches up to
+``max_starts_per_second`` new instances per second, and over-provisions by
+``overprovision_factor`` — the mechanism behind the paper's observation
+that GCP creates far more instances than needed (Figure 11, Section 5.1).
+
+Billing follows the provider's pricing: GB-seconds of billed duration plus
+a per-request fee, with AWS excluding the initialisation phase from the
+billed duration and GCP including it, and with provisioned concurrency
+billed as reserved GB-seconds (Section 5.4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cloud.pricing import ServerlessBill
+from repro.platforms.base import PlatformUsage, ServingPlatform
+from repro.serving.records import RequestOutcome, Stage
+from repro.sim import Environment, GaugeMonitor, Store
+
+__all__ = ["ServerlessPlatform"]
+
+#: Relative jitter applied to cold-start stage durations.
+_STAGE_JITTER_CV = 0.06
+#: Relative jitter applied to prediction durations.
+_PREDICT_JITTER_CV = 0.08
+#: Hard cap a function invocation may run before the platform kills it.
+_FUNCTION_TIMEOUT_S = 300.0
+
+
+@dataclass
+class _PendingRequest:
+    """A request waiting for an instance."""
+
+    outcome: RequestOutcome
+    response_event: object
+    enqueue_time: float
+
+
+@dataclass
+class _ColdStages:
+    """Realised cold-start stage durations of one instance."""
+
+    sandbox_s: float = 0.0
+    import_s: float = 0.0
+    download_s: float = 0.0
+    load_s: float = 0.0
+
+    def total(self) -> float:
+        return self.sandbox_s + self.import_s + self.download_s + self.load_s
+
+
+@dataclass
+class _Instance:
+    """One serverless execution environment."""
+
+    instance_id: int
+    provisioned: bool = False
+    alive: bool = True
+    served_requests: int = 0
+    cold_stages: Optional[_ColdStages] = None
+    #: Whether the next prediction pays the lazy-initialisation penalty.
+    first_predict_pending: bool = True
+
+
+class ServerlessPlatform(ServingPlatform):
+    """Serverless model serving on AWS Lambda or Google Cloud Functions."""
+
+    family = "serverless"
+
+    def __init__(self, env, deployment, profiles=None, rng=None):
+        super().__init__(env, deployment, profiles, rng)
+        traits = self.provider.serverless
+        self._traits = traits
+        self._queue: Store = Store(env)
+        self._instances: List[_Instance] = []
+        self._starting = 0
+        self._idle = 0
+        self._next_instance_id = 0
+        self._cold_starts = 0
+        self._active_gauge = GaugeMonitor(name="serverless-instances")
+        self._bill = ServerlessBill(memory_gb=self.config.memory_gb,
+                                    pricing=self.provider.pricing.serverless)
+        self._scaler_started = False
+        self._start_time = env.now
+        # Provisioned concurrency makes the platform scale more aggressively
+        # (Section 5.4 observes *more* cold starts with provisioned
+        # concurrency enabled).
+        self._overprovision = traits.overprovision_factor
+        if self.config.provisioned_concurrency > 0:
+            self._overprovision *= 1.35
+
+    # ------------------------------------------------------------------ API
+    def start(self) -> None:
+        """Pre-warm provisioned instances and start the scaling loop."""
+        for _ in range(self.config.provisioned_concurrency):
+            self._launch_instance(prewarmed=True)
+        if not self._scaler_started:
+            self.env.process(self._scaler_loop())
+            self._scaler_started = True
+
+    def submit(self, outcome: RequestOutcome, payload_mb: float,
+               response_mb: float):
+        """Submit one request to the serverless endpoint."""
+        return self.env.process(
+            self._client_request(outcome, payload_mb, response_mb))
+
+    def finalize(self, end_time: Optional[float] = None) -> PlatformUsage:
+        """Compute the experiment's cost and usage statistics."""
+        end = end_time if end_time is not None else self.env.now
+        duration = max(end - self._start_time, 0.0)
+        if self.config.provisioned_concurrency > 0:
+            self._bill.add_provisioned_reservation(
+                self.config.provisioned_concurrency, duration)
+        pricing = self.provider.pricing.serverless
+        execution = pricing.execution_cost(
+            self.config.memory_gb, self._bill.billed_seconds, 0)
+        request_fees = pricing.execution_cost(
+            self.config.memory_gb, 0.0, self._bill.requests
+            + self._bill.provisioned_requests)
+        provisioned = (self._bill.total() - execution - request_fees)
+        usage = PlatformUsage(
+            cost=self._bill.total(),
+            cost_breakdown={
+                "execution": execution,
+                "requests": request_fees,
+                "provisioned": max(provisioned, 0.0),
+            },
+            cold_starts=self._cold_starts,
+            instances_created=len(self._instances),
+            peak_instances=int(self._active_gauge.history.max()),
+            instance_count=self._active_gauge.history,
+            billed_seconds=(self._bill.billed_seconds
+                            + self._bill.provisioned_billed_seconds),
+        )
+        return usage
+
+    # --------------------------------------------------------------- client
+    def _client_request(self, outcome: RequestOutcome, payload_mb: float,
+                        response_mb: float):
+        yield self._network_up(outcome, payload_mb)
+        response_event = self.env.event()
+        pending = _PendingRequest(outcome=outcome,
+                                  response_event=response_event,
+                                  enqueue_time=self.env.now)
+        self._queue.put(pending)
+        self._scale_out()
+        result = yield self.env.any_of(
+            [response_event, self.env.timeout(_FUNCTION_TIMEOUT_S)])
+        if response_event not in result:
+            outcome.finish(self.env.now, success=False, error="timeout")
+            return outcome
+        yield self._network_down(outcome, response_mb)
+        outcome.finish(self.env.now, success=True)
+        return outcome
+
+    # --------------------------------------------------------------- scaling
+    def _scaler_loop(self):
+        while True:
+            yield self.env.timeout(self._traits.scale_interval_s)
+            self._scale_out()
+
+    def _active_instances(self) -> int:
+        return sum(1 for instance in self._instances if instance.alive)
+
+    def _scale_out(self) -> None:
+        """Launch instances to cover the unserved backlog.
+
+        Requests that are not covered by an already-starting instance are
+        *pinned* to the new instance launched for them — exactly how a
+        FaaS router assigns an incoming request to a fresh execution
+        environment, which is what makes that request a "cold-start
+        request" in the paper's terminology.  On top of those, the
+        platform speculatively starts ``overprovision_factor - 1`` extra
+        instances per pinned one (Section 5.1's over-provisioning).
+        """
+        backlog = self._queue.size
+        if backlog <= 0:
+            return
+        budget = max(1, int(self._traits.max_starts_per_second
+                            * self._traits.scale_interval_s))
+        headroom = max(self._traits.max_concurrency
+                       - self._active_instances(), 0)
+        to_start = min(backlog, budget, headroom)
+        pinned = 0
+        for _ in range(to_start):
+            get_event = self._queue.get()
+            if not get_event.triggered:
+                # The backlog emptied while we were launching; withdraw.
+                self._queue.cancel_get(get_event)
+                break
+            self._launch_instance(prewarmed=False,
+                                  first_request=get_event.value)
+            pinned += 1
+        speculative = min(math.ceil(pinned * (self._overprovision - 1.0)),
+                          max(headroom - pinned, 0),
+                          max(budget - pinned, 0))
+        for _ in range(speculative):
+            self._launch_instance(prewarmed=False)
+
+    def _launch_instance(self, prewarmed: bool,
+                         first_request: Optional[_PendingRequest] = None) -> None:
+        instance = _Instance(instance_id=self._next_instance_id,
+                             provisioned=prewarmed)
+        self._next_instance_id += 1
+        self._instances.append(instance)
+        if not prewarmed:
+            self._starting += 1
+        self._active_gauge.set(self.env.now, self._active_instances())
+        self.env.process(self._instance_loop(instance, prewarmed, first_request))
+
+    # -------------------------------------------------------------- instance
+    def _jitter(self, value: float, cv: float, stream: str) -> float:
+        if value <= 0:
+            return 0.0
+        return self.rng.lognormal_around(stream, value, cv)
+
+    def _cold_start_pipeline(self, instance: _Instance):
+        """Run the sandbox / import / download / load pipeline."""
+        stages = _ColdStages()
+        image_mb = (self.runtime.image_size_mb(self.provider.name)
+                    + self.config.extra_container_mb)
+        pull = self.provider.registry.pull_time(image_mb, self.rng)
+        stages.sandbox_s = pull + self._jitter(
+            self._traits.sandbox_setup_s, _STAGE_JITTER_CV, "sandbox")
+        yield self.env.timeout(stages.sandbox_s)
+
+        stages.import_s = self._jitter(
+            self.profiles.import_time(self.provider.name, self.runtime.key,
+                                      self.model.name),
+            _STAGE_JITTER_CV, "import")
+        yield self.env.timeout(stages.import_s)
+
+        download_mb = self.model.download_mb + self.config.extra_download_mb
+        if download_mb > 0:
+            stages.download_s = self.provider.storage.download_time(
+                download_mb, self.rng)
+            yield self.env.timeout(stages.download_s)
+
+        stages.load_s = self._jitter(
+            self.profiles.load_time(self.provider.name, self.runtime.key,
+                                    self.model.name, self.config.memory_gb),
+            _STAGE_JITTER_CV, "load")
+        yield self.env.timeout(stages.load_s)
+        instance.cold_stages = stages
+
+    def _instance_loop(self, instance: _Instance, prewarmed: bool,
+                       first_request: Optional[_PendingRequest] = None):
+        if not prewarmed:
+            yield from self._cold_start_pipeline(instance)
+            self._starting -= 1
+            self._cold_starts += 1
+        else:
+            instance.first_predict_pending = False
+        if first_request is not None:
+            yield from self._serve(instance, first_request,
+                                   is_cold_trigger=True)
+        while instance.alive:
+            get_event = self._queue.get()
+            keep_alive = self.env.timeout(self._traits.keep_alive_s)
+            yield self.env.any_of([get_event, keep_alive])
+            if not get_event.triggered:
+                self._queue.cancel_get(get_event)
+                if instance.provisioned:
+                    # Provisioned instances stay reserved for the whole run.
+                    continue
+                instance.alive = False
+                self._active_gauge.set(self.env.now, self._active_instances())
+                return
+            pending: _PendingRequest = get_event.value
+            yield from self._serve(instance, pending)
+
+    def _serve(self, instance: _Instance, pending: _PendingRequest,
+               is_cold_trigger: bool = False):
+        outcome = pending.outcome
+        outcome.instance_id = instance.instance_id
+        wait = self.env.now - pending.enqueue_time
+
+        init_billable = 0.0
+        if is_cold_trigger and instance.cold_stages is not None:
+            # This request triggered the instance: it paid for the whole
+            # cold-start pipeline, so attribute the sub-stages to it (this
+            # is how the paper measures Figure 10).
+            stages = instance.cold_stages
+            outcome.cold_start = True
+            outcome.add_stage(Stage.SANDBOX, stages.sandbox_s)
+            outcome.add_stage(Stage.IMPORT, stages.import_s)
+            outcome.add_stage(Stage.DOWNLOAD, stages.download_s)
+            outcome.add_stage(Stage.LOAD, stages.load_s)
+            outcome.add_stage(Stage.QUEUE, max(wait - stages.total(), 0.0))
+            init_billable = (stages.import_s + stages.download_s
+                             + stages.load_s)
+        else:
+            outcome.add_stage(Stage.QUEUE, wait)
+
+        handler = self._handler_overhead()
+        inferences = max(outcome.inferences, 1)
+        warm_predict = self.profiles.warm_predict_time(
+            self.provider.name, self.runtime.key, self.model.name,
+            self.config.memory_gb)
+        durations = [warm_predict] * inferences
+        if instance.first_predict_pending:
+            # Only the very first inference on a fresh runtime pays the
+            # lazy-initialisation penalty (Section 5.1); subsequent
+            # inferences in the same (possibly batched) invocation run at
+            # the warm speed.
+            durations[0] = self.profiles.cold_predict_time(
+                self.provider.name, self.runtime.key, self.model.name,
+                self.config.memory_gb)
+            instance.first_predict_pending = False
+        predict = sum(
+            self._jitter(duration, _PREDICT_JITTER_CV, "predict")
+            for duration in durations)
+        yield self.env.timeout(handler + predict)
+
+        outcome.add_stage(Stage.HANDLER, handler)
+        outcome.add_stage(Stage.PREDICT, predict)
+
+        billed = handler + predict
+        if self._traits.billing_includes_init:
+            billed += init_billable
+        outcome.billed_duration_s = billed
+        self._bill.add_invocation(billed, provisioned=instance.provisioned)
+
+        instance.served_requests += 1
+        pending.response_event.succeed()

@@ -1,0 +1,181 @@
+"""Simulated self-rented servers: EC2 / Compute Engine CPU and GPU VMs.
+
+A self-rented serving deployment is one (or a fixed number of) always-on
+virtual machines running the serving runtime behind an HTTP frontend.
+CPU servers execute requests with one worker per vCPU; GPU servers
+execute requests back-to-back on the accelerator, each finishing in a few
+tens of milliseconds.  The VM has a finite connection backlog: requests
+beyond it are refused, and requests that sit in the backlog longer than
+the server-side timeout fail — this is the mechanism behind the success
+ratios of Figures 5, 8 and 9.
+
+An optional autoscaling group can be enabled (the paper tried one and
+found the 3–5 minute launch delay made it ineffective); billing is per
+instance-hour from launch to the end of the experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cloud.instances import get_instance_type
+from repro.platforms.autoscaling import TargetTrackingScaler
+from repro.platforms.base import PlatformUsage, ServingPlatform
+from repro.serving.deployment import PlatformKind
+from repro.serving.records import RequestOutcome, Stage
+from repro.sim import GaugeMonitor, Resource
+
+__all__ = ["VmPlatform"]
+
+_SERVICE_JITTER_CV = 0.10
+_REJECTION_LATENCY_S = 0.02
+
+
+@dataclass
+class _VmInstance:
+    """One rented VM (billing starts at launch)."""
+
+    launch_time: float
+    ready_time: Optional[float] = None
+
+
+class VmPlatform(ServingPlatform):
+    """Self-rented CPU or GPU serving on EC2 / Compute Engine."""
+
+    family = "vm"
+
+    def __init__(self, env, deployment, profiles=None, rng=None):
+        super().__init__(env, deployment, profiles, rng)
+        self._traits = self.provider.vm
+        self._instance_type = get_instance_type(deployment.instance_type())
+        self._is_gpu = deployment.config.platform == PlatformKind.GPU_SERVER
+        default_workers = 1 if self._is_gpu else self._instance_type.vcpus
+        self._workers_per_instance = (self.config.workers_per_instance
+                                      or default_workers)
+        self._ready = 0
+        self._launching = 0
+        self._instances: List[_VmInstance] = []
+        self._workers = Resource(env, capacity=1)
+        self._ready_gauge = GaugeMonitor(name="vm-instances")
+        self._rejected = 0
+        self._timed_out = 0
+        self._start_time = env.now
+        self._scaler = TargetTrackingScaler(
+            env=env,
+            evaluation_period_s=60.0,
+            target_per_instance=float(self._workers_per_instance),
+            min_instances=self.config.initial_instances,
+            max_instances=self.config.max_instances or 10,
+            demand=self._current_demand,
+            provisioned_total=lambda: self._ready + self._launching,
+            launch=self._launch_instances,
+        )
+
+    # ------------------------------------------------------------------ API
+    def start(self) -> None:
+        """Bring up the rented VM(s) and, if requested, the scaling group."""
+        for _ in range(self.config.initial_instances):
+            record = _VmInstance(launch_time=self.env.now,
+                                 ready_time=self.env.now)
+            self._instances.append(record)
+        self._ready = self.config.initial_instances
+        self._resize_workers()
+        if self.config.autoscaling:
+            self.env.process(self._scaler.run())
+
+    def submit(self, outcome: RequestOutcome, payload_mb: float,
+               response_mb: float):
+        """Submit one request to the VM's serving frontend."""
+        return self.env.process(self._handle(outcome, payload_mb, response_mb))
+
+    def finalize(self, end_time: Optional[float] = None) -> PlatformUsage:
+        """Compute instance-hour cost and usage statistics."""
+        end = end_time if end_time is not None else self.env.now
+        instance_seconds = sum(max(end - record.launch_time, 0.0)
+                               for record in self._instances)
+        cost = self.provider.pricing.vm.cost(self._instance_type.name,
+                                             instance_seconds)
+        return PlatformUsage(
+            cost=cost,
+            cost_breakdown={"instance_hours": cost},
+            cold_starts=0,
+            instances_created=len(self._instances),
+            peak_instances=int(self._ready_gauge.history.max()),
+            instance_count=self._ready_gauge.history,
+            instance_seconds=instance_seconds,
+            notes={"rejected": float(self._rejected),
+                   "timed_out": float(self._timed_out)},
+        )
+
+    # ------------------------------------------------------------- scaling
+    def _current_demand(self) -> float:
+        return self._workers.count + self._workers.queue_length
+
+    def _launch_instances(self, count: int) -> None:
+        for _ in range(count):
+            record = _VmInstance(launch_time=self.env.now)
+            self._instances.append(record)
+            self._launching += 1
+            self.env.process(self._bring_up(record))
+
+    def _bring_up(self, record: _VmInstance):
+        delay = self.rng.lognormal_around(
+            "vm-scaleout", self._traits.autoscale_launch_delay_s, 0.15)
+        yield self.env.timeout(delay)
+        record.ready_time = self.env.now
+        self._launching -= 1
+        self._ready += 1
+        self._resize_workers()
+
+    def _resize_workers(self) -> None:
+        capacity = max(self._ready, 1) * self._workers_per_instance
+        self._workers.resize(capacity)
+        self._ready_gauge.set(self.env.now, self._ready)
+
+    # ------------------------------------------------------------- serving
+    def _handle(self, outcome: RequestOutcome, payload_mb: float,
+                response_mb: float):
+        yield self._network_up(outcome, payload_mb)
+        if self._workers.queue_length >= self._traits.queue_capacity:
+            self._rejected += 1
+            yield self.env.timeout(_REJECTION_LATENCY_S)
+            outcome.finish(self.env.now, success=False,
+                           error="connection_refused")
+            return outcome
+
+        enqueue = self.env.now
+        claim = self._workers.request()
+        deadline = self.env.timeout(self._traits.request_timeout_s)
+        yield self.env.any_of([claim, deadline])
+        if not claim.triggered:
+            self._workers.cancel(claim)
+            self._timed_out += 1
+            outcome.add_stage(Stage.QUEUE, self.env.now - enqueue)
+            outcome.finish(self.env.now, success=False, error="timeout")
+            return outcome
+
+        outcome.add_stage(Stage.QUEUE, self.env.now - enqueue)
+        handler = self._handler_overhead()
+        hardware = "gpu" if self._is_gpu else "cpu"
+        try:
+            per_predict = self.profiles.server_predict_time(
+                self.runtime.key, self.model.name, hardware)
+            predict = sum(
+                self.rng.lognormal_around("vm-predict", per_predict,
+                                          _SERVICE_JITTER_CV)
+                for _ in range(max(outcome.inferences, 1)))
+            # On a GPU server the HTTP handling runs on the host CPUs and
+            # does not occupy the accelerator; on a CPU server it competes
+            # with inference for the same cores.
+            held = predict if self._is_gpu else handler + predict
+            yield self.env.timeout(held)
+            outcome.add_stage(Stage.HANDLER, handler)
+            outcome.add_stage(Stage.PREDICT, predict)
+        finally:
+            self._workers.release(claim)
+        if self._is_gpu:
+            yield self.env.timeout(handler)
+        yield self._network_down(outcome, response_mb)
+        outcome.finish(self.env.now, success=True)
+        return outcome

@@ -1,0 +1,24 @@
+"""Serving runtimes (TensorFlow 1.15 and OnnxRuntime 1.4).
+
+The paper compares two serving runtimes (Section 5.2): TensorFlow 1.15 —
+large container image, long import time, unoptimised inference — and
+OnnxRuntime 1.4 — small image, fast import, optimised inference.  A
+runtime here is a :class:`~repro.runtimes.base.ServingRuntime` descriptor
+holding the properties the simulation needs (container image size per
+provider, managed-service support); the latency consequences of the
+choice live in :mod:`repro.models.calibration`.
+"""
+
+from repro.runtimes.base import ServingRuntime
+from repro.runtimes.onnxruntime import onnxruntime_14
+from repro.runtimes.registry import get_runtime, list_runtimes, runtime_registry
+from repro.runtimes.tensorflow import tensorflow_115
+
+__all__ = [
+    "ServingRuntime",
+    "get_runtime",
+    "list_runtimes",
+    "onnxruntime_14",
+    "runtime_registry",
+    "tensorflow_115",
+]

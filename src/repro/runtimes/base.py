@@ -1,0 +1,45 @@
+"""The ServingRuntime descriptor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = ["ServingRuntime"]
+
+
+@dataclass(frozen=True)
+class ServingRuntime:
+    """A model-serving runtime deployed inside the function or server."""
+
+    #: Short key used in calibration tables (e.g. ``"tf1.15"``).
+    key: str
+    #: Human-readable name (e.g. ``"TensorFlow 1.15"``).
+    display_name: str
+    #: Container image size in MB per provider; the paper reports 1238 MB
+    #: for the TF1.15 image on AWS and 920 MB for the GCP base image.
+    image_mb: Dict[str, float] = field(default_factory=dict)
+    #: Extra dependency/package size when the platform builds the
+    #: environment from a requirements file instead of an image.
+    package_mb: float = 0.0
+    #: Model formats this runtime can execute.
+    supported_formats: Tuple[str, ...] = ()
+    #: Whether the provider's managed ML service supports the runtime
+    #: natively (Section 2.4: AI Platform only supports TensorFlow,
+    #: XGBoost and SciKit-Learn for deep learning serving).
+    managed_ml_supported: Dict[str, bool] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise ValueError("runtime key must not be empty")
+
+    def image_size_mb(self, provider: str) -> float:
+        """Container image size when deployed on ``provider``."""
+        if provider not in self.image_mb:
+            raise KeyError(
+                f"runtime {self.key!r} has no image size for provider {provider!r}")
+        return self.image_mb[provider]
+
+    def supports_managed_ml(self, provider: str) -> bool:
+        """Whether the provider's managed service can run this runtime."""
+        return self.managed_ml_supported.get(provider, False)

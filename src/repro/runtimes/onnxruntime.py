@@ -1,0 +1,27 @@
+"""OnnxRuntime 1.4 serving runtime descriptor."""
+
+from __future__ import annotations
+
+from repro.runtimes.base import ServingRuntime
+
+__all__ = ["onnxruntime_14"]
+
+
+def onnxruntime_14() -> ServingRuntime:
+    """OnnxRuntime 1.4 — the lightweight, optimised runtime.
+
+    Section 5.2 of the paper shows that switching the serverless serving
+    runtime from TF1.15 to ORT1.4 cuts the cold start to roughly a third
+    (391 MB image on AWS instead of 1238 MB, much faster import and load)
+    and speeds up inference, yielding up to 3.61x lower latency and 4.55x
+    lower cost.  Managed ML services do not offer it as a native serving
+    container, which is why the cross-system comparison uses TF1.15.
+    """
+    return ServingRuntime(
+        key="ort1.4",
+        display_name="OnnxRuntime 1.4",
+        image_mb={"aws": 391.0, "gcp": 310.0},
+        package_mb=120.0,
+        supported_formats=("onnx",),
+        managed_ml_supported={"aws": False, "gcp": False},
+    )

@@ -1,0 +1,43 @@
+"""Runtime registry: look up serving runtimes by key."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.runtimes.base import ServingRuntime
+from repro.runtimes.onnxruntime import onnxruntime_14
+from repro.runtimes.tensorflow import tensorflow_115
+
+__all__ = ["runtime_registry", "get_runtime", "list_runtimes", "register_runtime"]
+
+_REGISTRY: Dict[str, ServingRuntime] = {}
+
+
+def _builtin() -> Dict[str, ServingRuntime]:
+    return {runtime.key: runtime for runtime in (tensorflow_115(), onnxruntime_14())}
+
+
+def runtime_registry() -> Dict[str, ServingRuntime]:
+    """A copy of the registry (built-ins plus anything registered)."""
+    if not _REGISTRY:
+        _REGISTRY.update(_builtin())
+    return dict(_REGISTRY)
+
+
+def register_runtime(runtime: ServingRuntime) -> None:
+    """Register a custom serving runtime (e.g. TorchServe) for experiments."""
+    runtime_registry()  # ensure built-ins are present
+    _REGISTRY[runtime.key] = runtime
+
+
+def get_runtime(key: str) -> ServingRuntime:
+    """Look up a runtime by key (e.g. ``"tf1.15"``, ``"ort1.4"``)."""
+    registry = runtime_registry()
+    if key not in registry:
+        raise KeyError(f"unknown runtime {key!r}; known: {sorted(registry)}")
+    return registry[key]
+
+
+def list_runtimes() -> List[str]:
+    """Keys of all registered runtimes."""
+    return sorted(runtime_registry())

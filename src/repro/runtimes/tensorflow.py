@@ -1,0 +1,26 @@
+"""TensorFlow 1.15 serving runtime descriptor."""
+
+from __future__ import annotations
+
+from repro.runtimes.base import ServingRuntime
+
+__all__ = ["tensorflow_115"]
+
+
+def tensorflow_115() -> ServingRuntime:
+    """TensorFlow 1.15 — the paper's baseline runtime.
+
+    It is the runtime used for the cross-system comparison (Section 4)
+    because it is supported natively by SageMaker, AI Platform, and the
+    self-rented servers on both clouds.  Its container image is large
+    (1238 MB on AWS Lambda, built on the 920 MB GCP base image) and its
+    import stage dominates the serverless cold start (Figure 10).
+    """
+    return ServingRuntime(
+        key="tf1.15",
+        display_name="TensorFlow 1.15",
+        image_mb={"aws": 1238.0, "gcp": 920.0},
+        package_mb=450.0,
+        supported_formats=("saved_model", "frozen_graph"),
+        managed_ml_supported={"aws": True, "gcp": True},
+    )

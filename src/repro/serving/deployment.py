@@ -1,0 +1,119 @@
+"""Deployment specifications (the paper's "Planner" inputs).
+
+The planner deploys a serving service defined by three dimensions
+(Section 3): the model, the serving runtime, and the service
+configuration.  :class:`ServiceConfig` covers every knob the paper's
+design-space study varies: platform kind, serverless memory size and
+provisioned concurrency, client-side batch size, instance types and
+autoscaling for server-based systems, and the micro-benchmark parameters
+of Figure 12 (extra container size, extra download size, samples and
+inferences per request).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.cloud.providers import CloudProvider
+from repro.models.zoo import ModelSpec
+from repro.runtimes.base import ServingRuntime
+
+__all__ = ["PlatformKind", "ServiceConfig", "Deployment"]
+
+
+class PlatformKind:
+    """The four families of serving systems the paper compares."""
+
+    SERVERLESS = "serverless"
+    MANAGED_ML = "managed_ml"
+    CPU_SERVER = "cpu_server"
+    GPU_SERVER = "gpu_server"
+
+    ALL = (SERVERLESS, MANAGED_ML, CPU_SERVER, GPU_SERVER)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Platform-level configuration of one deployment."""
+
+    platform: str = PlatformKind.SERVERLESS
+    # -- serverless-specific ------------------------------------------------
+    memory_gb: float = 2.0
+    provisioned_concurrency: int = 0
+    # -- server-based -------------------------------------------------------
+    instance_type: str = ""
+    initial_instances: int = 1
+    autoscaling: bool = True
+    max_instances: Optional[int] = None
+    workers_per_instance: Optional[int] = None
+    # -- client behaviour ---------------------------------------------------
+    batch_size: int = 1
+    # -- Figure 12 micro-benchmark knobs -------------------------------------
+    extra_container_mb: float = 0.0
+    extra_download_mb: float = 0.0
+    samples_per_request: int = 1
+    inferences_per_request: int = 1
+
+    def __post_init__(self) -> None:
+        if self.platform not in PlatformKind.ALL:
+            raise ValueError(
+                f"unknown platform {self.platform!r}; expected one of "
+                f"{PlatformKind.ALL}")
+        if self.memory_gb <= 0:
+            raise ValueError("memory_gb must be positive")
+        if self.provisioned_concurrency < 0:
+            raise ValueError("provisioned_concurrency must be >= 0")
+        if self.initial_instances < 1:
+            raise ValueError("initial_instances must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.extra_container_mb < 0 or self.extra_download_mb < 0:
+            raise ValueError("extra sizes must be non-negative")
+        if self.samples_per_request < 1 or self.inferences_per_request < 1:
+            raise ValueError("samples/inferences per request must be >= 1")
+
+    def replace(self, **changes) -> "ServiceConfig":
+        """A copy of the config with the given fields changed."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """A fully specified serving deployment on one cloud provider."""
+
+    provider: CloudProvider
+    model: ModelSpec
+    runtime: ServingRuntime
+    config: ServiceConfig = field(default_factory=ServiceConfig)
+
+    def __post_init__(self) -> None:
+        if (self.config.platform == PlatformKind.MANAGED_ML
+                and not self.runtime.supports_managed_ml(self.provider.name)):
+            raise ValueError(
+                f"runtime {self.runtime.key!r} is not supported by "
+                f"{self.provider.managed_service}")
+
+    @property
+    def label(self) -> str:
+        """A compact human-readable identifier for result tables."""
+        return (f"{self.provider.name}-{self.config.platform}"
+                f"/{self.model.name}/{self.runtime.key}")
+
+    def instance_type(self) -> str:
+        """The VM / managed instance type this deployment runs on."""
+        if self.config.instance_type:
+            return self.config.instance_type
+        if self.config.platform == PlatformKind.MANAGED_ML:
+            return self.provider.managed_instance_type
+        if self.config.platform == PlatformKind.CPU_SERVER:
+            return self.provider.cpu_instance_type
+        if self.config.platform == PlatformKind.GPU_SERVER:
+            return self.provider.gpu_instance_type
+        return ""
+
+    def with_config(self, **changes) -> "Deployment":
+        """A copy of this deployment with modified service configuration."""
+        return Deployment(provider=self.provider, model=self.model,
+                          runtime=self.runtime,
+                          config=self.config.replace(**changes))

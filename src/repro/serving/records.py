@@ -1,0 +1,76 @@
+"""Per-request outcome records and the cold-start sub-stage vocabulary."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["Stage", "RequestOutcome"]
+
+
+class Stage:
+    """Names of the latency sub-stages reported in the paper (Figure 10)."""
+
+    QUEUE = "queue"
+    NETWORK = "network"
+    SANDBOX = "sandbox"
+    IMPORT = "import"
+    DOWNLOAD = "download"
+    LOAD = "load"
+    PREDICT = "predict"
+    HANDLER = "handler"
+
+    #: Stages that only occur on a cold start.
+    COLD_ONLY = (SANDBOX, IMPORT, DOWNLOAD, LOAD)
+    #: Canonical ordering used when rendering breakdowns.
+    ORDER = (QUEUE, NETWORK, SANDBOX, IMPORT, DOWNLOAD, LOAD, PREDICT, HANDLER)
+
+
+@dataclass
+class RequestOutcome:
+    """Everything the framework records about one client request."""
+
+    request_id: int
+    client_id: int
+    #: Time the client handed the request to the network, seconds.
+    send_time: float
+    #: Time the client received the response (or the error), seconds.
+    completion_time: Optional[float] = None
+    success: bool = False
+    error: str = ""
+    #: Whether the request was served by a cold-started instance.
+    cold_start: bool = False
+    #: Identifier of the serving instance that executed the request.
+    instance_id: Optional[int] = None
+    #: Duration billed by the platform for this invocation (serverless only).
+    billed_duration_s: float = 0.0
+    #: Number of model inferences executed for the request (>=1 with
+    #: client-side batching or the Figure 12d micro-benchmark).
+    inferences: int = 1
+    #: Per-stage latency breakdown in seconds.
+    breakdown: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def latency(self) -> Optional[float]:
+        """End-to-end latency as observed by the client, seconds."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.send_time
+
+    def add_stage(self, stage: str, seconds: float) -> None:
+        """Accumulate ``seconds`` into the given breakdown stage."""
+        if seconds < 0:
+            raise ValueError("stage durations must be non-negative")
+        self.breakdown[stage] = self.breakdown.get(stage, 0.0) + seconds
+
+    def finish(self, time: float, success: bool, error: str = "") -> None:
+        """Mark the request as completed at ``time``."""
+        if time < self.send_time:
+            raise ValueError("completion cannot precede the send time")
+        self.completion_time = time
+        self.success = success
+        self.error = error
+
+    def stage(self, name: str) -> float:
+        """Seconds spent in one breakdown stage (0 if absent)."""
+        return self.breakdown.get(name, 0.0)

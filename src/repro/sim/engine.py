@@ -1,0 +1,358 @@
+"""Core discrete-event simulation engine.
+
+The engine follows the classic event-calendar design: a binary heap of
+``(time, priority, sequence, event)`` entries is popped in order, each
+popped event runs its callbacks, and callbacks may schedule further
+events.  Processes are plain Python generators that ``yield`` events; the
+:class:`Process` wrapper resumes the generator whenever the yielded event
+triggers.
+
+The engine is intentionally small but complete enough to model serving
+platforms: timeouts, triggerable events, process interruption, and
+composite conditions (``AnyOf`` / ``AllOf``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "SimulationError",
+    "Interrupt",
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Environment",
+]
+
+#: Priority used for ordinary events.
+NORMAL = 1
+#: Priority used for urgent events (process resumption), processed before
+#: ordinary events scheduled at the same simulated time.
+URGENT = 0
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """An event that may be triggered once and then calls its callbacks.
+
+    Events are the only objects a process may ``yield``.  An event is
+    *triggered* when a value (or an exception) has been scheduled for it,
+    and *processed* once its callbacks have run.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._triggered = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has been scheduled to occur."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """Whether the event's callbacks have already run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> Optional[bool]:
+        """``True`` on success, ``False`` on failure, ``None`` if pending."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event was triggered with."""
+        if not self._triggered:
+            raise SimulationError("event value is not yet available")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully after ``delay`` time units."""
+        if self._triggered:
+            raise SimulationError("event has already been triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, delay=delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event with an exception."""
+        if self._triggered:
+            raise SimulationError("event has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, delay=delay)
+        return self
+
+    # -- internal ---------------------------------------------------------
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks is None:
+            return
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else (
+            "triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+
+class Initialize(Event):
+    """Internal event used to start a freshly created process."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self._triggered = True
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env._schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    """Wraps a generator and resumes it whenever the yielded event fires.
+
+    The process itself is an event: it triggers when the generator returns
+    (successfully, with the generator's return value) or raises.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "send"):
+            raise SimulationError("process() requires a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """``True`` while the underlying generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw an :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        event = Event(self.env)
+        event._triggered = True
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True
+        event.callbacks.append(self._resume)
+        self.env._schedule(event, priority=URGENT)
+
+    # -- internal ---------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        try:
+            if event.ok:
+                result = self._generator.send(event.value)
+            else:
+                # Mark the failure as handled by this process.
+                event._defused = True
+                result = self._generator.throw(event.value)
+        except StopIteration as stop:
+            self._triggered = True
+            self._ok = True
+            self._value = stop.value
+            self.env._schedule(self, priority=URGENT)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate as failure
+            self._triggered = True
+            self._ok = False
+            self._value = exc
+            self.env._schedule(self, priority=URGENT)
+            return
+        finally:
+            self.env._active_process = None
+
+        if not isinstance(result, Event):
+            raise SimulationError(
+                f"process yielded a non-event value: {result!r}")
+        if result.processed:
+            # The event already happened; resume immediately.
+            immediate = Event(self.env)
+            immediate._triggered = True
+            immediate._ok = result._ok
+            immediate._value = result._value
+            immediate.callbacks.append(self._resume)
+            self.env._schedule(immediate, priority=URGENT)
+        else:
+            result.callbacks.append(self._resume)
+        self._target = result
+
+
+class _Condition(Event):
+    """Base class for ``AnyOf`` / ``AllOf`` composite events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("cannot mix events of different environments")
+        for event in self._events:
+            if event.processed:
+                if event.ok is False:
+                    event._defused = True
+            else:
+                event.callbacks.append(self._observe)
+        self._check()
+
+    def _observe(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event.ok is False:
+            event._defused = True
+            self.fail(event.value)
+            return
+        self._check()
+
+    def _collect(self) -> dict[Event, Any]:
+        return {
+            event: event._value
+            for event in self._events
+            if event.processed and event.ok
+        }
+
+    def _check(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Triggers as soon as any of the given events has triggered."""
+
+    def _check(self) -> None:
+        if self._triggered:
+            return
+        done = [event for event in self._events
+                if event.processed and event.ok]
+        if done or not self._events:
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Triggers once all of the given events have triggered."""
+
+    def _check(self) -> None:
+        if self._triggered:
+            return
+        if all(event.processed and event.ok for event in self._events):
+            self.succeed(self._collect())
+
+
+class Environment:
+    """The simulation environment: clock, calendar, and process factory."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._sequence = itertools.count()
+        self._active_process: Optional[Process] = None
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event factories ---------------------------------------------------
+    def event(self) -> Event:
+        """Create a new, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` seconds from now."""
+        return Timeout(self, delay, value=value)
+
+    def process(self, generator: Generator) -> Process:
+        """Register ``generator`` as a new process, started at the current time."""
+        return Process(self, generator)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event triggering when any of ``events`` triggers."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event triggering when all of ``events`` have triggered."""
+        return AllOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0,
+                  priority: int = NORMAL) -> None:
+        heapq.heappush(
+            self._queue,
+            (self._now + delay, priority, next(self._sequence), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the calendar is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event from the calendar."""
+        if not self._queue:
+            raise SimulationError("no more events to process")
+        when, _priority, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        event._run_callbacks()
+        if event._ok is False and not getattr(event, "_defused", False):
+            # Unhandled failure: surface it rather than silently dropping it.
+            raise event._value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the calendar is exhausted or ``until`` is reached."""
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"until ({until!r}) must not be before now ({self._now!r})")
+        while self._queue:
+            if until is not None and self.peek() > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until

@@ -1,0 +1,166 @@
+"""Capacity-limited resources and object stores for the simulator.
+
+A :class:`Resource` models a pool of identical servers (e.g. the worker
+slots of a VM-based serving endpoint): processes ``yield resource.request()``
+to obtain a slot, and call :meth:`Resource.release` when done.  Requests
+are granted strictly FIFO, which matches how the serving frontends the
+paper evaluates queue incoming HTTP requests.
+
+A :class:`Store` is a FIFO buffer of Python objects with optional capacity,
+used for request queues whose entries must be inspected (e.g. batching).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.sim.engine import Environment, Event, SimulationError
+
+__all__ = ["Request", "Resource", "Store", "StorePut", "StoreGet"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot."""
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.usage_since: Optional[float] = None
+
+
+class Resource:
+    """A pool of ``capacity`` identical slots with a FIFO wait queue."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self.env = env
+        self._capacity = int(capacity)
+        self._users: list[Request] = []
+        self._waiting: Deque[Request] = deque()
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Number of slots in the pool."""
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    # -- protocol ----------------------------------------------------------
+    def request(self) -> Request:
+        """Ask for a slot; the returned event triggers when one is granted."""
+        req = Request(self)
+        self._waiting.append(req)
+        self._dispatch()
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return the slot held by ``request`` to the pool."""
+        try:
+            self._users.remove(request)
+        except ValueError:
+            raise SimulationError("release() of a request that holds no slot")
+        self._dispatch()
+
+    def cancel(self, request: Request) -> None:
+        """Withdraw a not-yet-granted request (e.g. client gave up waiting)."""
+        try:
+            self._waiting.remove(request)
+        except ValueError:
+            # Already granted or already cancelled; releasing is the
+            # caller's responsibility in the granted case.
+            pass
+
+    def resize(self, capacity: int) -> None:
+        """Change the number of slots (used by autoscaling policies)."""
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self._capacity = int(capacity)
+        self._dispatch()
+
+    # -- internal ----------------------------------------------------------
+    def _dispatch(self) -> None:
+        while self._waiting and len(self._users) < self._capacity:
+            req = self._waiting.popleft()
+            self._users.append(req)
+            req.usage_since = self.env.now
+            req.succeed(req)
+
+
+class StorePut(Event):
+    """Pending put of ``item`` into a :class:`Store`."""
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+
+
+class StoreGet(Event):
+    """Pending get from a :class:`Store`."""
+
+    def __init__(self, store: "Store"):
+        super().__init__(store.env)
+
+
+class Store:
+    """FIFO object buffer with optional capacity."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise SimulationError("store capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._puts: Deque[StorePut] = deque()
+        self._gets: Deque[StoreGet] = deque()
+
+    @property
+    def size(self) -> int:
+        """Number of buffered items."""
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Insert ``item``; the event triggers once the item is buffered."""
+        event = StorePut(self, item)
+        self._puts.append(event)
+        self._dispatch()
+        return event
+
+    def get(self) -> StoreGet:
+        """Remove the oldest item; the event triggers with that item."""
+        event = StoreGet(self)
+        self._gets.append(event)
+        self._dispatch()
+        return event
+
+    def cancel_get(self, event: StoreGet) -> None:
+        """Withdraw a pending get (e.g. an idle worker reached its keep-alive)."""
+        try:
+            self._gets.remove(event)
+        except ValueError:
+            # Already granted an item (or never issued); nothing to withdraw.
+            pass
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._puts and len(self.items) < self.capacity:
+                put = self._puts.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progress = True
+            if self._gets and self.items:
+                get = self._gets.popleft()
+                get.succeed(self.items.popleft())
+                progress = True

@@ -1,0 +1,40 @@
+"""Extension tools built on top of the benchmark (paper Section 6).
+
+The paper closes with research challenges and opportunities; this package
+implements practical versions of them, plus the related-work policies the
+paper positions itself against:
+
+* :mod:`repro.tools.navigator` — the "navigation tool that automatically
+  searches the design space" (challenge #3): given latency/cost
+  constraints, sweep platform, runtime, memory, and batching choices and
+  recommend a deployment.
+* :mod:`repro.tools.memory_tuner` — an AWS Lambda power-tuning analogue
+  that finds the cheapest memory size meeting a latency target.
+* :mod:`repro.tools.adaptive_batching` — a BATCH-style policy that picks
+  the largest batch size whose latency penalty stays within an SLO.
+* :mod:`repro.tools.hybrid` — a MArk-style planner that sizes an
+  always-on server fleet for the base load and uses serverless for the
+  overflow, comparing the blended cost against pure strategies.
+* :mod:`repro.tools.cost_estimator` — closed-form cost estimates (no
+  simulation) for quick what-if analysis.
+"""
+
+from repro.tools.adaptive_batching import AdaptiveBatchingPolicy, BatchDecision
+from repro.tools.cost_estimator import CostEstimator, ServerlessCostEstimate
+from repro.tools.hybrid import HybridPlan, HybridPlanner
+from repro.tools.memory_tuner import MemoryTuner, MemoryTuningResult
+from repro.tools.navigator import DesignSpaceNavigator, NavigationConstraints, NavigationResult
+
+__all__ = [
+    "AdaptiveBatchingPolicy",
+    "BatchDecision",
+    "CostEstimator",
+    "DesignSpaceNavigator",
+    "HybridPlan",
+    "HybridPlanner",
+    "MemoryTuner",
+    "MemoryTuningResult",
+    "NavigationConstraints",
+    "NavigationResult",
+    "ServerlessCostEstimate",
+]

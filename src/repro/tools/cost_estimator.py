@@ -1,0 +1,111 @@
+"""Closed-form cost estimation (no simulation).
+
+Useful for quick what-if analysis and as the analytical core of the
+hybrid planner: given a request count and an expected billed duration per
+request, what would serverless cost, and what would an always-on server
+cost over the same period?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cloud.providers import CloudProvider
+from repro.models.profiles import LatencyProfiles
+from repro.models.zoo import ModelSpec
+from repro.runtimes.base import ServingRuntime
+from repro.workload.generator import WorkloadSpec
+
+__all__ = ["ServerlessCostEstimate", "CostEstimator"]
+
+
+@dataclass(frozen=True)
+class ServerlessCostEstimate:
+    """Breakdown of an analytical serverless cost estimate."""
+
+    requests: int
+    billed_seconds: float
+    execution_cost: float
+    request_cost: float
+
+    @property
+    def total(self) -> float:
+        """Total estimated cost in dollars."""
+        return self.execution_cost + self.request_cost
+
+
+@dataclass
+class CostEstimator:
+    """Analytical cost model for the paper's serving options."""
+
+    provider: CloudProvider
+    profiles: LatencyProfiles
+
+    # -- serverless ------------------------------------------------------------
+    def serverless(self, model: ModelSpec, runtime: ServingRuntime,
+                   requests: int, memory_gb: float = 2.0,
+                   cold_start_fraction: float = 0.01) -> ServerlessCostEstimate:
+        """Estimate the cost of serving ``requests`` invocations.
+
+        ``cold_start_fraction`` is the fraction of requests expected to
+        cold start; their billed duration additionally includes the
+        initialisation stages when the provider bills them (GCP).
+        """
+        if requests < 0:
+            raise ValueError("requests must be non-negative")
+        if not 0.0 <= cold_start_fraction <= 1.0:
+            raise ValueError("cold_start_fraction must be in [0, 1]")
+        warm = (self.profiles.warm_predict_time(
+            self.provider.name, runtime.key, model.name, memory_gb)
+            + self.profiles.handler_overhead_s("serverless"))
+        cold_extra = 0.0
+        if self.provider.serverless.billing_includes_init:
+            stages = self.profiles.cold_start_stages(
+                self.provider.name, runtime.key, model.name)
+            cold_extra = (stages.import_s + stages.load_s
+                          + self.provider.storage.download_time(model.download_mb))
+        billed = requests * warm + requests * cold_start_fraction * cold_extra
+        pricing = self.provider.pricing.serverless
+        execution = pricing.execution_cost(memory_gb, billed, 0)
+        per_request = pricing.execution_cost(memory_gb, 0.0, requests)
+        return ServerlessCostEstimate(requests=requests, billed_seconds=billed,
+                                      execution_cost=execution,
+                                      request_cost=per_request)
+
+    def serverless_for_workload(self, model: ModelSpec, runtime: ServingRuntime,
+                                spec: WorkloadSpec,
+                                memory_gb: float = 2.0) -> ServerlessCostEstimate:
+        """Estimate for one of the standard workload specs."""
+        return self.serverless(model, runtime, spec.target_requests,
+                               memory_gb=memory_gb)
+
+    # -- servers ----------------------------------------------------------------
+    def vm(self, instance_type: str, duration_s: float,
+           instances: int = 1) -> float:
+        """Cost of renting ``instances`` VMs for ``duration_s`` seconds."""
+        if duration_s < 0 or instances < 0:
+            raise ValueError("duration_s and instances must be non-negative")
+        return self.provider.pricing.vm.cost(instance_type,
+                                             duration_s * instances)
+
+    def managed_ml(self, instance_type: Optional[str], duration_s: float,
+                   instances: int = 1) -> float:
+        """Cost of a managed endpoint with ``instances`` active instances."""
+        if duration_s < 0 or instances < 0:
+            raise ValueError("duration_s and instances must be non-negative")
+        name = instance_type or self.provider.managed_instance_type
+        return self.provider.pricing.managed_ml.cost(name,
+                                                     duration_s * instances)
+
+    # -- throughput helpers -------------------------------------------------------
+    def server_capacity_rps(self, model: ModelSpec, runtime: ServingRuntime,
+                            hardware: str, workers: int) -> float:
+        """Sustained requests/second one server can absorb."""
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        service = self.profiles.server_predict_time(runtime.key, model.name,
+                                                    hardware)
+        if hardware == "cpu":
+            service += self.profiles.handler_overhead_s("vm")
+        return workers / service

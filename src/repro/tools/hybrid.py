@@ -1,0 +1,124 @@
+"""Hybrid serverless + server provisioning (the MArk-style policy).
+
+MArk (USENIX ATC'19), the closest related work the paper discusses,
+provisions always-on servers for the predictable base load and spills the
+unpredictable excess to serverless.  :class:`HybridPlanner` reproduces
+that planning step on top of this package's workload and cost models: it
+sizes the server fleet to a percentile of the per-second request rate,
+estimates how many requests overflow to serverless, and compares the
+blended cost against the pure-serverless and pure-server alternatives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.cloud.providers import CloudProvider
+from repro.models.profiles import LatencyProfiles
+from repro.models.zoo import ModelSpec
+from repro.runtimes.base import ServingRuntime
+from repro.tools.cost_estimator import CostEstimator
+from repro.workload.traces import ArrivalTrace
+
+__all__ = ["HybridPlan", "HybridPlanner"]
+
+
+@dataclass(frozen=True)
+class HybridPlan:
+    """The outcome of hybrid capacity planning for one workload."""
+
+    servers: int
+    server_capacity_rps: float
+    overflow_requests: int
+    total_requests: int
+    server_cost: float
+    serverless_overflow_cost: float
+    pure_serverless_cost: float
+    pure_server_cost: float
+    pure_server_instances: int
+
+    @property
+    def hybrid_cost(self) -> float:
+        """Blended cost of servers plus serverless overflow."""
+        return self.server_cost + self.serverless_overflow_cost
+
+    @property
+    def overflow_fraction(self) -> float:
+        """Fraction of requests that spill over to serverless."""
+        if self.total_requests == 0:
+            return 0.0
+        return self.overflow_requests / self.total_requests
+
+    def best_strategy(self) -> str:
+        """Which of the three strategies is cheapest."""
+        options = {
+            "hybrid": self.hybrid_cost,
+            "serverless": self.pure_serverless_cost,
+            "server": self.pure_server_cost,
+        }
+        return min(options, key=options.get)
+
+
+@dataclass
+class HybridPlanner:
+    """Sizes a hybrid serverless + CPU-server deployment."""
+
+    provider: CloudProvider
+    model: ModelSpec
+    runtime: ServingRuntime
+    profiles: LatencyProfiles = field(default_factory=LatencyProfiles)
+    #: Rate percentile the always-on fleet is sized for (MArk uses the
+    #: predictable base load; the 50th-70th percentile works well for the
+    #: paper's bursty MMPP workloads).
+    base_load_percentile: float = 60.0
+    memory_gb: float = 2.0
+    workers_per_server: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0 < self.base_load_percentile <= 100:
+            raise ValueError("base_load_percentile must be in (0, 100]")
+
+    def plan(self, trace: ArrivalTrace,
+             duration_s: Optional[float] = None) -> HybridPlan:
+        """Plan a hybrid deployment for one arrival trace."""
+        estimator = CostEstimator(provider=self.provider, profiles=self.profiles)
+        duration = duration_s if duration_s is not None else max(
+            trace.duration, 1.0)
+        _, rates = trace.rate_series(1.0, duration=duration)
+        if rates.size == 0:
+            rates = np.zeros(1)
+
+        capacity_per_server = estimator.server_capacity_rps(
+            self.model, self.runtime, "cpu", self.workers_per_server)
+        base_rate = float(np.percentile(rates, self.base_load_percentile))
+        servers = max(int(np.ceil(base_rate / capacity_per_server)), 1)
+
+        fleet_capacity = servers * capacity_per_server
+        overflow = int(np.sum(np.clip(rates - fleet_capacity, 0.0, None)))
+        overflow = min(overflow, trace.count)
+
+        instance_type = self.provider.cpu_instance_type
+        server_cost = estimator.vm(instance_type, duration, servers)
+        overflow_cost = estimator.serverless(self.model, self.runtime,
+                                             overflow, self.memory_gb).total
+        pure_serverless = estimator.serverless(self.model, self.runtime,
+                                               trace.count, self.memory_gb).total
+
+        peak_rate = float(rates.max()) if rates.size else 0.0
+        pure_servers = max(int(np.ceil(peak_rate / capacity_per_server)), 1)
+        pure_server_cost = estimator.vm(instance_type, duration, pure_servers)
+
+        return HybridPlan(
+            servers=servers,
+            server_capacity_rps=fleet_capacity,
+            overflow_requests=overflow,
+            total_requests=trace.count,
+            server_cost=server_cost,
+            serverless_overflow_cost=overflow_cost,
+            pure_serverless_cost=pure_serverless,
+            pure_server_cost=pure_server_cost,
+            pure_server_instances=pure_servers,
+        )

@@ -1,0 +1,86 @@
+"""Memory-size tuning for serverless deployments.
+
+Section 5.3 of the paper recommends tuning the function memory size with
+a tool such as AWS Lambda Power Tuning.  :class:`MemoryTuner` is that
+tool for the simulated cloud: it sweeps candidate memory sizes, measures
+latency and cost on a (possibly time-compressed) workload, and picks
+either the cheapest size meeting a latency target or the best
+latency/cost trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.benchmark import ServingBenchmark
+from repro.core.planner import Planner
+from repro.serving.deployment import PlatformKind
+from repro.workload.generator import Workload
+
+__all__ = ["MemoryTuningResult", "MemoryTuner"]
+
+DEFAULT_CANDIDATES_GB = (1.0, 2.0, 4.0, 6.0, 8.0)
+
+
+@dataclass
+class MemoryTuningResult:
+    """Outcome of a memory-tuning sweep."""
+
+    best_memory_gb: Optional[float]
+    rows: List[dict] = field(default_factory=list)
+    latency_target_s: Optional[float] = None
+
+    @property
+    def met_target(self) -> bool:
+        """Whether any candidate met the latency target."""
+        return self.best_memory_gb is not None
+
+
+@dataclass
+class MemoryTuner:
+    """Sweeps serverless memory sizes and recommends one."""
+
+    benchmark: ServingBenchmark = field(default_factory=lambda: ServingBenchmark(seed=7))
+    planner: Planner = field(default_factory=Planner)
+
+    def tune(self, provider: str, model: str, runtime: str,
+             workload: Workload,
+             candidates_gb: Sequence[float] = DEFAULT_CANDIDATES_GB,
+             latency_target_s: Optional[float] = None) -> MemoryTuningResult:
+        """Measure every candidate and pick the recommended memory size.
+
+        With a latency target, the cheapest size meeting it wins; without
+        one, the size minimising (cost x latency) wins, which is the
+        balanced strategy of the AWS power-tuning tool.
+        """
+        if not candidates_gb:
+            raise ValueError("candidates_gb must not be empty")
+        rows = []
+        for memory_gb in candidates_gb:
+            deployment = self.planner.plan(provider, model, runtime,
+                                           PlatformKind.SERVERLESS,
+                                           memory_gb=memory_gb)
+            result = self.benchmark.run(deployment, workload)
+            rows.append({
+                "memory_gb": memory_gb,
+                "avg_latency_s": result.average_latency,
+                "success_ratio": result.success_ratio,
+                "cost_usd": result.cost,
+                "cold_starts": result.usage.cold_starts,
+            })
+        best = self._select(rows, latency_target_s)
+        return MemoryTuningResult(best_memory_gb=best, rows=rows,
+                                  latency_target_s=latency_target_s)
+
+    @staticmethod
+    def _select(rows: List[dict],
+                latency_target_s: Optional[float]) -> Optional[float]:
+        if latency_target_s is not None:
+            eligible = [row for row in rows
+                        if row["avg_latency_s"] <= latency_target_s]
+            if not eligible:
+                return None
+            return min(eligible, key=lambda row: row["cost_usd"])["memory_gb"]
+        return min(rows, key=lambda row: row["cost_usd"]
+                   * max(row["avg_latency_s"], 1e-9))["memory_gb"]

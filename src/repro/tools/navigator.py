@@ -1,0 +1,127 @@
+"""Design-space navigator (the paper's challenge #3, Section 6).
+
+"A potential direction is to build a navigation tool that automatically
+searches the design space for serverless deployment, and finds the best
+configuration under pre-defined constraints."  The navigator does exactly
+that on the simulated cloud: it enumerates candidate configurations
+(runtime, memory size, batch size, optionally alternative platforms),
+measures each on a time-compressed copy of the target workload, filters
+by the user's latency / success-ratio / cost constraints, and ranks the
+survivors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.benchmark import ServingBenchmark
+from repro.core.planner import Planner
+from repro.serving.deployment import PlatformKind
+from repro.workload.generator import Workload
+
+__all__ = ["NavigationConstraints", "NavigationResult", "DesignSpaceNavigator"]
+
+
+@dataclass(frozen=True)
+class NavigationConstraints:
+    """What the data scientist requires from a deployment."""
+
+    max_latency_s: Optional[float] = None
+    min_success_ratio: float = 0.99
+    max_cost_usd: Optional[float] = None
+    #: Objective to minimise among feasible candidates.
+    objective: str = "cost"
+
+    def __post_init__(self) -> None:
+        if self.objective not in ("cost", "latency"):
+            raise ValueError("objective must be 'cost' or 'latency'")
+        if not 0.0 <= self.min_success_ratio <= 1.0:
+            raise ValueError("min_success_ratio must be in [0, 1]")
+
+    def is_satisfied(self, latency_s: float, success_ratio: float,
+                     cost_usd: float) -> bool:
+        """Whether a measured candidate meets every constraint."""
+        if self.max_latency_s is not None and latency_s > self.max_latency_s:
+            return False
+        if success_ratio < self.min_success_ratio:
+            return False
+        if self.max_cost_usd is not None and cost_usd > self.max_cost_usd:
+            return False
+        return True
+
+
+@dataclass
+class NavigationResult:
+    """Ranked outcome of a design-space search."""
+
+    best: Optional[Dict[str, object]]
+    feasible: List[Dict[str, object]] = field(default_factory=list)
+    evaluated: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def found(self) -> bool:
+        """Whether any candidate satisfied the constraints."""
+        return self.best is not None
+
+
+@dataclass
+class DesignSpaceNavigator:
+    """Searches the serverless design space under user constraints."""
+
+    provider: str
+    model: str
+    benchmark: ServingBenchmark = field(default_factory=lambda: ServingBenchmark(seed=7))
+    planner: Planner = field(default_factory=Planner)
+    runtimes: Sequence[str] = ("tf1.15", "ort1.4")
+    memory_sizes_gb: Sequence[float] = (2.0, 4.0, 8.0)
+    batch_sizes: Sequence[int] = (1, 2, 4)
+    include_servers: bool = False
+
+    def candidates(self) -> List[Dict[str, object]]:
+        """The candidate configurations the navigator will evaluate."""
+        grid: List[Dict[str, object]] = []
+        for runtime in self.runtimes:
+            for memory_gb in self.memory_sizes_gb:
+                for batch_size in self.batch_sizes:
+                    grid.append({
+                        "platform": PlatformKind.SERVERLESS,
+                        "runtime": runtime,
+                        "memory_gb": memory_gb,
+                        "batch_size": batch_size,
+                    })
+        if self.include_servers:
+            grid.append({"platform": PlatformKind.CPU_SERVER,
+                         "runtime": "tf1.15"})
+            grid.append({"platform": PlatformKind.GPU_SERVER,
+                         "runtime": "tf1.15"})
+        return grid
+
+    def search(self, workload: Workload,
+               constraints: NavigationConstraints) -> NavigationResult:
+        """Evaluate every candidate and rank the feasible ones."""
+        evaluated = []
+        for candidate in self.candidates():
+            row = dict(candidate)
+            overrides = {key: value for key, value in candidate.items()
+                         if key not in ("platform", "runtime")}
+            deployment = self.planner.plan(self.provider, self.model,
+                                           candidate["runtime"],
+                                           candidate["platform"], **overrides)
+            result = self.benchmark.run(deployment, workload)
+            row.update({
+                "avg_latency_s": result.average_latency,
+                "success_ratio": result.success_ratio,
+                "cost_usd": result.cost,
+                "feasible": constraints.is_satisfied(
+                    result.average_latency, result.success_ratio, result.cost),
+            })
+            evaluated.append(row)
+
+        feasible = [row for row in evaluated if row["feasible"]]
+        key = ("cost_usd" if constraints.objective == "cost"
+               else "avg_latency_s")
+        feasible.sort(key=lambda row: row[key])
+        best = feasible[0] if feasible else None
+        return NavigationResult(best=best, feasible=feasible,
+                                evaluated=evaluated)

@@ -1,0 +1,46 @@
+"""Workload generation (the paper's "Load Generator", Figure 3).
+
+The paper drives every experiment with synthetic workloads produced by a
+Markov-Modulated Poisson Process (MMPP), because no public model-serving
+traces exist.  Three workloads are used throughout (Figure 4):
+
+==========  ============  ==============  ==================
+name        peak rate     requests        duration
+==========  ============  ==============  ==================
+w-40        40 req/s      ~15 000         ~15 minutes
+w-120       120 req/s     ~51 600         ~15 minutes
+w-200       200 req/s     ~86 000         ~15 minutes
+==========  ============  ==============  ==================
+
+This package provides the MMPP itself, the three standard workloads, the
+workload splitter that divides a trace across the 8 load-generating
+clients, and the request pool from which clients draw payloads.
+"""
+
+from repro.workload.generator import (
+    Workload,
+    WorkloadSpec,
+    generate_workload,
+    standard_workload,
+    standard_workload_specs,
+)
+from repro.workload.mmpp import MMPP, MMPPState, PoissonProcess
+from repro.workload.requests import RequestPool, RequestTemplate
+from repro.workload.splitter import merge_traces, split_trace
+from repro.workload.traces import ArrivalTrace
+
+__all__ = [
+    "ArrivalTrace",
+    "MMPP",
+    "MMPPState",
+    "PoissonProcess",
+    "RequestPool",
+    "RequestTemplate",
+    "Workload",
+    "WorkloadSpec",
+    "generate_workload",
+    "merge_traces",
+    "split_trace",
+    "standard_workload",
+    "standard_workload_specs",
+]

@@ -1,0 +1,38 @@
+"""Workload splitter (Figure 3, "Workload Splitter").
+
+The paper splits each workload evenly across 8 load-generating clients so
+that the aggregate request rate matches the original workload.  The split
+is round-robin over arrival order, which preserves the temporal shape of
+the workload within every client's share.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.workload.traces import ArrivalTrace
+
+__all__ = ["split_trace", "merge_traces"]
+
+
+def split_trace(trace: ArrivalTrace, num_clients: int) -> List[ArrivalTrace]:
+    """Split ``trace`` into ``num_clients`` round-robin sub-traces."""
+    if num_clients < 1:
+        raise ValueError("num_clients must be >= 1")
+    parts: List[ArrivalTrace] = []
+    for client in range(num_clients):
+        times = trace.times[client::num_clients]
+        parts.append(ArrivalTrace(times, name=f"{trace.name}/client-{client}",
+                                  metadata={"client": client,
+                                            "parent": trace.name}))
+    return parts
+
+
+def merge_traces(traces: Sequence[ArrivalTrace], name: str = "") -> ArrivalTrace:
+    """Merge several traces back into one (inverse of :func:`split_trace`)."""
+    if not traces:
+        return ArrivalTrace(np.array([]), name=name)
+    times = np.sort(np.concatenate([t.times for t in traces]))
+    return ArrivalTrace(times, name=name or traces[0].metadata.get("parent", ""))

@@ -1,0 +1,143 @@
+"""Arrival traces: the fundamental workload data structure.
+
+An :class:`ArrivalTrace` is an ordered sequence of request arrival times
+(seconds from the start of the experiment).  Everything downstream — the
+splitter, the executor, the analyzer's time-series — operates on traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ArrivalTrace"]
+
+
+@dataclass
+class ArrivalTrace:
+    """A sorted sequence of request arrival times."""
+
+    times: np.ndarray
+    name: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=float)
+        if self.times.ndim != 1:
+            raise ValueError("arrival times must be one-dimensional")
+        if self.times.size and np.any(np.diff(self.times) < 0):
+            raise ValueError("arrival times must be sorted")
+        if self.times.size and self.times[0] < 0:
+            raise ValueError("arrival times must be non-negative")
+
+    # -- basic properties ---------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    def __iter__(self):
+        return iter(self.times.tolist())
+
+    @property
+    def count(self) -> int:
+        """Number of requests in the trace."""
+        return len(self)
+
+    @property
+    def duration(self) -> float:
+        """Time of the last arrival (0 for an empty trace)."""
+        return float(self.times[-1]) if self.times.size else 0.0
+
+    @property
+    def mean_rate(self) -> float:
+        """Average request rate over the trace duration."""
+        if self.times.size < 2 or self.duration == 0:
+            return 0.0
+        return self.count / self.duration
+
+    # -- derived series -----------------------------------------------------
+    def rate_series(self, bin_seconds: float = 1.0,
+                    duration: float | None = None) -> Tuple[np.ndarray, np.ndarray]:
+        """Request rate per ``bin_seconds`` bin: ``(bin_start_times, rates)``.
+
+        This is the series plotted in Figure 4 of the paper.
+        """
+        if bin_seconds <= 0:
+            raise ValueError("bin_seconds must be positive")
+        horizon = duration if duration is not None else self.duration
+        if horizon <= 0:
+            if not self.times.size:
+                return np.array([]), np.array([])
+            # All arrivals at t=0: one bin still has to report them.
+            horizon = bin_seconds
+        edges = np.arange(0.0, max(horizon, bin_seconds) + bin_seconds,
+                          bin_seconds)
+        counts, _ = np.histogram(self.times, bins=edges)
+        return edges[:-1], counts / bin_seconds
+
+    def peak_rate(self, bin_seconds: float = 1.0) -> float:
+        """Maximum request rate observed over any bin."""
+        _, rates = self.rate_series(bin_seconds)
+        return float(rates.max()) if rates.size else 0.0
+
+    def interarrival_times(self) -> np.ndarray:
+        """Differences between consecutive arrivals."""
+        if self.times.size < 2:
+            return np.array([])
+        return np.diff(self.times)
+
+    # -- transformations ----------------------------------------------------
+    def shifted(self, offset: float) -> "ArrivalTrace":
+        """The same trace with all arrivals moved by ``offset`` seconds."""
+        if self.times.size and self.times[0] + offset < 0:
+            raise ValueError("shift would produce negative arrival times")
+        return ArrivalTrace(self.times + offset, name=self.name,
+                            metadata=dict(self.metadata))
+
+    def scaled_rate(self, factor: float) -> "ArrivalTrace":
+        """Compress (>1) or stretch (<1) the trace in time to change its rate."""
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return ArrivalTrace(self.times / factor, name=self.name,
+                            metadata=dict(self.metadata))
+
+    def subsampled(self, fraction: float, seed: int = 0) -> "ArrivalTrace":
+        """Keep each arrival independently with probability ``fraction``.
+
+        Used by the benchmark harness to run scaled-down versions of the
+        paper's workloads quickly while preserving the arrival pattern.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if fraction == 1.0:
+            return ArrivalTrace(self.times.copy(), name=self.name,
+                                metadata=dict(self.metadata))
+        rng = np.random.default_rng(seed)
+        keep = rng.random(self.times.size) < fraction
+        return ArrivalTrace(self.times[keep], name=self.name,
+                            metadata=dict(self.metadata))
+
+    def window(self, start: float, end: float) -> "ArrivalTrace":
+        """Arrivals within ``[start, end)``, re-based to start at 0."""
+        if end < start:
+            raise ValueError("end must not precede start")
+        mask = (self.times >= start) & (self.times < end)
+        return ArrivalTrace(self.times[mask] - start, name=self.name,
+                            metadata=dict(self.metadata))
+
+    @staticmethod
+    def from_times(times: Iterable[float], name: str = "") -> "ArrivalTrace":
+        """Build a trace from any iterable of times (sorted automatically)."""
+        array = np.sort(np.asarray(list(times), dtype=float))
+        return ArrivalTrace(array, name=name)
+
+    def summary(self) -> dict:
+        """A small dictionary of descriptive statistics."""
+        return {
+            "name": self.name,
+            "requests": self.count,
+            "duration_s": round(self.duration, 3),
+            "mean_rate": round(self.mean_rate, 3),
+            "peak_rate_1s": round(self.peak_rate(1.0), 3),
+        }

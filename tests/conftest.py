@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.benchmark import ServingBenchmark
+from repro.core.planner import Planner
+from repro.models.profiles import LatencyProfiles
+from repro.sim import Environment, RandomStreams
+from repro.workload.generator import standard_workload
+
+
+@pytest.fixture
+def env() -> Environment:
+    """A fresh simulation environment."""
+    return Environment()
+
+
+@pytest.fixture
+def rng() -> RandomStreams:
+    """Deterministic random streams."""
+    return RandomStreams(seed=123)
+
+
+@pytest.fixture
+def planner() -> Planner:
+    """A deployment planner."""
+    return Planner()
+
+
+@pytest.fixture
+def profiles() -> LatencyProfiles:
+    """The built-in latency calibration."""
+    return LatencyProfiles()
+
+
+@pytest.fixture
+def bench() -> ServingBenchmark:
+    """A benchmark façade with a fixed seed."""
+    return ServingBenchmark(seed=5)
+
+
+@pytest.fixture(scope="session")
+def tiny_w40():
+    """A small (5%) copy of the w-40 workload shared across tests."""
+    return standard_workload("w-40", seed=5, scale=0.05)
+
+
+@pytest.fixture(scope="session")
+def small_w120():
+    """A small (8%) copy of the w-120 workload shared across tests."""
+    return standard_workload("w-120", seed=5, scale=0.08)

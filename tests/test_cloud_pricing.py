@@ -1,0 +1,123 @@
+"""Unit tests for the pricing catalog and billing calculators."""
+
+import pytest
+
+from repro.cloud.pricing import (
+    ManagedMlPricing,
+    ServerlessBill,
+    ServerlessPricing,
+    VmPricing,
+    aws_pricing,
+    gcp_pricing,
+)
+
+
+class TestServerlessPricing:
+    def test_aws_gb_second_rate(self):
+        pricing = aws_pricing().serverless
+        # 1M GB-seconds at the published rate.
+        assert pricing.execution_cost(1.0, 1_000_000, 0) == pytest.approx(16.6667, rel=1e-3)
+
+    def test_request_fee(self):
+        pricing = aws_pricing().serverless
+        assert pricing.execution_cost(1.0, 0.0, 1_000_000) == pytest.approx(0.20)
+
+    def test_gcp_charges_ghz_seconds(self):
+        pricing = gcp_pricing().serverless
+        # A 2 GB GCP function costs per GB-second plus per GHz-second.
+        per_second = pricing.execution_cost(2.0, 1.0, 0)
+        expected = 2.0 * 2.5e-6 + 2.0 * 1.2 * 1.0e-5
+        assert per_second == pytest.approx(expected)
+
+    def test_memory_validation(self):
+        pricing = aws_pricing().serverless
+        with pytest.raises(ValueError):
+            pricing.execution_cost(0.0, 1.0, 1)
+
+    def test_negative_inputs_rejected(self):
+        pricing = aws_pricing().serverless
+        with pytest.raises(ValueError):
+            pricing.execution_cost(1.0, -1.0, 0)
+        with pytest.raises(ValueError):
+            pricing.provisioned_cost(1.0, -1, 10)
+
+    def test_provisioned_rates(self):
+        pricing = aws_pricing().serverless
+        reservation = pricing.provisioned_cost(2.0, 4, 3600)
+        assert reservation == pytest.approx(4 * 3600 * 2.0 * 4.1667e-6)
+        provisioned_exec = pricing.execution_cost(2.0, 100.0, 0, provisioned=True)
+        on_demand_exec = pricing.execution_cost(2.0, 100.0, 0)
+        assert provisioned_exec < on_demand_exec
+
+
+class TestServerAndManagedPricing:
+    def test_vm_hourly(self):
+        pricing = VmPricing(per_instance_hour={"m5.2xlarge": 0.384})
+        assert pricing.cost("m5.2xlarge", 3600) == pytest.approx(0.384)
+        assert pricing.cost("m5.2xlarge", 1800) == pytest.approx(0.192)
+
+    def test_vm_unknown_type(self):
+        pricing = VmPricing(per_instance_hour={})
+        with pytest.raises(KeyError):
+            pricing.cost("nope", 10)
+
+    def test_managed_hourly(self):
+        pricing = ManagedMlPricing(per_instance_hour={"ml.m4.2xlarge": 0.56})
+        assert pricing.cost("ml.m4.2xlarge", 7200) == pytest.approx(1.12)
+
+    def test_managed_negative_rejected(self):
+        pricing = ManagedMlPricing(per_instance_hour={"x": 1.0})
+        with pytest.raises(ValueError):
+            pricing.cost("x", -5)
+
+
+class TestServerlessBill:
+    def test_accumulates_invocations(self):
+        bill = ServerlessBill(memory_gb=2.0, pricing=aws_pricing().serverless)
+        bill.add_invocation(0.1)
+        bill.add_invocation(0.2)
+        assert bill.requests == 2
+        assert bill.billed_seconds == pytest.approx(0.3)
+        assert bill.total() > 0
+
+    def test_total_grows_with_invocations(self):
+        bill = ServerlessBill(memory_gb=2.0, pricing=aws_pricing().serverless)
+        bill.add_invocation(0.1)
+        small = bill.total()
+        for _ in range(100):
+            bill.add_invocation(0.1)
+        assert bill.total() > small
+
+    def test_provisioned_components(self):
+        bill = ServerlessBill(memory_gb=2.0, pricing=aws_pricing().serverless)
+        bill.add_invocation(0.1, provisioned=True)
+        bill.add_provisioned_reservation(instances=2, seconds=600)
+        assert bill.provisioned_requests == 1
+        assert bill.provisioned_instance_seconds == 1200
+        assert bill.total() > 0
+
+    def test_negative_duration_rejected(self):
+        bill = ServerlessBill(memory_gb=2.0, pricing=aws_pricing().serverless)
+        with pytest.raises(ValueError):
+            bill.add_invocation(-0.1)
+
+
+class TestCatalogs:
+    def test_aws_catalog_instances(self):
+        catalog = aws_pricing()
+        assert catalog.provider_name == "aws"
+        assert "ml.m4.2xlarge" in catalog.managed_ml.per_instance_hour
+        assert "g4dn.2xlarge" in catalog.vm.per_instance_hour
+
+    def test_gcp_catalog_instances(self):
+        catalog = gcp_pricing()
+        assert catalog.provider_name == "gcp"
+        assert "n1-standard-8" in catalog.managed_ml.per_instance_hour
+        assert "n1-standard-8-t4" in catalog.vm.per_instance_hour
+
+    def test_gpu_costs_more_than_cpu(self):
+        for catalog in (aws_pricing(), gcp_pricing()):
+            rates = catalog.vm.per_instance_hour
+            gpu = max(rates.values())
+            cpu = min(rates.values())
+            assert gpu > cpu

@@ -1,0 +1,176 @@
+"""Integration tests for the paper's headline claims.
+
+These run small-but-rate-faithful copies of the paper's workloads (time
+compression keeps the request rates, hence the queueing behaviour) and
+assert the *qualitative* findings of the paper — who wins, and in which
+direction the design-space knobs move the metrics.
+"""
+
+import pytest
+
+from repro.core.benchmark import ServingBenchmark
+from repro.core.planner import Planner
+from repro.workload.generator import standard_workload
+
+
+@pytest.fixture(scope="module")
+def planner():
+    return Planner()
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return ServingBenchmark(seed=13)
+
+
+@pytest.fixture(scope="module")
+def w40(scope="module"):
+    return standard_workload("w-40", seed=13, scale=0.12)
+
+
+@pytest.fixture(scope="module")
+def w120():
+    return standard_workload("w-120", seed=13, scale=0.12)
+
+
+@pytest.fixture(scope="module")
+def w200():
+    return standard_workload("w-200", seed=13, scale=0.12)
+
+
+def run(bench, planner, workload, provider, model, platform,
+        runtime="tf1.15", **overrides):
+    deployment = planner.plan(provider, model, runtime, platform, **overrides)
+    return bench.run(deployment, workload)
+
+
+class TestServerlessVsManagedMl:
+    """Section 4.2: serverless beats managed ML services in most cases."""
+
+    def test_aws_serverless_much_faster_than_managed(self, bench, planner, w40):
+        serverless = run(bench, planner, w40, "aws", "mobilenet", "serverless")
+        managed = run(bench, planner, w40, "aws", "mobilenet", "managed_ml")
+        assert serverless.average_latency < managed.average_latency / 20
+
+    def test_aws_serverless_cheaper_than_managed(self, bench, planner, w40):
+        serverless = run(bench, planner, w40, "aws", "mobilenet", "serverless")
+        managed = run(bench, planner, w40, "aws", "mobilenet", "managed_ml")
+        assert serverless.cost < managed.cost
+
+    def test_managed_success_ratio_collapses_for_large_models(self, bench,
+                                                              planner, w40):
+        albert = run(bench, planner, w40, "aws", "albert", "managed_ml")
+        vgg = run(bench, planner, w40, "aws", "vgg", "managed_ml")
+        assert albert.success_ratio < 0.7
+        assert vgg.success_ratio < 0.5
+
+    def test_serverless_success_ratio_stays_high(self, bench, planner, w120):
+        for model in ("mobilenet", "albert", "vgg"):
+            result = run(bench, planner, w120, "aws", model, "serverless")
+            assert result.success_ratio > 0.98
+
+
+class TestServerlessVsCpuServer:
+    """Section 4.3: serverless is faster than CPU servers, which collapse
+    under load."""
+
+    def test_serverless_faster_than_cpu_server(self, bench, planner, w40):
+        serverless = run(bench, planner, w40, "aws", "mobilenet", "serverless")
+        cpu = run(bench, planner, w40, "aws", "mobilenet", "cpu_server")
+        assert serverless.average_latency < cpu.average_latency / 2
+
+    def test_cpu_server_degrades_with_workload(self, bench, planner,
+                                               w40, w120):
+        light = run(bench, planner, w40, "aws", "mobilenet", "cpu_server")
+        heavy = run(bench, planner, w120, "aws", "mobilenet", "cpu_server")
+        assert heavy.success_ratio < light.success_ratio
+        assert heavy.success_ratio < 0.9
+        assert heavy.average_latency > light.average_latency
+
+    def test_cpu_server_degrades_with_model_size(self, bench, planner, w40):
+        mobilenet = run(bench, planner, w40, "aws", "mobilenet", "cpu_server")
+        vgg = run(bench, planner, w40, "aws", "vgg", "cpu_server")
+        assert vgg.success_ratio < mobilenet.success_ratio
+
+    def test_cpu_server_cost_flat_across_workloads(self, bench, planner,
+                                                   w40, w200):
+        light = run(bench, planner, w40, "aws", "mobilenet", "cpu_server")
+        heavy = run(bench, planner, w200, "aws", "mobilenet", "cpu_server")
+        # Per-hour billing: the cost gap stays small even though the
+        # request volume grows by 5.7x.
+        assert heavy.cost < 2.5 * light.cost
+
+
+class TestServerlessVsGpuServer:
+    """Section 4.4: GPUs win at low load; serverless wins under bursts."""
+
+    def test_gpu_faster_at_low_load(self, bench, planner, w40):
+        gpu = run(bench, planner, w40, "aws", "vgg", "gpu_server")
+        serverless = run(bench, planner, w40, "aws", "vgg", "serverless")
+        assert gpu.average_latency < serverless.average_latency
+
+    def test_serverless_beats_gpu_under_heavy_load(self, bench, planner, w200):
+        gpu = run(bench, planner, w200, "aws", "mobilenet", "gpu_server")
+        serverless = run(bench, planner, w200, "aws", "mobilenet", "serverless")
+        assert serverless.average_latency < gpu.average_latency / 10
+        assert serverless.success_ratio >= gpu.success_ratio
+
+    def test_serverless_latency_insensitive_to_workload(self, bench,
+                                                        planner, w40, w200):
+        light = run(bench, planner, w40, "aws", "mobilenet", "serverless")
+        heavy = run(bench, planner, w200, "aws", "mobilenet", "serverless")
+        assert heavy.average_latency < 3 * light.average_latency
+
+
+class TestDesignSpaceFindings:
+    """Section 5: platform gap, runtime choice, memory, batching."""
+
+    def test_aws_serverless_beats_gcp_serverless(self, bench, planner, w120):
+        aws_result = run(bench, planner, w120, "aws", "mobilenet", "serverless")
+        gcp_result = run(bench, planner, w120, "gcp", "mobilenet", "serverless")
+        assert aws_result.average_latency < gcp_result.average_latency
+        assert aws_result.cost < gcp_result.cost
+
+    def test_gcp_overprovisions_instances(self, bench, planner, w40):
+        aws_result = run(bench, planner, w40, "aws", "vgg", "serverless")
+        gcp_result = run(bench, planner, w40, "gcp", "vgg", "serverless")
+        assert (gcp_result.usage.instances_created
+                > 1.5 * aws_result.usage.instances_created)
+
+    def test_ort_improves_latency_and_cost(self, bench, planner, w120):
+        tf = run(bench, planner, w120, "gcp", "mobilenet", "serverless",
+                 runtime="tf1.15")
+        ort = run(bench, planner, w120, "gcp", "mobilenet", "serverless",
+                  runtime="ort1.4")
+        assert tf.average_latency / ort.average_latency > 1.3
+        assert tf.cost / ort.cost > 1.3
+
+    def test_ort_gain_larger_for_mobilenet_than_vgg(self, bench, planner,
+                                                    w120):
+        gains = {}
+        for model in ("mobilenet", "vgg"):
+            tf = run(bench, planner, w120, "aws", model, "serverless",
+                     runtime="tf1.15")
+            ort = run(bench, planner, w120, "aws", model, "serverless",
+                      runtime="ort1.4")
+            gains[model] = tf.average_latency / ort.average_latency
+        assert gains["mobilenet"] > gains["vgg"]
+
+    def test_memory_reduces_vgg_latency_more_than_mobilenet(self, bench,
+                                                            planner, w120):
+        reductions = {}
+        for model in ("mobilenet", "vgg"):
+            small = run(bench, planner, w120, "aws", model, "serverless",
+                        memory_gb=2.0)
+            large = run(bench, planner, w120, "aws", model, "serverless",
+                        memory_gb=8.0)
+            reductions[model] = small.average_latency - large.average_latency
+        assert reductions["vgg"] > reductions["mobilenet"]
+
+    def test_batching_cuts_cost_but_raises_latency(self, bench, planner,
+                                                   w120):
+        plain = run(bench, planner, w120, "aws", "mobilenet", "serverless")
+        batched = run(bench, planner, w120, "aws", "mobilenet", "serverless",
+                      batch_size=8)
+        assert batched.cost < plain.cost
+        assert batched.average_latency > 2 * plain.average_latency

@@ -1,0 +1,96 @@
+"""Tests for deployment specifications and request records."""
+
+import pytest
+
+from repro.cloud import aws
+from repro.models import get_model
+from repro.runtimes import get_runtime
+from repro.serving import Deployment, PlatformKind, RequestOutcome, ServiceConfig
+from repro.serving.records import Stage
+
+
+class TestServiceConfig:
+    def test_defaults_match_paper(self):
+        config = ServiceConfig()
+        assert config.platform == PlatformKind.SERVERLESS
+        assert config.memory_gb == 2.0
+        assert config.batch_size == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(platform="mainframe")
+        with pytest.raises(ValueError):
+            ServiceConfig(memory_gb=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(provisioned_concurrency=-1)
+        with pytest.raises(ValueError):
+            ServiceConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(extra_download_mb=-1)
+        with pytest.raises(ValueError):
+            ServiceConfig(samples_per_request=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(initial_instances=0)
+
+    def test_replace(self):
+        config = ServiceConfig()
+        bigger = config.replace(memory_gb=8.0)
+        assert bigger.memory_gb == 8.0
+        assert config.memory_gb == 2.0
+
+
+class TestDeployment:
+    def test_labels_and_instance_types(self):
+        provider = aws()
+        deployment = Deployment(provider=provider, model=get_model("mobilenet"),
+                                runtime=get_runtime("tf1.15"),
+                                config=ServiceConfig(platform=PlatformKind.CPU_SERVER))
+        assert "aws-cpu_server/mobilenet/tf1.15" == deployment.label
+        assert deployment.instance_type() == "m5.2xlarge"
+        gpu = deployment.with_config(platform=PlatformKind.GPU_SERVER)
+        assert gpu.instance_type() == "g4dn.2xlarge"
+
+    def test_managed_requires_supported_runtime(self):
+        provider = aws()
+        with pytest.raises(ValueError):
+            Deployment(provider=provider, model=get_model("mobilenet"),
+                       runtime=get_runtime("ort1.4"),
+                       config=ServiceConfig(platform=PlatformKind.MANAGED_ML))
+
+    def test_serverless_has_no_instance_type(self):
+        deployment = Deployment(provider=aws(), model=get_model("vgg"),
+                                runtime=get_runtime("tf1.15"))
+        assert deployment.instance_type() == ""
+
+    def test_explicit_instance_type_wins(self):
+        deployment = Deployment(
+            provider=aws(), model=get_model("vgg"), runtime=get_runtime("tf1.15"),
+            config=ServiceConfig(platform=PlatformKind.CPU_SERVER,
+                                 instance_type="g4dn.2xlarge"))
+        assert deployment.instance_type() == "g4dn.2xlarge"
+
+
+class TestRequestOutcome:
+    def test_latency_requires_completion(self):
+        outcome = RequestOutcome(request_id=1, client_id=0, send_time=10.0)
+        assert outcome.latency is None
+        outcome.finish(12.5, success=True)
+        assert outcome.latency == pytest.approx(2.5)
+        assert outcome.success
+
+    def test_finish_before_send_rejected(self):
+        outcome = RequestOutcome(request_id=1, client_id=0, send_time=10.0)
+        with pytest.raises(ValueError):
+            outcome.finish(9.0, success=True)
+
+    def test_stage_accumulation(self):
+        outcome = RequestOutcome(request_id=1, client_id=0, send_time=0.0)
+        outcome.add_stage(Stage.NETWORK, 0.1)
+        outcome.add_stage(Stage.NETWORK, 0.2)
+        assert outcome.stage(Stage.NETWORK) == pytest.approx(0.3)
+        assert outcome.stage(Stage.PREDICT) == 0.0
+        with pytest.raises(ValueError):
+            outcome.add_stage(Stage.PREDICT, -0.1)
+
+    def test_stage_vocabulary(self):
+        assert set(Stage.COLD_ONLY) <= set(Stage.ORDER)

@@ -1,0 +1,106 @@
+"""Unit tests for random streams and monitors."""
+
+import numpy as np
+import pytest
+
+from repro.sim import CounterMonitor, GaugeMonitor, RandomStreams, TimeSeriesMonitor
+
+
+class TestRandomStreams:
+    def test_same_seed_same_draws(self):
+        a = RandomStreams(42)
+        b = RandomStreams(42)
+        assert a.exponential("x", 1.0) == b.exponential("x", 1.0)
+        assert a.uniform("y", 0, 1) == b.uniform("y", 0, 1)
+
+    def test_different_streams_are_independent(self):
+        streams = RandomStreams(42)
+        # Consuming from one stream must not change another's next draw.
+        fresh = RandomStreams(42)
+        fresh.exponential("other", 1.0)
+        assert (streams.exponential("main", 1.0)
+                == fresh.exponential("main", 1.0))
+
+    def test_lognormal_mean_is_calibrated(self):
+        streams = RandomStreams(1)
+        draws = [streams.lognormal_around("jitter", 2.0, 0.2)
+                 for _ in range(4000)]
+        assert np.mean(draws) == pytest.approx(2.0, rel=0.05)
+
+    def test_lognormal_zero_cv_is_deterministic(self):
+        streams = RandomStreams(1)
+        assert streams.lognormal_around("x", 3.0, 0.0) == 3.0
+
+    def test_validation(self):
+        streams = RandomStreams(0)
+        with pytest.raises(ValueError):
+            streams.exponential("x", 0.0)
+        with pytest.raises(ValueError):
+            streams.uniform("x", 2.0, 1.0)
+        with pytest.raises(ValueError):
+            streams.lognormal_around("x", -1.0, 0.1)
+        with pytest.raises(ValueError):
+            streams.choice("x", 0)
+
+    def test_choice_in_range(self):
+        streams = RandomStreams(9)
+        values = {streams.choice("pick", 5) for _ in range(200)}
+        assert values <= {0, 1, 2, 3, 4}
+        assert len(values) > 1
+
+    def test_fork_changes_draws(self):
+        base = RandomStreams(7)
+        forked = base.fork(1)
+        assert base.uniform("x", 0, 1) != forked.uniform("x", 0, 1)
+
+
+class TestTimeSeriesMonitor:
+    def test_record_and_lookup(self):
+        series = TimeSeriesMonitor()
+        series.record(0.0, 1.0)
+        series.record(10.0, 5.0)
+        assert series.value_at(-1.0) == 0.0
+        assert series.value_at(0.0) == 1.0
+        assert series.value_at(9.9) == 1.0
+        assert series.value_at(10.0) == 5.0
+
+    def test_out_of_order_rejected(self):
+        series = TimeSeriesMonitor()
+        series.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            series.record(4.0, 2.0)
+
+    def test_resample(self):
+        series = TimeSeriesMonitor()
+        series.record(0.0, 1.0)
+        series.record(2.0, 3.0)
+        assert series.resample([0.0, 1.0, 2.0, 3.0]) == [1.0, 1.0, 3.0, 3.0]
+
+    def test_max_and_len(self):
+        series = TimeSeriesMonitor()
+        assert series.max() == 0.0
+        series.record(0.0, 2.0)
+        series.record(1.0, 7.0)
+        assert series.max() == 7.0
+        assert len(series) == 2
+
+
+class TestCounterAndGauge:
+    def test_counter_increments(self):
+        counter = CounterMonitor()
+        counter.increment("requests")
+        counter.increment("requests", 2.0)
+        assert counter.get("requests") == 3.0
+        assert counter.get("missing") == 0.0
+
+    def test_counter_rejects_negative(self):
+        counter = CounterMonitor()
+        with pytest.raises(ValueError):
+            counter.increment("x", -1.0)
+
+    def test_gauge_tracks_history(self):
+        gauge = GaugeMonitor("instances")
+        gauge.set(0.0, 1.0)
+        gauge.add(5.0, 2.0)
+        assert gauge.value == 3.0
+        assert gauge.history.as_pairs() == [(0.0, 1.0), (5.0, 3.0)]

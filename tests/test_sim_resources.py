@@ -1,0 +1,138 @@
+"""Unit tests for Resource and Store."""
+
+import pytest
+
+from repro.sim import Resource, SimulationError, Store
+
+
+class TestResource:
+    def test_capacity_validation(self, env):
+        with pytest.raises(SimulationError):
+            Resource(env, capacity=0)
+
+    def test_grants_up_to_capacity(self, env):
+        resource = Resource(env, capacity=2)
+        first = resource.request()
+        second = resource.request()
+        third = resource.request()
+        assert first.triggered and second.triggered
+        assert not third.triggered
+        assert resource.count == 2
+        assert resource.queue_length == 1
+
+    def test_release_grants_next_in_fifo_order(self, env):
+        resource = Resource(env, capacity=1)
+        first = resource.request()
+        second = resource.request()
+        third = resource.request()
+        resource.release(first)
+        assert second.triggered
+        assert not third.triggered
+
+    def test_release_unknown_request_rejected(self, env):
+        resource = Resource(env, capacity=1)
+        resource.request()
+        stranger = resource.request()
+        with pytest.raises(SimulationError):
+            resource.release(stranger)
+
+    def test_cancel_waiting_request(self, env):
+        resource = Resource(env, capacity=1)
+        held = resource.request()
+        waiting = resource.request()
+        resource.cancel(waiting)
+        resource.release(held)
+        assert not waiting.triggered
+        assert resource.count == 0
+
+    def test_resize_grants_waiting_requests(self, env):
+        resource = Resource(env, capacity=1)
+        resource.request()
+        waiting = resource.request()
+        assert not waiting.triggered
+        resource.resize(2)
+        assert waiting.triggered
+        assert resource.capacity == 2
+
+    def test_resize_validation(self, env):
+        resource = Resource(env, capacity=1)
+        with pytest.raises(SimulationError):
+            resource.resize(0)
+
+    def test_usage_in_processes(self, env):
+        """Two workers sharing one slot serialise their critical sections."""
+        resource = Resource(env, capacity=1)
+        timeline = []
+
+        def worker(name, hold):
+            claim = resource.request()
+            yield claim
+            timeline.append((name, "start", env.now))
+            yield env.timeout(hold)
+            resource.release(claim)
+            timeline.append((name, "end", env.now))
+
+        env.process(worker("a", 2.0))
+        env.process(worker("b", 1.0))
+        env.run()
+        assert timeline == [("a", "start", 0.0), ("a", "end", 2.0),
+                            ("b", "start", 2.0), ("b", "end", 3.0)]
+
+
+class TestStore:
+    def test_put_then_get(self, env):
+        store = Store(env)
+        store.put("x")
+        got = store.get()
+        assert got.triggered
+        assert got.value == "x"
+
+    def test_get_waits_for_put(self, env):
+        store = Store(env)
+        got = store.get()
+        assert not got.triggered
+        store.put("late")
+        assert got.triggered and got.value == "late"
+
+    def test_fifo_ordering(self, env):
+        store = Store(env)
+        for item in (1, 2, 3):
+            store.put(item)
+        values = [store.get().value for _ in range(3)]
+        assert values == [1, 2, 3]
+
+    def test_capacity_blocks_puts(self, env):
+        store = Store(env, capacity=1)
+        first = store.put("a")
+        second = store.put("b")
+        assert first.triggered
+        assert not second.triggered
+        store.get()
+        assert second.triggered
+
+    def test_capacity_validation(self, env):
+        with pytest.raises(SimulationError):
+            Store(env, capacity=0)
+
+    def test_cancel_get(self, env):
+        store = Store(env)
+        pending = store.get()
+        store.cancel_get(pending)
+        store.put("item")
+        # The cancelled get must not consume the item.
+        assert store.size == 1
+        assert not pending.triggered
+
+    def test_cancel_get_after_grant_is_noop(self, env):
+        store = Store(env)
+        store.put("x")
+        got = store.get()
+        store.cancel_get(got)
+        assert got.triggered and got.value == "x"
+
+    def test_size_property(self, env):
+        store = Store(env)
+        assert store.size == 0
+        store.put(1)
+        store.put(2)
+        assert store.size == 2

@@ -1,0 +1,214 @@
+"""Tests for the extension tools (navigator, tuner, batching, hybrid, cost)."""
+
+import pytest
+
+from repro.cloud import aws, gcp
+from repro.models import LatencyProfiles, get_model
+from repro.runtimes import get_runtime
+from repro.tools import (
+    AdaptiveBatchingPolicy,
+    CostEstimator,
+    DesignSpaceNavigator,
+    HybridPlanner,
+    MemoryTuner,
+    NavigationConstraints,
+)
+from repro.workload.generator import standard_workload
+
+
+@pytest.fixture
+def estimator():
+    return CostEstimator(provider=aws(), profiles=LatencyProfiles())
+
+
+class TestCostEstimator:
+    def test_serverless_estimate_components(self, estimator):
+        estimate = estimator.serverless(get_model("mobilenet"),
+                                        get_runtime("tf1.15"), 15_000)
+        assert estimate.total == pytest.approx(
+            estimate.execution_cost + estimate.request_cost)
+        assert estimate.total > 0
+        assert estimate.billed_seconds > 0
+
+    def test_estimate_scales_with_requests(self, estimator):
+        small = estimator.serverless(get_model("mobilenet"),
+                                     get_runtime("tf1.15"), 1_000).total
+        large = estimator.serverless(get_model("mobilenet"),
+                                     get_runtime("tf1.15"), 100_000).total
+        assert large > 50 * small
+
+    def test_estimate_in_paper_ballpark(self, estimator):
+        """AWS MobileNet w-40 cost ~ $0.05 in Table 1."""
+        estimate = estimator.serverless(get_model("mobilenet"),
+                                        get_runtime("tf1.15"), 15_000)
+        assert 0.01 < estimate.total < 0.15
+
+    def test_gcp_cold_fraction_matters(self):
+        gcp_estimator = CostEstimator(provider=gcp(), profiles=LatencyProfiles())
+        cheap = gcp_estimator.serverless(get_model("mobilenet"),
+                                         get_runtime("tf1.15"), 10_000,
+                                         cold_start_fraction=0.0).total
+        pricey = gcp_estimator.serverless(get_model("mobilenet"),
+                                          get_runtime("tf1.15"), 10_000,
+                                          cold_start_fraction=0.05).total
+        assert pricey > cheap
+
+    def test_vm_and_managed_estimates(self, estimator):
+        assert estimator.vm("m5.2xlarge", 3600) == pytest.approx(0.384)
+        assert estimator.managed_ml(None, 3600, instances=2) == pytest.approx(1.12)
+
+    def test_capacity_estimates(self, estimator):
+        cpu = estimator.server_capacity_rps(get_model("mobilenet"),
+                                            get_runtime("tf1.15"), "cpu", 8)
+        gpu = estimator.server_capacity_rps(get_model("mobilenet"),
+                                            get_runtime("tf1.15"), "gpu", 1)
+        assert gpu > cpu > 1
+
+    def test_validation(self, estimator):
+        with pytest.raises(ValueError):
+            estimator.serverless(get_model("vgg"), get_runtime("tf1.15"), -1)
+        with pytest.raises(ValueError):
+            estimator.vm("m5.2xlarge", -10)
+
+
+class TestHybridPlanner:
+    def test_plan_structure(self):
+        planner = HybridPlanner(provider=aws(), model=get_model("mobilenet"),
+                                runtime=get_runtime("tf1.15"))
+        workload = standard_workload("w-120", seed=2, scale=0.15)
+        plan = planner.plan(workload.trace)
+        assert plan.servers >= 1
+        assert 0 <= plan.overflow_fraction <= 1
+        assert plan.hybrid_cost == pytest.approx(
+            plan.server_cost + plan.serverless_overflow_cost)
+        assert plan.best_strategy() in ("hybrid", "serverless", "server")
+
+    def test_pure_server_sized_for_peak(self):
+        planner = HybridPlanner(provider=aws(), model=get_model("vgg"),
+                                runtime=get_runtime("tf1.15"))
+        workload = standard_workload("w-200", seed=2, scale=0.1)
+        plan = planner.plan(workload.trace)
+        assert plan.pure_server_instances >= plan.servers
+        assert plan.pure_server_cost >= plan.server_cost
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            HybridPlanner(provider=aws(), model=get_model("vgg"),
+                          runtime=get_runtime("tf1.15"),
+                          base_load_percentile=0.0)
+
+
+class TestAdaptiveBatching:
+    def test_latency_grows_with_batch(self):
+        policy = AdaptiveBatchingPolicy(provider="aws", model="mobilenet",
+                                        runtime="ort1.4", latency_slo_s=1.0)
+        assert (policy.expected_latency(8, 40.0)
+                > policy.expected_latency(1, 40.0))
+
+    def test_decision_respects_slo(self):
+        policy = AdaptiveBatchingPolicy(provider="aws", model="vgg",
+                                        runtime="tf1.15", latency_slo_s=2.0)
+        decision = policy.decide(100.0)
+        assert decision.expected_latency_s <= 2.0 or decision.batch_size == 1
+
+    def test_higher_rate_allows_bigger_batches(self):
+        policy = AdaptiveBatchingPolicy(provider="aws", model="mobilenet",
+                                        runtime="ort1.4", latency_slo_s=0.5)
+        slow = policy.decide(2.0).batch_size
+        fast = policy.decide(200.0).batch_size
+        assert fast >= slow
+
+    def test_decision_schedule(self):
+        policy = AdaptiveBatchingPolicy(provider="aws", model="mobilenet",
+                                        runtime="ort1.4", latency_slo_s=0.5)
+        schedule = policy.decision_schedule([5.0, 50.0, 150.0])
+        assert len(schedule) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveBatchingPolicy(provider="aws", model="vgg",
+                                   runtime="tf1.15", latency_slo_s=0.0)
+        policy = AdaptiveBatchingPolicy(provider="aws", model="vgg",
+                                        runtime="tf1.15", latency_slo_s=1.0)
+        with pytest.raises(ValueError):
+            policy.expected_latency(0, 10.0)
+        with pytest.raises(ValueError):
+            policy.expected_latency(1, 0.0)
+
+    def test_evaluate_on_simulator(self):
+        policy = AdaptiveBatchingPolicy(provider="aws", model="mobilenet",
+                                        runtime="ort1.4", latency_slo_s=1.0)
+        workload = standard_workload("w-40", seed=4, scale=0.05)
+        outcome = policy.evaluate(workload)
+        assert outcome["batch_size"] >= 1
+        assert outcome["cost_usd"] > 0
+
+
+class TestMemoryTuner:
+    def test_tuning_prefers_larger_memory_for_vgg_latency_target(self):
+        tuner = MemoryTuner()
+        workload = standard_workload("w-40", seed=4, scale=0.05)
+        outcome = tuner.tune("aws", "vgg", "tf1.15", workload,
+                             candidates_gb=(2.0, 8.0),
+                             latency_target_s=1.0)
+        assert outcome.rows[0]["memory_gb"] == 2.0
+        if outcome.met_target:
+            assert outcome.best_memory_gb == 8.0
+
+    def test_without_target_picks_balanced_option(self):
+        tuner = MemoryTuner()
+        workload = standard_workload("w-40", seed=4, scale=0.05)
+        outcome = tuner.tune("aws", "mobilenet", "ort1.4", workload,
+                             candidates_gb=(2.0, 4.0))
+        assert outcome.best_memory_gb in (2.0, 4.0)
+        assert len(outcome.rows) == 2
+
+    def test_empty_candidates_rejected(self):
+        tuner = MemoryTuner()
+        workload = standard_workload("w-40", seed=4, scale=0.05)
+        with pytest.raises(ValueError):
+            tuner.tune("aws", "vgg", "tf1.15", workload, candidates_gb=())
+
+
+class TestNavigator:
+    def test_constraints_validation(self):
+        with pytest.raises(ValueError):
+            NavigationConstraints(objective="throughput")
+        with pytest.raises(ValueError):
+            NavigationConstraints(min_success_ratio=1.5)
+
+    def test_constraint_checks(self):
+        constraints = NavigationConstraints(max_latency_s=1.0,
+                                            max_cost_usd=0.5)
+        assert constraints.is_satisfied(0.5, 1.0, 0.1)
+        assert not constraints.is_satisfied(2.0, 1.0, 0.1)
+        assert not constraints.is_satisfied(0.5, 0.9, 0.1)
+        assert not constraints.is_satisfied(0.5, 1.0, 0.9)
+
+    def test_search_finds_feasible_configuration(self):
+        navigator = DesignSpaceNavigator(provider="aws", model="mobilenet",
+                                         memory_sizes_gb=(2.0,),
+                                         batch_sizes=(1,))
+        workload = standard_workload("w-40", seed=4, scale=0.05)
+        outcome = navigator.search(workload,
+                                   NavigationConstraints(max_latency_s=1.0))
+        assert outcome.found
+        assert outcome.best["feasible"]
+        assert len(outcome.evaluated) == 2  # two runtimes
+
+    def test_infeasible_constraints_yield_no_best(self):
+        navigator = DesignSpaceNavigator(provider="aws", model="vgg",
+                                         runtimes=("tf1.15",),
+                                         memory_sizes_gb=(2.0,),
+                                         batch_sizes=(1,))
+        workload = standard_workload("w-40", seed=4, scale=0.05)
+        outcome = navigator.search(
+            workload, NavigationConstraints(max_latency_s=0.001))
+        assert not outcome.found
+        assert outcome.evaluated
+
+    def test_candidate_grid_with_servers(self):
+        navigator = DesignSpaceNavigator(provider="aws", model="mobilenet",
+                                         include_servers=True)
+        kinds = {candidate["platform"] for candidate in navigator.candidates()}
+        assert "cpu_server" in kinds and "gpu_server" in kinds

@@ -1,0 +1,146 @@
+"""Unit and property-based tests for arrival traces and the splitter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.splitter import merge_traces, split_trace
+from repro.workload.traces import ArrivalTrace
+
+
+def make_trace(times, name="t"):
+    return ArrivalTrace(np.asarray(sorted(times), dtype=float), name=name)
+
+
+class TestArrivalTrace:
+    def test_basic_properties(self):
+        trace = make_trace([0.0, 1.0, 2.0, 4.0])
+        assert trace.count == 4
+        assert trace.duration == 4.0
+        assert trace.mean_rate == pytest.approx(1.0)
+
+    def test_empty_trace(self):
+        trace = make_trace([])
+        assert trace.count == 0
+        assert trace.duration == 0.0
+        assert trace.mean_rate == 0.0
+        assert trace.peak_rate() == 0.0
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            ArrivalTrace(np.array([2.0, 1.0]))
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ValueError):
+            ArrivalTrace(np.array([-1.0, 1.0]))
+
+    def test_rate_series_counts_all_requests(self):
+        trace = make_trace([0.1, 0.2, 1.5, 2.7, 2.8, 2.9])
+        times, rates = trace.rate_series(1.0)
+        assert rates.sum() == pytest.approx(trace.count)
+        assert times[0] == 0.0
+
+    def test_peak_rate(self):
+        trace = make_trace([0.1, 0.2, 0.3, 5.0])
+        assert trace.peak_rate(1.0) == 3.0
+
+    def test_shifted(self):
+        trace = make_trace([1.0, 2.0])
+        shifted = trace.shifted(3.0)
+        assert list(shifted.times) == [4.0, 5.0]
+        with pytest.raises(ValueError):
+            trace.shifted(-5.0)
+
+    def test_scaled_rate(self):
+        trace = make_trace([2.0, 4.0])
+        faster = trace.scaled_rate(2.0)
+        assert list(faster.times) == [1.0, 2.0]
+        with pytest.raises(ValueError):
+            trace.scaled_rate(0.0)
+
+    def test_window(self):
+        trace = make_trace([1.0, 2.0, 3.0, 4.0])
+        window = trace.window(2.0, 4.0)
+        assert list(window.times) == [0.0, 1.0]
+
+    def test_subsample_bounds(self):
+        trace = make_trace(np.linspace(0, 100, 1000))
+        thinned = trace.subsampled(0.5, seed=1)
+        assert 300 < thinned.count < 700
+        with pytest.raises(ValueError):
+            trace.subsampled(0.0)
+
+    def test_interarrival_times(self):
+        trace = make_trace([1.0, 3.0, 6.0])
+        assert list(trace.interarrival_times()) == [2.0, 3.0]
+
+    def test_summary_keys(self):
+        summary = make_trace([0.0, 1.0]).summary()
+        assert {"name", "requests", "duration_s", "mean_rate",
+                "peak_rate_1s"} <= set(summary)
+
+
+class TestSplitter:
+    def test_split_preserves_all_arrivals(self):
+        trace = make_trace(np.linspace(0, 10, 37))
+        parts = split_trace(trace, 8)
+        assert sum(len(p) for p in parts) == trace.count
+
+    def test_split_round_robin_even(self):
+        trace = make_trace(np.linspace(0, 10, 40))
+        parts = split_trace(trace, 8)
+        assert all(len(p) == 5 for p in parts)
+
+    def test_merge_inverts_split(self):
+        trace = make_trace(np.sort(np.random.default_rng(0).uniform(0, 100, 200)))
+        merged = merge_traces(split_trace(trace, 8))
+        assert np.allclose(merged.times, trace.times)
+
+    def test_split_validation(self):
+        with pytest.raises(ValueError):
+            split_trace(make_trace([1.0]), 0)
+
+    def test_merge_empty(self):
+        merged = merge_traces([])
+        assert merged.count == 0
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+arrival_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1000.0, allow_nan=False,
+              allow_infinity=False),
+    min_size=0, max_size=200)
+
+
+class TestTraceProperties:
+    @given(arrival_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_rate_series_conserves_requests(self, times):
+        trace = ArrivalTrace.from_times(times)
+        _, rates = trace.rate_series(1.0)
+        assert rates.sum() == pytest.approx(trace.count)
+
+    @given(arrival_lists, st.integers(min_value=1, max_value=16))
+    @settings(max_examples=60, deadline=None)
+    def test_split_merge_roundtrip(self, times, clients):
+        trace = ArrivalTrace.from_times(times)
+        merged = merge_traces(split_trace(trace, clients))
+        assert merged.count == trace.count
+        assert np.allclose(np.sort(merged.times), np.sort(trace.times))
+
+    @given(arrival_lists, st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_subsample_never_grows(self, times, fraction):
+        trace = ArrivalTrace.from_times(times)
+        thinned = trace.subsampled(fraction, seed=0)
+        assert thinned.count <= trace.count
+        assert np.all(np.diff(thinned.times) >= 0) if thinned.count else True
+
+    @given(arrival_lists, st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=60, deadline=None)
+    def test_scaled_rate_preserves_count(self, times, factor):
+        trace = ArrivalTrace.from_times(times)
+        assert trace.scaled_rate(factor).count == trace.count
