@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""Engine throughput benchmark: events/s and simulated-requests/s.
+
+Runs the paper's three standard workloads (w-40 / w-120 / w-200) against
+the AWS serverless deployment — the cell the seed engine was profiled on
+— and reports wall-clock, simulated requests per second, and calendar
+events per second.  Results are written to ``BENCH_engine.json`` so
+future PRs can track the perf trajectory.
+
+Usage::
+
+    python benchmarks/bench_engine_throughput.py              # full sweep
+    python benchmarks/bench_engine_throughput.py --scale 0.2  # quicker sweep
+    python benchmarks/bench_engine_throughput.py --check      # CI smoke gate
+
+``--check`` runs only the small fixed probe cell (well under 30 s), then
+compares its throughput against the probe entry recorded in
+``BENCH_engine.json`` and exits non-zero if it regressed by more than
+30 % — a cheap guard against accidentally pessimising the hot path.
+
+The recorded numbers are machine-relative: absolute req/s on a CI
+runner differs from the dev box the JSON was generated on.  For a
+trustworthy gate, regenerate the baseline on the machine that will run
+``--check`` (run the full sweep once there); the committed file mainly
+documents the perf trajectory across PRs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+from repro.core.benchmark import ServingBenchmark  # noqa: E402
+from repro.core.planner import Planner  # noqa: E402
+from repro.workload.generator import standard_workload  # noqa: E402
+
+#: Where the trajectory file lives (repo root, next to CHANGES.md).
+DEFAULT_OUTPUT = os.path.join(ROOT, "BENCH_engine.json")
+
+#: Throughput of the seed engine on a full w-40 serverless run
+#: (profiled before the fast-path rework: ~4.2 s for 15 171 requests).
+SEED_BASELINE_RPS = 3600.0
+
+#: The --check probe: one fixed compressed cell, repeatable in seconds.
+CHECK_WORKLOAD = "w-40"
+CHECK_SCALE = 0.3
+
+#: Allowed throughput regression before --check fails.
+CHECK_TOLERANCE = 0.30
+
+WORKLOADS = ("w-40", "w-120", "w-200")
+SEED = 7
+
+
+def run_cell(workload_name: str, scale: float, repeats: int = 1) -> dict:
+    """Run one serverless cell and report its throughput (best of N)."""
+    deployment = Planner().plan("aws", "mobilenet", "tf1.15", "serverless")
+    workload = standard_workload(workload_name, seed=SEED, scale=scale)
+    best = None
+    result = None
+    for _ in range(max(repeats, 1)):
+        bench = ServingBenchmark(seed=SEED)
+        started = time.perf_counter()
+        result = bench.run(deployment, workload)
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    events = int(result.metadata.get("events_processed", 0))
+    return {
+        "workload": workload_name,
+        "scale": scale,
+        "requests": result.total_requests,
+        "events": events,
+        "wall_s": round(best, 3),
+        "requests_per_s": round(result.total_requests / best, 1),
+        "events_per_s": round(events / best, 1),
+        "success_ratio": round(result.success_ratio, 4),
+    }
+
+
+def run_sweep(scale: float, repeats: int) -> dict:
+    """The full sweep plus the --check probe; returns the report payload."""
+    results = []
+    for name in WORKLOADS:
+        entry = run_cell(name, scale, repeats)
+        entry["speedup_vs_seed"] = round(
+            entry["requests_per_s"] / SEED_BASELINE_RPS, 2)
+        results.append(entry)
+        print(f"{name:>6} x{scale:<5g} {entry['wall_s']:>8.3f}s "
+              f"{entry['requests_per_s']:>10,.0f} req/s "
+              f"{entry['events_per_s']:>12,.0f} ev/s "
+              f"({entry['speedup_vs_seed']:.2f}x vs seed)")
+    probe = run_cell(CHECK_WORKLOAD, CHECK_SCALE, repeats)
+    print(f" probe x{CHECK_SCALE:<5g} {probe['wall_s']:>8.3f}s "
+          f"{probe['requests_per_s']:>10,.0f} req/s")
+    return {
+        "bench": "engine-throughput",
+        "cell": "aws/mobilenet/tf1.15/serverless",
+        "seed": SEED,
+        "seed_baseline_requests_per_s": SEED_BASELINE_RPS,
+        "results": results,
+        "check_probe": probe,
+    }
+
+
+def run_check(path: str) -> int:
+    """CI smoke gate: fail if the probe regressed > CHECK_TOLERANCE."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            recorded = json.load(handle)
+    except FileNotFoundError:
+        print(f"error: no {path}; run the full benchmark first",
+              file=sys.stderr)
+        return 2
+    reference = recorded.get("check_probe")
+    if not reference:
+        print(f"error: {path} has no check_probe entry", file=sys.stderr)
+        return 2
+    probe = run_cell(CHECK_WORKLOAD, CHECK_SCALE, repeats=2)
+    floor = reference["requests_per_s"] * (1.0 - CHECK_TOLERANCE)
+    verdict = "OK" if probe["requests_per_s"] >= floor else "REGRESSION"
+    print(f"probe: {probe['requests_per_s']:,.0f} req/s "
+          f"(recorded {reference['requests_per_s']:,.0f}, "
+          f"floor {floor:,.0f}) -> {verdict}")
+    return 0 if verdict == "OK" else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the simulation engine's throughput.")
+    parser.add_argument("--check", action="store_true",
+                        help="fast CI gate: compare the probe cell against "
+                             "the recorded BENCH_engine.json")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="time-compression for the sweep workloads "
+                             "(1.0 = the paper's full 15-minute runs)")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="timing repeats per cell (best is kept)")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help="where to write / read the JSON report")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        return run_check(args.output)
+
+    payload = run_sweep(args.scale, args.repeats)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,11 @@ scale, while compressed runs assert the direction of each finding.
 The experiment context is session-scoped so that cells shared between
 experiments (e.g. Figure 5 and Table 1 use the same runs) are simulated
 only once.
+
+Independent (deployment, workload) cells are fanned out over worker
+processes: ``REPRO_BENCH_WORKERS`` sets the pool size (default: one per
+core, capped at 4; ``0`` forces serial).  Parallel runs are bit-identical
+to serial ones because every cell reseeds its own RNG.
 """
 
 from __future__ import annotations
@@ -36,11 +41,22 @@ def _bench_scale() -> float:
     return scale
 
 
+def _bench_workers() -> int:
+    raw = os.environ.get("REPRO_BENCH_WORKERS", "")
+    if raw.strip():
+        try:
+            return int(raw)
+        except ValueError as exc:
+            raise ValueError(f"invalid REPRO_BENCH_WORKERS: {raw!r}") from exc
+    return min(os.cpu_count() or 1, 4)
+
+
 @pytest.fixture(scope="session")
 def context() -> ExperimentContext:
     """Shared experiment context (shared run cache) for all benchmarks."""
     return ExperimentContext(seed=7, scale=_bench_scale(),
-                             providers=("aws", "gcp"))
+                             providers=("aws", "gcp"),
+                             workers=_bench_workers())
 
 
 @pytest.fixture(scope="session")

@@ -64,25 +64,53 @@ class ServingBenchmark:
             usage=usage,
             duration_s=end_time,
             workload_scale=workload_scale,
+            metadata={"events_processed": float(env.events_processed)},
         )
 
     def run_many(self, deployments: Iterable[Deployment],
                  workload: Workload,
-                 workload_scale: float = 1.0) -> List[RunResult]:
-        """Run the same workload against several deployments."""
+                 workload_scale: float = 1.0,
+                 workers: int = 0) -> List[RunResult]:
+        """Run the same workload against several deployments.
+
+        ``workers`` > 1 fans the independent cells out over that many
+        worker processes (see :mod:`repro.core.parallel`); results are
+        bit-identical to serial mode because every cell reseeds its own
+        RNG from this benchmark's seed.
+        """
+        deployments = list(deployments)
+        if workers and workers != 1 and len(deployments) > 1:
+            from repro.core.parallel import run_cells
+            return run_cells(self, [(d, workload, workload_scale)
+                                    for d in deployments], workers)
         return [self.run(deployment, workload, workload_scale)
                 for deployment in deployments]
 
     def run_matrix(self, deployments: Iterable[Deployment],
                    workloads: Iterable[Workload],
-                   workload_scale: float = 1.0) -> Dict[str, List[RunResult]]:
-        """Run every deployment under every workload, keyed by workload name."""
-        results: Dict[str, List[RunResult]] = {}
+                   workload_scale: float = 1.0,
+                   workers: int = 0) -> Dict[str, List[RunResult]]:
+        """Run every deployment under every workload, keyed by workload name.
+
+        With ``workers`` > 1 the whole (deployment, workload) grid is
+        flattened and fanned out at once, so the pool stays busy even
+        when individual workloads have few deployments.
+        """
         deployments = list(deployments)
-        for workload in workloads:
-            results[workload.name] = self.run_many(deployments, workload,
-                                                   workload_scale)
-        return results
+        workloads = list(workloads)
+        if workers and workers != 1 and len(deployments) * len(workloads) > 1:
+            from repro.core.parallel import run_cells
+            cells = [(deployment, workload, workload_scale)
+                     for workload in workloads for deployment in deployments]
+            flat = run_cells(self, cells, workers)
+            results = {}
+            for index, workload in enumerate(workloads):
+                start = index * len(deployments)
+                results[workload.name] = flat[start:start + len(deployments)]
+            return results
+        return {workload.name: self.run_many(deployments, workload,
+                                             workload_scale)
+                for workload in workloads}
 
     # -- internals -------------------------------------------------------------
     @staticmethod

@@ -1,0 +1,89 @@
+"""Parallel fan-out of independent experiment cells.
+
+Every (deployment, workload) cell of the paper's grids is an independent
+simulation: :meth:`~repro.core.benchmark.ServingBenchmark.run` builds a
+fresh :class:`~repro.sim.Environment` and seeds a fresh
+:class:`~repro.sim.RandomStreams` from the benchmark's seed, so no state
+leaks between cells.  That makes the figure matrices embarrassingly
+parallel — this module fans them out over a ``ProcessPoolExecutor``.
+
+Because each cell derives all of its randomness from its own
+``(benchmark seed, workload)`` pair, parallel execution is **bit-identical**
+to serial execution: the same cells produce the same traces, the same
+outcomes, and the same costs regardless of worker count or completion
+order (``Executor.map`` preserves submission order).
+
+If worker processes cannot be spawned (restricted sandboxes, missing
+semaphores), the fan-out silently degrades to serial execution — cells
+are pure functions, so a retry in-process is always safe.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import TYPE_CHECKING, List, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.benchmark import ServingBenchmark
+    from repro.core.results import RunResult
+    from repro.serving.deployment import Deployment
+    from repro.workload.generator import Workload
+
+__all__ = ["resolve_workers", "run_cells"]
+
+#: One fan-out payload: (benchmark, deployment, workload, workload_scale).
+Cell = Tuple["ServingBenchmark", "Deployment", "Workload", float]
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise a ``workers`` request to an actual worker count.
+
+    ``None`` or ``0`` means serial; a negative value means "one worker
+    per available core"; any positive value is used as-is (it is safe,
+    just pointless, to exceed the core count).
+    """
+    if not workers:
+        return 1
+    if workers < 0:
+        return max(os.cpu_count() or 1, 1)
+    return int(workers)
+
+
+def _run_cell(payload: Cell) -> "RunResult":
+    """Worker entry point: run one cell (must be module-level to pickle)."""
+    benchmark, deployment, workload, workload_scale = payload
+    return benchmark.run(deployment, workload, workload_scale)
+
+
+def run_cells(benchmark: "ServingBenchmark",
+              cells: Sequence[Tuple["Deployment", "Workload", float]],
+              workers: int) -> List["RunResult"]:
+    """Run every cell, fanning out over ``workers`` processes.
+
+    Results come back in the order of ``cells``.  With ``workers <= 1``
+    (or a single cell) everything runs in-process.
+    """
+    payloads: List[Cell] = [(benchmark, deployment, workload, scale)
+                            for deployment, workload, scale in cells]
+    workers = min(resolve_workers(workers), len(payloads))
+    if workers <= 1:
+        return [_run_cell(payload) for payload in payloads]
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+    except ImportError:
+        return [_run_cell(payload) for payload in payloads]
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_run_cell, payloads, chunksize=1))
+    except (BrokenProcessPool, NotImplementedError, OSError,
+            PermissionError) as exc:
+        # Pool could not be created, or a worker died mid-batch.  Cells
+        # are pure, so re-running any partially-dispatched work
+        # in-process cannot change results — but say so, because the
+        # serial rerun can be much slower than the user asked for.
+        warnings.warn(f"worker pool unavailable ({exc!r}); "
+                      f"running {len(payloads)} cells serially",
+                      RuntimeWarning, stacklevel=2)
+        return [_run_cell(payload) for payload in payloads]

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import importlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.analyzer import Analyzer
 from repro.core.benchmark import ServingBenchmark
@@ -67,6 +67,11 @@ class ExperimentResult:
         return "\n".join(lines)
 
 
+#: One prefetchable cell: (provider, model, runtime, platform,
+#: workload_name) plus an optional trailing dict of config overrides.
+CellTuple = tuple
+
+
 @dataclass
 class ExperimentContext:
     """Shared configuration and caches for experiment runs.
@@ -74,11 +79,17 @@ class ExperimentContext:
     ``scale`` compresses the paper's 15-minute workloads in time while
     keeping the request rates (and therefore all queueing behaviour)
     unchanged; 1.0 reproduces the full workloads.
+
+    ``workers`` > 1 lets :meth:`prefetch` fan independent cells out over
+    that many worker processes (0 or 1 = serial, negative = one per
+    core).  Results are bit-identical either way; see
+    :mod:`repro.core.parallel`.
     """
 
     seed: int = 7
     scale: float = 1.0
     providers: Sequence[str] = ("aws", "gcp")
+    workers: int = 0
     benchmark: ServingBenchmark = field(default_factory=lambda: ServingBenchmark(seed=7))
     planner: Planner = field(default_factory=Planner)
     analyzer: Analyzer = field(default_factory=Analyzer)
@@ -99,10 +110,14 @@ class ExperimentContext:
         return self._workloads[name]
 
     # -- runs -------------------------------------------------------------------
+    @staticmethod
+    def _cache_key(deployment: Deployment, workload_name: str) -> str:
+        return f"{deployment.label}|{deployment.config}|{workload_name}"
+
     def run(self, deployment: Deployment, workload_name: str,
             cache_key: Optional[str] = None) -> RunResult:
         """Run one experiment cell, with caching across experiment modules."""
-        key = cache_key or f"{deployment.label}|{deployment.config}|{workload_name}"
+        key = cache_key or self._cache_key(deployment, workload_name)
         if key not in self._runs:
             self._runs[key] = self.benchmark.run(
                 deployment, self.workload(workload_name),
@@ -115,6 +130,42 @@ class ExperimentContext:
         deployment = self.planner.plan(provider, model, runtime, platform,
                                        **config_overrides)
         return self.run(deployment, workload_name)
+
+    def prefetch(self, cells: Iterable[CellTuple]) -> None:
+        """Simulate many cells up front, in parallel when ``workers`` > 1.
+
+        Each cell is ``(provider, model, runtime, platform, workload_name)``
+        with an optional trailing dict of config overrides — the same
+        arguments :meth:`run_cell` takes.  Unknown providers are skipped
+        (mirroring the per-module provider filter), cached cells are not
+        re-run, and every result lands in the shared run cache, so the
+        experiment's subsequent :meth:`run_cell` calls are pure lookups.
+        """
+        pending: List[tuple] = []
+        queued = set()
+        for cell in cells:
+            provider = cell[0]
+            if provider not in self.providers:
+                continue
+            overrides = cell[5] if len(cell) > 5 else {}
+            deployment = self.planner.plan(provider, *cell[1:4], **overrides)
+            workload_name = cell[4]
+            key = self._cache_key(deployment, workload_name)
+            if key in self._runs or key in queued:
+                continue
+            queued.add(key)
+            pending.append((key, deployment, workload_name))
+        if not pending:
+            return
+        from repro.core.parallel import run_cells
+        results = run_cells(
+            self.benchmark,
+            [(deployment, self.workload(workload_name), self.scale)
+             for _key, deployment, workload_name in pending],
+            self.workers)
+        for (key, _deployment, _workload_name), result in zip(pending,
+                                                              results):
+            self._runs[key] = result
 
 
 def format_table(rows: Sequence[Dict[str, object]]) -> str:

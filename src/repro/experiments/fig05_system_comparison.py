@@ -24,6 +24,11 @@ RUNTIME = "tf1.15"
 
 def run(context: ExperimentContext) -> ExperimentResult:
     """Run the full system-comparison matrix."""
+    context.prefetch((provider, model, RUNTIME, platform, workload)
+                     for provider in context.providers
+                     for model in MODELS
+                     for workload in WORKLOADS
+                     for platform in PLATFORMS)
     rows = []
     for provider in context.providers:
         for model in MODELS:

@@ -23,6 +23,10 @@ BIN_S = 60.0
 
 def run(context: ExperimentContext) -> ExperimentResult:
     """Track managed-ML instance counts over time per model."""
+    context.prefetch((provider, model, RUNTIME, PlatformKind.MANAGED_ML,
+                      WORKLOAD)
+                     for provider in context.providers
+                     for model in MODELS)
     rows = []
     series = {}
     for provider in context.providers:

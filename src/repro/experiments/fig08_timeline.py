@@ -24,6 +24,10 @@ BIN_S = 20.0
 
 def run(context: ExperimentContext) -> ExperimentResult:
     """Produce the two latency-over-time panels."""
+    context.prefetch(
+        (provider, model, RUNTIME, platform, workload)
+        for provider, model, workload in PANELS
+        for platform in (PlatformKind.SERVERLESS, PlatformKind.CPU_SERVER))
     rows = []
     series = {}
     for provider, model, workload in PANELS:

@@ -29,6 +29,10 @@ PAPER_COLD_E2E = {
 
 def run(context: ExperimentContext) -> ExperimentResult:
     """Measure the serverless sub-stage breakdown per provider and model."""
+    context.prefetch((provider, model, RUNTIME, PlatformKind.SERVERLESS,
+                      WORKLOAD)
+                     for provider in context.providers
+                     for model in MODELS)
     rows = []
     for provider in context.providers:
         for model in MODELS:

@@ -22,6 +22,10 @@ BIN_S = 60.0
 
 def run(context: ExperimentContext) -> ExperimentResult:
     """Track serverless instance counts over time per model."""
+    context.prefetch((provider, model, RUNTIME, PlatformKind.SERVERLESS,
+                      WORKLOAD)
+                     for provider in context.providers
+                     for model in MODELS)
     rows = []
     series = {}
     for provider in context.providers:

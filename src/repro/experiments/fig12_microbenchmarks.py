@@ -55,6 +55,19 @@ def _warm_e2e(result) -> float:
 
 def run(context: ExperimentContext) -> ExperimentResult:
     """Run the four micro-benchmark sweeps."""
+    sweeps = (
+        ("12a-container-size", "extra_container_mb", CONTAINER_EXTRA_MB),
+        ("12b-download-size", "extra_download_mb", DOWNLOAD_EXTRA_MB),
+        ("12c-input-samples", "samples_per_request", SAMPLES_PER_REQUEST),
+        ("12d-inferences", "inferences_per_request", INFERENCES_PER_REQUEST),
+    )
+    context.prefetch(
+        (provider, model, RUNTIME, PlatformKind.SERVERLESS, WORKLOAD,
+         {option: value})
+        for provider in context.providers
+        for panel, option, values in sweeps
+        for model in PANEL_MODELS[panel]
+        for value in values)
     rows: List[Dict[str, object]] = []
 
     for provider in context.providers:

@@ -22,6 +22,12 @@ RUNTIMES = ("tf1.15", "ort1.4")
 
 def run(context: ExperimentContext) -> ExperimentResult:
     """Compare the two serving runtimes on serverless."""
+    context.prefetch((provider, model, runtime, PlatformKind.SERVERLESS,
+                      workload)
+                     for provider in context.providers
+                     for model in MODELS
+                     for workload in WORKLOADS
+                     for runtime in RUNTIMES)
     rows = []
     for provider in context.providers:
         for model in MODELS:

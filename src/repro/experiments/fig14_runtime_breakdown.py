@@ -29,6 +29,10 @@ PAPER_COLD_E2E = {
 
 def run(context: ExperimentContext) -> ExperimentResult:
     """Measure the per-runtime sub-stage breakdown."""
+    context.prefetch((provider, MODEL, runtime, PlatformKind.SERVERLESS,
+                      WORKLOAD)
+                     for provider in context.providers
+                     for runtime in RUNTIMES)
     rows = []
     for provider in context.providers:
         for runtime in RUNTIMES:

@@ -29,6 +29,11 @@ def run(context: ExperimentContext) -> ExperimentResult:
     if PROVIDER not in context.providers:
         return ExperimentResult(EXPERIMENT_ID, TITLE, rows,
                                 notes={"skipped": "aws not in providers"})
+    context.prefetch((PROVIDER, model, runtime, PlatformKind.SERVERLESS,
+                      WORKLOAD, {"memory_gb": memory_gb})
+                     for model in MODELS
+                     for runtime in RUNTIMES
+                     for memory_gb in MEMORY_SIZES_GB)
     for model in MODELS:
         for runtime in RUNTIMES:
             for memory_gb in MEMORY_SIZES_GB:

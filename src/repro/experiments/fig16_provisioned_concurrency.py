@@ -30,6 +30,11 @@ def run(context: ExperimentContext) -> ExperimentResult:
     if PROVIDER not in context.providers:
         return ExperimentResult(EXPERIMENT_ID, TITLE, rows,
                                 notes={"skipped": "aws not in providers"})
+    context.prefetch((PROVIDER, model, runtime, PlatformKind.SERVERLESS,
+                      WORKLOAD, {"provisioned_concurrency": level})
+                     for model, levels in CONCURRENCY_LEVELS.items()
+                     for runtime in RUNTIMES
+                     for level in levels)
     for model, levels in CONCURRENCY_LEVELS.items():
         for runtime in RUNTIMES:
             for level in levels:

@@ -28,6 +28,11 @@ def run(context: ExperimentContext) -> ExperimentResult:
     if PROVIDER not in context.providers:
         return ExperimentResult(EXPERIMENT_ID, TITLE, rows,
                                 notes={"skipped": "aws not in providers"})
+    context.prefetch((PROVIDER, model, runtime, PlatformKind.SERVERLESS,
+                      WORKLOAD, {"batch_size": batch_size})
+                     for model in MODELS
+                     for runtime in RUNTIMES
+                     for batch_size in BATCH_SIZES)
     for model in MODELS:
         for runtime in RUNTIMES:
             for batch_size in BATCH_SIZES:

@@ -42,6 +42,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="random seed shared by all experiments")
     parser.add_argument("--providers", default="aws,gcp",
                         help="comma-separated providers to evaluate")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="fan independent experiment cells out over "
+                             "this many worker processes (0 = serial, "
+                             "-1 = one per core); results are identical "
+                             "to serial mode")
     parser.add_argument("--output", default="",
                         help="write the report to this file as well as stdout")
     return parser
@@ -78,6 +83,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         seed=args.seed,
         scale=args.scale,
         providers=tuple(p.strip() for p in args.providers.split(",") if p.strip()),
+        workers=args.workers,
     )
     results = run_selected(ids, context)
     report = "\n\n".join(result.to_text() for result in results)

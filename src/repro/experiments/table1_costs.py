@@ -41,6 +41,15 @@ PAPER_COSTS = {
 
 def run(context: ExperimentContext) -> ExperimentResult:
     """Measure the cost of every system / model / workload combination."""
+    context.prefetch(
+        (provider, model, RUNTIME, platform, workload)
+        for provider in context.providers
+        for platform in (PlatformKind.SERVERLESS, PlatformKind.MANAGED_ML,
+                         PlatformKind.CPU_SERVER, PlatformKind.GPU_SERVER)
+        for model in (MODELS if platform in (PlatformKind.SERVERLESS,
+                                             PlatformKind.MANAGED_ML)
+                      else ("mobilenet",))
+        for workload in WORKLOADS)
     rows = []
     for provider in context.providers:
         for platform in (PlatformKind.SERVERLESS, PlatformKind.MANAGED_ML,

@@ -28,6 +28,11 @@ PAPER_COSTS = {
 
 def run(context: ExperimentContext) -> ExperimentResult:
     """Measure serverless costs with the ORT1.4 runtime."""
+    context.prefetch((provider, model, RUNTIME, PlatformKind.SERVERLESS,
+                      workload)
+                     for provider in context.providers
+                     for model in MODELS
+                     for workload in WORKLOADS)
     rows = []
     for provider in context.providers:
         for model in MODELS:

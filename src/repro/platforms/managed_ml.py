@@ -161,6 +161,8 @@ class ManagedMlPlatform(ServingPlatform):
             outcome.add_stage(Stage.QUEUE, self.env.now - enqueue)
             outcome.finish(self.env.now, success=False, error="timeout")
             return outcome
+        # The slot was granted in time: withdraw the dead deadline timer.
+        deadline.cancel()
 
         outcome.add_stage(Stage.QUEUE, self.env.now - enqueue)
         try:

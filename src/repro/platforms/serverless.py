@@ -26,8 +26,8 @@ billed as reserved GB-seconds (Section 5.4).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.cloud.pricing import ServerlessBill
 from repro.platforms.base import PlatformUsage, ServingPlatform
@@ -89,7 +89,11 @@ class ServerlessPlatform(ServingPlatform):
         traits = self.provider.serverless
         self._traits = traits
         self._queue: Store = Store(env)
-        self._instances: List[_Instance] = []
+        # O(1) accounting: platforms used to keep every _Instance ever
+        # created in a list and scan it for the alive count on every
+        # gauge update, which is O(instances²) over a run.
+        self._alive = 0
+        self._created = 0
         self._starting = 0
         self._idle = 0
         self._next_instance_id = 0
@@ -143,7 +147,7 @@ class ServerlessPlatform(ServingPlatform):
                 "provisioned": max(provisioned, 0.0),
             },
             cold_starts=self._cold_starts,
-            instances_created=len(self._instances),
+            instances_created=self._created,
             peak_instances=int(self._active_gauge.history.max()),
             instance_count=self._active_gauge.history,
             billed_seconds=(self._bill.billed_seconds
@@ -161,11 +165,14 @@ class ServerlessPlatform(ServingPlatform):
                                   enqueue_time=self.env.now)
         self._queue.put(pending)
         self._scale_out()
-        result = yield self.env.any_of(
-            [response_event, self.env.timeout(_FUNCTION_TIMEOUT_S)])
+        deadline = self.env.timeout(_FUNCTION_TIMEOUT_S)
+        result = yield self.env.any_of([response_event, deadline])
         if response_event not in result:
             outcome.finish(self.env.now, success=False, error="timeout")
             return outcome
+        # The response won the race: withdraw the 300 s guard timer so it
+        # does not rot in the calendar until the platform kill deadline.
+        deadline.cancel()
         yield self._network_down(outcome, response_mb)
         outcome.finish(self.env.now, success=True)
         return outcome
@@ -175,9 +182,6 @@ class ServerlessPlatform(ServingPlatform):
         while True:
             yield self.env.timeout(self._traits.scale_interval_s)
             self._scale_out()
-
-    def _active_instances(self) -> int:
-        return sum(1 for instance in self._instances if instance.alive)
 
     def _scale_out(self) -> None:
         """Launch instances to cover the unserved backlog.
@@ -195,8 +199,7 @@ class ServerlessPlatform(ServingPlatform):
             return
         budget = max(1, int(self._traits.max_starts_per_second
                             * self._traits.scale_interval_s))
-        headroom = max(self._traits.max_concurrency
-                       - self._active_instances(), 0)
+        headroom = max(self._traits.max_concurrency - self._alive, 0)
         to_start = min(backlog, budget, headroom)
         pinned = 0
         for _ in range(to_start):
@@ -219,10 +222,11 @@ class ServerlessPlatform(ServingPlatform):
         instance = _Instance(instance_id=self._next_instance_id,
                              provisioned=prewarmed)
         self._next_instance_id += 1
-        self._instances.append(instance)
+        self._created += 1
+        self._alive += 1
         if not prewarmed:
             self._starting += 1
-        self._active_gauge.set(self.env.now, self._active_instances())
+        self._active_gauge.set(self.env.now, self._alive)
         self.env.process(self._instance_loop(instance, prewarmed, first_request))
 
     # -------------------------------------------------------------- instance
@@ -281,8 +285,12 @@ class ServerlessPlatform(ServingPlatform):
                     # Provisioned instances stay reserved for the whole run.
                     continue
                 instance.alive = False
-                self._active_gauge.set(self.env.now, self._active_instances())
+                self._alive -= 1
+                self._active_gauge.set(self.env.now, self._alive)
                 return
+            # A request arrived: withdraw the keep-alive timer that lost
+            # the race so it does not sit dead in the calendar.
+            keep_alive.cancel()
             pending: _PendingRequest = get_event.value
             yield from self._serve(instance, pending)
 

@@ -13,7 +13,7 @@ used for request queues whose entries must be inspected (e.g. batching).
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Optional
+from typing import Any, Deque, Optional, Set
 
 from repro.sim.engine import Environment, Event, SimulationError
 
@@ -23,6 +23,8 @@ __all__ = ["Request", "Resource", "Store", "StorePut", "StoreGet"]
 class Request(Event):
     """A pending claim on a :class:`Resource` slot."""
 
+    __slots__ = ("resource", "usage_since")
+
     def __init__(self, resource: "Resource"):
         super().__init__(resource.env)
         self.resource = resource
@@ -30,14 +32,22 @@ class Request(Event):
 
 
 class Resource:
-    """A pool of ``capacity`` identical slots with a FIFO wait queue."""
+    """A pool of ``capacity`` identical slots with a FIFO wait queue.
+
+    Only the *waiting* queue needs FIFO order (grant order is the
+    fairness contract); the set of slot holders is unordered, so it is
+    kept as a set to make :meth:`release` O(1) instead of the O(n)
+    ``list.remove`` scan it used to be.
+    """
+
+    __slots__ = ("env", "_capacity", "_users", "_waiting")
 
     def __init__(self, env: Environment, capacity: int = 1):
         if capacity < 1:
             raise SimulationError("resource capacity must be >= 1")
         self.env = env
         self._capacity = int(capacity)
-        self._users: list[Request] = []
+        self._users: Set[Request] = set()
         self._waiting: Deque[Request] = deque()
 
     # -- introspection -----------------------------------------------------
@@ -68,7 +78,7 @@ class Resource:
         """Return the slot held by ``request`` to the pool."""
         try:
             self._users.remove(request)
-        except ValueError:
+        except KeyError:
             raise SimulationError("release() of a request that holds no slot")
         self._dispatch()
 
@@ -92,13 +102,15 @@ class Resource:
     def _dispatch(self) -> None:
         while self._waiting and len(self._users) < self._capacity:
             req = self._waiting.popleft()
-            self._users.append(req)
+            self._users.add(req)
             req.usage_since = self.env.now
             req.succeed(req)
 
 
 class StorePut(Event):
     """Pending put of ``item`` into a :class:`Store`."""
+
+    __slots__ = ("item",)
 
     def __init__(self, store: "Store", item: Any):
         super().__init__(store.env)
@@ -107,6 +119,8 @@ class StorePut(Event):
 
 class StoreGet(Event):
     """Pending get from a :class:`Store`."""
+
+    __slots__ = ()
 
     def __init__(self, store: "Store"):
         super().__init__(store.env)

@@ -108,6 +108,39 @@ class MMPP:
         times = np.sort(np.concatenate(pieces)) if pieces else np.array([])
         return ArrivalTrace(times, name=name)
 
+    def sample_arrivals_conditioned(self, duration: float,
+                                    rng: np.random.Generator,
+                                    total: int,
+                                    timeline: List[Tuple[float, float, MMPPState]] | None = None,
+                                    name: str = "mmpp") -> ArrivalTrace:
+        """An arrival trace over ``[0, duration)`` with exactly ``total`` arrivals.
+
+        A Poisson process conditioned on its total count places arrivals
+        independently with density proportional to the intensity: a
+        multinomial split of ``total`` across the state intervals
+        (weighted by ``rate x length``) followed by uniform placement
+        within each interval.  This keeps the MMPP burst structure while
+        removing the Poisson noise on the total count, which is what the
+        workload generator needs to hit a target request count exactly.
+        """
+        if total < 0:
+            raise ValueError("total must be non-negative")
+        if timeline is None:
+            timeline = self.sample_state_timeline(duration, rng)
+        weights = np.array([(end - start) * state.rate
+                            for start, end, state in timeline], dtype=float)
+        mass = weights.sum()
+        if mass <= 0:
+            if total:
+                raise ValueError(
+                    "cannot place arrivals on a zero-intensity timeline")
+            return ArrivalTrace(np.array([]), name=name)
+        counts = rng.multinomial(int(total), weights / mass)
+        pieces = [rng.uniform(start, end, size=n)
+                  for (start, end, _state), n in zip(timeline, counts) if n]
+        times = np.sort(np.concatenate(pieces)) if pieces else np.array([])
+        return ArrivalTrace(times, name=name)
+
     @staticmethod
     def expected_count(timeline: List[Tuple[float, float, MMPPState]],
                        rate_scale: float = 1.0) -> float:
