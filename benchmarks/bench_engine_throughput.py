@@ -13,10 +13,12 @@ Usage::
     python benchmarks/bench_engine_throughput.py --scale 0.2  # quicker sweep
     python benchmarks/bench_engine_throughput.py --check      # CI smoke gate
 
-``--check`` runs only the small fixed probe cell (well under 30 s), then
+``--check`` runs only the small fixed probe cell (well under a second),
 compares its throughput against the probe entry recorded in
-``BENCH_engine.json`` and exits non-zero if it regressed by more than
-30 % — a cheap guard against accidentally pessimising the hot path.
+``BENCH_engine.json``, and also smokes the columnar outcome pipeline
+(outcome-table build + metric reductions on the probe's data).  It exits
+non-zero if any of the three probes regressed by more than 30 % — a
+cheap guard against accidentally pessimising the hot path.
 
 The recorded numbers are machine-relative: absolute req/s on a CI
 runner differs from the dev box the JSON was generated on.  For a
@@ -58,7 +60,8 @@ WORKLOADS = ("w-40", "w-120", "w-200")
 SEED = 7
 
 
-def run_cell(workload_name: str, scale: float, repeats: int = 1) -> dict:
+def run_cell(workload_name: str, scale: float, repeats: int = 1,
+             keep_result: list | None = None) -> dict:
     """Run one serverless cell and report its throughput (best of N)."""
     deployment = Planner().plan("aws", "mobilenet", "tf1.15", "serverless")
     workload = standard_workload(workload_name, seed=SEED, scale=scale)
@@ -70,6 +73,8 @@ def run_cell(workload_name: str, scale: float, repeats: int = 1) -> dict:
         result = bench.run(deployment, workload)
         elapsed = time.perf_counter() - started
         best = elapsed if best is None else min(best, elapsed)
+    if keep_result is not None:
+        keep_result.append(result)
     events = int(result.metadata.get("events_processed", 0))
     return {
         "workload": workload_name,
@@ -80,6 +85,47 @@ def run_cell(workload_name: str, scale: float, repeats: int = 1) -> dict:
         "requests_per_s": round(result.total_requests / best, 1),
         "events_per_s": round(events / best, 1),
         "success_ratio": round(result.success_ratio, 4),
+    }
+
+
+def run_columnar_probe(result) -> dict:
+    """Smoke the columnar pipeline on one run's data.
+
+    Times (a) building an ``OutcomeTable`` from materialised outcome
+    objects and (b) the vectorised metric reductions (success ratio,
+    latency stats, cold-start ratio) over the table — the two halves of
+    the columnar data plane.  Reported as rows/s so the ``--check`` gate
+    can flag a regression in either half; both run in well under 100 ms.
+    """
+    from repro.core.metrics import LatencyStats  # noqa: E402
+    from repro.serving.outcome_table import OutcomeTable  # noqa: E402
+
+    outcomes = result.table.to_outcomes()
+    # Best-of-N timing (like run_cell): these loops are millisecond-scale,
+    # so a single scheduler stall would otherwise read as a regression.
+    build_s = None
+    for _ in range(5):
+        started = time.perf_counter()
+        OutcomeTable.from_outcomes(outcomes)
+        elapsed = time.perf_counter() - started
+        build_s = elapsed if build_s is None else min(build_s, elapsed)
+
+    table = result.table
+    reduce_s = None
+    for _ in range(5):
+        started = time.perf_counter()
+        for _ in range(100):
+            latencies = table.successful_latencies()
+            LatencyStats.from_values(latencies)
+            success = table.success
+            float(success.mean())
+            float(table.cold_start[success].mean())
+        elapsed = (time.perf_counter() - started) / 100
+        reduce_s = elapsed if reduce_s is None else min(reduce_s, elapsed)
+    return {
+        "requests": table.count,
+        "build_rows_per_s": round(table.count / build_s, 1),
+        "reduce_rows_per_s": round(table.count / reduce_s, 1),
     }
 
 
@@ -95,9 +141,13 @@ def run_sweep(scale: float, repeats: int) -> dict:
               f"{entry['requests_per_s']:>10,.0f} req/s "
               f"{entry['events_per_s']:>12,.0f} ev/s "
               f"({entry['speedup_vs_seed']:.2f}x vs seed)")
-    probe = run_cell(CHECK_WORKLOAD, CHECK_SCALE, repeats)
+    keep: list = []
+    probe = run_cell(CHECK_WORKLOAD, CHECK_SCALE, repeats, keep_result=keep)
+    columnar = run_columnar_probe(keep[0])
     print(f" probe x{CHECK_SCALE:<5g} {probe['wall_s']:>8.3f}s "
           f"{probe['requests_per_s']:>10,.0f} req/s")
+    print(f" columnar build {columnar['build_rows_per_s']:>12,.0f} rows/s "
+          f"reduce {columnar['reduce_rows_per_s']:>14,.0f} rows/s")
     return {
         "bench": "engine-throughput",
         "cell": "aws/mobilenet/tf1.15/serverless",
@@ -105,11 +155,17 @@ def run_sweep(scale: float, repeats: int) -> dict:
         "seed_baseline_requests_per_s": SEED_BASELINE_RPS,
         "results": results,
         "check_probe": probe,
+        "columnar_probe": columnar,
     }
 
 
 def run_check(path: str) -> int:
-    """CI smoke gate: fail if the probe regressed > CHECK_TOLERANCE."""
+    """CI smoke gate: fail if any probe regressed > CHECK_TOLERANCE.
+
+    Gates both the simulation hot path (requests/s on the fixed probe
+    cell) and the columnar pipeline (outcome-table build and metric
+    reduction rows/s).  Total runtime stays under a second.
+    """
     try:
         with open(path, "r", encoding="utf-8") as handle:
             recorded = json.load(handle)
@@ -121,13 +177,31 @@ def run_check(path: str) -> int:
     if not reference:
         print(f"error: {path} has no check_probe entry", file=sys.stderr)
         return 2
-    probe = run_cell(CHECK_WORKLOAD, CHECK_SCALE, repeats=2)
-    floor = reference["requests_per_s"] * (1.0 - CHECK_TOLERANCE)
-    verdict = "OK" if probe["requests_per_s"] >= floor else "REGRESSION"
-    print(f"probe: {probe['requests_per_s']:,.0f} req/s "
-          f"(recorded {reference['requests_per_s']:,.0f}, "
-          f"floor {floor:,.0f}) -> {verdict}")
-    return 0 if verdict == "OK" else 1
+    keep: list = []
+    probe = run_cell(CHECK_WORKLOAD, CHECK_SCALE, repeats=2,
+                     keep_result=keep)
+    checks = [("engine req/s", probe["requests_per_s"],
+               reference["requests_per_s"])]
+    columnar_reference = recorded.get("columnar_probe")
+    if columnar_reference:
+        columnar = run_columnar_probe(keep[0])
+        checks.append(("columnar build rows/s",
+                       columnar["build_rows_per_s"],
+                       columnar_reference["build_rows_per_s"]))
+        checks.append(("columnar reduce rows/s",
+                       columnar["reduce_rows_per_s"],
+                       columnar_reference["reduce_rows_per_s"]))
+    else:
+        print("note: no columnar_probe recorded; rerun the full sweep "
+              "to extend the gate")
+    failed = False
+    for label, measured, baseline in checks:
+        floor = baseline * (1.0 - CHECK_TOLERANCE)
+        verdict = "OK" if measured >= floor else "REGRESSION"
+        failed = failed or verdict != "OK"
+        print(f"{label}: {measured:,.0f} "
+              f"(recorded {baseline:,.0f}, floor {floor:,.0f}) -> {verdict}")
+    return 1 if failed else 0
 
 
 def main(argv=None) -> int:

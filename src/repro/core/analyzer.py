@@ -14,7 +14,7 @@ into the numbers the paper reports:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 import numpy as np
 
@@ -91,27 +91,42 @@ class Analyzer:
     # -- timelines ------------------------------------------------------------
     def latency_timeline(self, result: RunResult,
                          bin_seconds: float = 20.0) -> List[TimelinePoint]:
-        """Average latency and success ratio per time bin (Figures 6, 8, 9)."""
+        """Average latency and success ratio per time bin (Figures 6, 8, 9).
+
+        Vectorised over the outcome table: requests are bucketed with one
+        ``searchsorted`` over the bin edges and the per-bin counts and
+        latency sums come from ``bincount`` — no per-outcome Python loop.
+        """
         if bin_seconds <= 0:
             raise ValueError("bin_seconds must be positive")
-        outcomes = result.outcomes
-        if not outcomes:
+        table = result.table
+        if table.count == 0:
             return []
-        horizon = max(o.send_time for o in outcomes) + bin_seconds
+        send = table.send_time
+        horizon = float(send.max()) + bin_seconds
         edges = np.arange(0.0, horizon + bin_seconds, bin_seconds)
+        n_bins = len(edges) - 1
+        # Same bucketing as the old [start, end) pair loop over `edges`.
+        bins = np.searchsorted(edges, send, side="right") - 1
+        bins = np.clip(bins, 0, n_bins - 1)
+        requests = np.bincount(bins, minlength=n_bins)
+        success = table.success
+        successes = np.bincount(bins[success], minlength=n_bins)
+        latency_sums = np.bincount(bins[success],
+                                   weights=table.latency[success],
+                                   minlength=n_bins)
         points: List[TimelinePoint] = []
-        for start, end in zip(edges[:-1], edges[1:]):
-            in_bin = [o for o in outcomes if start <= o.send_time < end]
-            if not in_bin:
+        for index in range(n_bins):
+            n_requests = int(requests[index])
+            if n_requests == 0:
                 continue
-            successes = [o for o in in_bin if o.success and o.latency is not None]
-            avg = (sum(o.latency for o in successes) / len(successes)
-                   if successes else 0.0)
+            n_success = int(successes[index])
+            avg = latency_sums[index] / n_success if n_success else 0.0
             points.append(TimelinePoint(
-                time=float(start),
-                requests=len(in_bin),
-                average_latency=avg,
-                success_ratio=len(successes) / len(in_bin),
+                time=float(edges[index]),
+                requests=n_requests,
+                average_latency=float(avg),
+                success_ratio=n_success / n_requests,
             ))
         return points
 
@@ -127,25 +142,31 @@ class Analyzer:
 
     # -- breakdowns -------------------------------------------------------------
     def coldstart_breakdown(self, result: RunResult) -> BreakdownSummary:
-        """Average cold-start and warm-up sub-stages (Figures 10 and 14)."""
-        cold = [o for o in result.successful if o.cold_start]
-        warm = [o for o in result.successful if not o.cold_start]
+        """Average cold-start and warm-up sub-stages (Figures 10 and 14).
 
-        def avg(outcomes: Sequence, getter) -> float:
-            values = [getter(o) for o in outcomes]
-            values = [v for v in values if v is not None]
-            return float(np.mean(values)) if values else 0.0
+        Masked column means over the outcome table: successful requests
+        split by the ``cold_start`` flag, stage columns averaged directly.
+        """
+        table = result.table
+        cold = table.success & table.cold_start
+        warm = table.success & ~table.cold_start
+        n_cold = int(cold.sum())
+        n_warm = int(warm.sum())
+        latency = table.latency
+
+        def avg(column: np.ndarray, mask: np.ndarray, n: int) -> float:
+            return float(column[mask].mean()) if n else 0.0
 
         return BreakdownSummary(
-            cold_e2e=avg(cold, lambda o: o.latency),
-            cold_import=avg(cold, lambda o: o.stage(Stage.IMPORT)),
-            cold_download=avg(cold, lambda o: o.stage(Stage.DOWNLOAD)),
-            cold_load=avg(cold, lambda o: o.stage(Stage.LOAD)),
-            cold_predict=avg(cold, lambda o: o.stage(Stage.PREDICT)),
-            warm_e2e=avg(warm, lambda o: o.latency),
-            warm_predict=avg(warm, lambda o: o.stage(Stage.PREDICT)),
-            cold_requests=len(cold),
-            warm_requests=len(warm),
+            cold_e2e=avg(latency, cold, n_cold),
+            cold_import=avg(table.stage_column(Stage.IMPORT), cold, n_cold),
+            cold_download=avg(table.stage_column(Stage.DOWNLOAD), cold, n_cold),
+            cold_load=avg(table.stage_column(Stage.LOAD), cold, n_cold),
+            cold_predict=avg(table.stage_column(Stage.PREDICT), cold, n_cold),
+            warm_e2e=avg(latency, warm, n_warm),
+            warm_predict=avg(table.stage_column(Stage.PREDICT), warm, n_warm),
+            cold_requests=n_cold,
+            warm_requests=n_warm,
         )
 
     # -- cross-run helpers -------------------------------------------------------

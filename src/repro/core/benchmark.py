@@ -38,12 +38,16 @@ class ServingBenchmark:
     profiles: LatencyProfiles = field(default_factory=LatencyProfiles)
     #: Extra simulated time after the last arrival to let requests drain.
     drain_timeout_s: float = 400.0
+    #: Random-stream block size (None = RandomStreams' default; 1 disables
+    #: buffering).  Any value yields bit-identical draws — the knob exists
+    #: for the determinism tests that prove exactly that.
+    rng_block_size: Optional[int] = None
 
     def run(self, deployment: Deployment, workload: Workload,
             workload_scale: float = 1.0) -> RunResult:
         """Run one experiment and return its result."""
         env = Environment()
-        rng = RandomStreams(self.seed)
+        rng = RandomStreams(self.seed, block_size=self.rng_block_size)
         platform = build_platform(env, deployment, self.profiles, rng)
         pool = RequestPool(
             sample_payload_mb=deployment.model.input_payload_mb,
@@ -53,14 +57,15 @@ class ServingBenchmark:
         executor = Executor(env=env, platform=platform, workload=workload,
                             request_pool=pool, rng=rng)
         horizon = workload.spec.duration_s + self.drain_timeout_s
-        outcomes = executor.run(until=horizon)
+        table = executor.run(until=horizon)
         end_time = max(executor.last_completion_time, workload.trace.duration)
         usage = platform.finalize(end_time=end_time)
-        self._fail_unfinished(outcomes, horizon)
+        # Requests still open when the horizon was reached failed, in bulk.
+        table.fail_unfinished(horizon)
         return RunResult(
             deployment=deployment,
             workload_name=workload.name,
-            outcomes=outcomes,
+            table=table,
             usage=usage,
             duration_s=end_time,
             workload_scale=workload_scale,
@@ -112,11 +117,3 @@ class ServingBenchmark:
                                              workload_scale)
                 for workload in workloads}
 
-    # -- internals -------------------------------------------------------------
-    @staticmethod
-    def _fail_unfinished(outcomes, horizon: float) -> None:
-        """Mark requests still open when the horizon was reached as failed."""
-        for outcome in outcomes:
-            if outcome.completion_time is None:
-                outcome.finish(max(horizon, outcome.send_time),
-                               success=False, error="unfinished")

@@ -7,15 +7,22 @@ platform, and records the outcome.  Client-side batching (Figure 17) and
 the Figure 12c/12d micro-benchmark knobs (samples per request, inferences
 per request) are applied here because they are client decisions, not
 platform ones.
+
+Outcomes are recorded columnar: every issued request is registered with a
+preallocated :class:`~repro.serving.outcome_table.OutcomeRecorder` (sized
+from the workload's known request count) and committed into the arrays
+the moment it completes, so the per-request Python objects only live
+while their request is in flight.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.platforms.base import ServingPlatform
 from repro.platforms.batching import BatchAccumulator
+from repro.serving.outcome_table import OutcomeRecorder, OutcomeTable
 from repro.serving.records import RequestOutcome
 from repro.sim import Environment, RandomStreams
 from repro.workload.generator import Workload
@@ -33,19 +40,32 @@ class Executor:
     workload: Workload
     request_pool: RequestPool
     rng: RandomStreams
-    #: Filled in by :meth:`run`.
-    outcomes: List[RequestOutcome] = field(default_factory=list)
+    #: Columnar outcome store; created by :meth:`run` (or lazily).
+    recorder: Optional[OutcomeRecorder] = None
     _next_request_id: int = 0
     _last_completion: float = 0.0
+    _commit = None  # bound recorder.commit, cached for the hot callback
 
     # -- public ---------------------------------------------------------------
-    def run(self, until: Optional[float] = None) -> List[RequestOutcome]:
-        """Run the experiment to completion and return all outcomes."""
+    def run(self, until: Optional[float] = None) -> OutcomeTable:
+        """Run the experiment to completion and return the outcome table."""
+        if self.recorder is None:
+            capacity = sum(len(trace) for trace in self.workload.client_traces)
+            self.recorder = OutcomeRecorder(capacity)
+        self._commit = self.recorder.commit
+        self.platform.outcome_sink = self._late_commit
         self.platform.start()
         for client_id, trace in enumerate(self.workload.client_traces):
             self.env.process(self._client(client_id, trace))
         self.env.run(until=until)
-        return self.outcomes
+        return self.recorder.table()
+
+    @property
+    def outcomes(self) -> List[RequestOutcome]:
+        """Materialised outcome objects (compat view over the table)."""
+        if self.recorder is None:
+            return []
+        return self.recorder.table().to_outcomes()
 
     @property
     def last_completion_time(self) -> float:
@@ -58,14 +78,17 @@ class Executor:
         batcher = BatchAccumulator(config.batch_size)
         last_index = len(trace) - 1
         previous = 0.0
+        timeout = self.env.timeout
+        register = self.recorder.register
+        single = config.batch_size == 1
         for index, arrival in enumerate(trace):
             gap = arrival - previous
             previous = arrival
             if gap > 0:
-                yield self.env.timeout(gap)
+                yield timeout(gap)
             outcome = self._new_outcome(client_id)
-            self.outcomes.append(outcome)
-            if config.batch_size == 1:
+            register(outcome)
+            if single:
                 self._send_single(outcome)
             else:
                 batch = batcher.add(outcome)
@@ -128,6 +151,17 @@ class Executor:
             self._note_completion(member)
 
     def _note_completion(self, outcome: RequestOutcome) -> None:
-        if outcome.completion_time is not None:
-            self._last_completion = max(self._last_completion,
-                                        outcome.completion_time)
+        completion = outcome.completion_time
+        if completion is not None:
+            self._commit(outcome)
+            if completion > self._last_completion:
+                self._last_completion = completion
+
+    def _late_commit(self, outcome: RequestOutcome) -> None:
+        """Re-record an outcome the platform mutated after completion.
+
+        Batch carriers are not registered rows (``row == -1``); their
+        members are finished from the carrier's state instead.
+        """
+        if outcome.row >= 0:
+            self._commit(outcome)

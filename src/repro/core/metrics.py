@@ -1,20 +1,34 @@
-"""Latency statistics helpers used by the analyzer."""
+"""Latency statistics helpers used by the analyzer.
+
+All helpers accept numpy arrays directly (no ``list(...)`` round-trip):
+the columnar outcome pipeline hands them ndarray slices, which are used
+as-is; other iterables are materialised once.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["percentile", "LatencyStats"]
+__all__ = ["percentile", "LatencyStats", "mean_or_zero", "ratio"]
+
+
+def _as_array(values) -> np.ndarray:
+    """``values`` as a float64 ndarray, copying only when needed."""
+    if isinstance(values, np.ndarray):
+        if values.dtype == np.float64:
+            return values
+        return values.astype(np.float64)
+    return np.asarray(list(values), dtype=np.float64)
 
 
 def percentile(values: Sequence[float], q: float) -> float:
     """The ``q``-th percentile (0-100) of ``values`` (0.0 for empty input)."""
     if not 0 <= q <= 100:
         raise ValueError("q must be within [0, 100]")
-    array = np.asarray(list(values), dtype=float)
+    array = _as_array(values)
     if array.size == 0:
         return 0.0
     return float(np.percentile(array, q))
@@ -37,20 +51,21 @@ class LatencyStats:
     @staticmethod
     def from_values(values: Iterable[float]) -> "LatencyStats":
         """Compute statistics from raw latency values (seconds)."""
-        array = np.asarray(list(values), dtype=float)
+        array = _as_array(values)
         if array.size == 0:
             return LatencyStats(count=0, mean=0.0, std=0.0, p50=0.0, p90=0.0,
                                 p95=0.0, p99=0.0, min=0.0, max=0.0)
         if np.any(array < 0):
             raise ValueError("latencies must be non-negative")
+        p50, p90, p95, p99 = np.percentile(array, (50.0, 90.0, 95.0, 99.0))
         return LatencyStats(
             count=int(array.size),
             mean=float(array.mean()),
             std=float(array.std()),
-            p50=float(np.percentile(array, 50)),
-            p90=float(np.percentile(array, 90)),
-            p95=float(np.percentile(array, 95)),
-            p99=float(np.percentile(array, 99)),
+            p50=float(p50),
+            p90=float(p90),
+            p95=float(p95),
+            p99=float(p99),
             min=float(array.min()),
             max=float(array.max()),
         )
@@ -72,10 +87,10 @@ class LatencyStats:
 
 def mean_or_zero(values: Sequence[float]) -> float:
     """Arithmetic mean, or 0.0 for an empty sequence."""
-    values = list(values)
-    if not values:
+    array = _as_array(values)
+    if array.size == 0:
         return 0.0
-    return float(np.mean(values))
+    return float(array.mean())
 
 
 def ratio(numerator: float, denominator: float) -> float:

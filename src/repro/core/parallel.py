@@ -13,6 +13,20 @@ to serial execution: the same cells produce the same traces, the same
 outcomes, and the same costs regardless of worker count or completion
 order (``Executor.map`` preserves submission order).
 
+Transport is kept lean in both directions:
+
+* **parent -> worker**: the benchmark and the (deduplicated) workloads —
+  the heavy shared state — ship **once per worker** via the pool
+  initializer; each task payload is then just a deployment, a workload
+  index, and a scale.  Previously the whole workload was re-pickled for
+  every cell.
+* **worker -> parent**: workers return
+  :meth:`~repro.core.results.RunResult.to_transport` payloads — the
+  columnar outcome table (numpy arrays) plus small dicts — and the
+  parent reattaches its own deployment object.  Compared to pickling
+  per-request object graphs this shrinks result transport by an order
+  of magnitude.
+
 If worker processes cannot be spawned (restricted sandboxes, missing
 semaphores), the fan-out silently degrades to serial execution — cells
 are pure functions, so a retry in-process is always safe.
@@ -22,7 +36,7 @@ from __future__ import annotations
 
 import os
 import warnings
-from typing import TYPE_CHECKING, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.benchmark import ServingBenchmark
@@ -32,8 +46,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = ["resolve_workers", "run_cells"]
 
-#: One fan-out payload: (benchmark, deployment, workload, workload_scale).
-Cell = Tuple["ServingBenchmark", "Deployment", "Workload", float]
+#: Worker-process state installed by the pool initializer.
+_WORKER_STATE: Dict[str, object] = {}
 
 
 def resolve_workers(workers: int | None) -> int:
@@ -50,10 +64,19 @@ def resolve_workers(workers: int | None) -> int:
     return int(workers)
 
 
-def _run_cell(payload: Cell) -> "RunResult":
-    """Worker entry point: run one cell (must be module-level to pickle)."""
-    benchmark, deployment, workload, workload_scale = payload
-    return benchmark.run(deployment, workload, workload_scale)
+def _init_worker(benchmark: "ServingBenchmark",
+                 workloads: List["Workload"]) -> None:
+    """Pool initializer: receive the shared state once per worker."""
+    _WORKER_STATE["benchmark"] = benchmark
+    _WORKER_STATE["workloads"] = workloads
+
+
+def _run_cell_pooled(payload: Tuple["Deployment", int, float]) -> tuple:
+    """Worker entry point: run one cell against the initializer state."""
+    deployment, workload_index, scale = payload
+    benchmark: "ServingBenchmark" = _WORKER_STATE["benchmark"]
+    workload: "Workload" = _WORKER_STATE["workloads"][workload_index]
+    return benchmark.run(deployment, workload, scale).to_transport()
 
 
 def run_cells(benchmark: "ServingBenchmark",
@@ -64,19 +87,36 @@ def run_cells(benchmark: "ServingBenchmark",
     Results come back in the order of ``cells``.  With ``workers <= 1``
     (or a single cell) everything runs in-process.
     """
-    payloads: List[Cell] = [(benchmark, deployment, workload, scale)
-                            for deployment, workload, scale in cells]
-    workers = min(resolve_workers(workers), len(payloads))
+    cells = list(cells)
+    workers = min(resolve_workers(workers), len(cells))
     if workers <= 1:
-        return [_run_cell(payload) for payload in payloads]
+        return _run_serial(benchmark, cells)
     try:
         from concurrent.futures import ProcessPoolExecutor
         from concurrent.futures.process import BrokenProcessPool
     except ImportError:
-        return [_run_cell(payload) for payload in payloads]
+        return _run_serial(benchmark, cells)
+
+    # Deduplicate the shared workloads (by identity: the experiment layer
+    # caches and reuses Workload objects) so each ships once per worker.
+    workloads: List["Workload"] = []
+    indices: Dict[int, int] = {}
+    payloads: List[Tuple["Deployment", int, float]] = []
+    for deployment, workload, scale in cells:
+        index = indices.get(id(workload))
+        if index is None:
+            index = len(workloads)
+            indices[id(workload)] = index
+            workloads.append(workload)
+        payloads.append((deployment, index, scale))
+
+    from repro.core.results import RunResult
     try:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_run_cell, payloads, chunksize=1))
+        with ProcessPoolExecutor(max_workers=workers,
+                                 initializer=_init_worker,
+                                 initargs=(benchmark, workloads)) as pool:
+            transports = list(pool.map(_run_cell_pooled, payloads,
+                                       chunksize=1))
     except (BrokenProcessPool, NotImplementedError, OSError,
             PermissionError) as exc:
         # Pool could not be created, or a worker died mid-batch.  Cells
@@ -84,6 +124,16 @@ def run_cells(benchmark: "ServingBenchmark",
         # in-process cannot change results — but say so, because the
         # serial rerun can be much slower than the user asked for.
         warnings.warn(f"worker pool unavailable ({exc!r}); "
-                      f"running {len(payloads)} cells serially",
+                      f"running {len(cells)} cells serially",
                       RuntimeWarning, stacklevel=2)
-        return [_run_cell(payload) for payload in payloads]
+        return _run_serial(benchmark, cells)
+    return [RunResult.from_transport(transport, deployment)
+            for transport, (deployment, _workload, _scale)
+            in zip(transports, cells)]
+
+
+def _run_serial(benchmark: "ServingBenchmark",
+                cells: Sequence[Tuple["Deployment", "Workload", float]],
+                ) -> List["RunResult"]:
+    return [benchmark.run(deployment, workload, scale)
+            for deployment, workload, scale in cells]

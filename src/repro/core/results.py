@@ -1,13 +1,22 @@
-"""Run results: the raw material the analyzer works on."""
+"""Run results: the raw material the analyzer works on.
+
+A :class:`RunResult` carries its outcomes as a columnar
+:class:`~repro.serving.outcome_table.OutcomeTable`; every headline metric
+is a vectorised masked reduction over the table's arrays.  The
+object-per-request view (``outcomes`` / ``successful`` / ``failed``) is
+reconstructed lazily and cached, purely for API compatibility — metric
+code should prefer the columns.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.metrics import LatencyStats
 from repro.platforms.base import PlatformUsage
 from repro.serving.deployment import Deployment
+from repro.serving.outcome_table import OutcomeTable
 from repro.serving.records import RequestOutcome
 
 __all__ = ["RunResult"]
@@ -19,19 +28,29 @@ class RunResult:
 
     deployment: Deployment
     workload_name: str
-    outcomes: List[RequestOutcome]
+    #: Columnar per-request outcomes.  A plain list of
+    #: :class:`RequestOutcome` is also accepted and converted on the spot.
+    table: Union[OutcomeTable, List[RequestOutcome]]
     usage: PlatformUsage
     #: Simulated wall-clock length of the experiment (last completion).
     duration_s: float
     #: Fraction of the paper's full workload that was replayed (1.0 = full).
     workload_scale: float = 1.0
     metadata: Dict[str, float] = field(default_factory=dict)
+    _outcomes_view: Optional[List[RequestOutcome]] = field(
+        default=None, init=False, repr=False, compare=False)
 
-    # -- headline metrics -----------------------------------------------------
+    def __post_init__(self) -> None:
+        if not isinstance(self.table, OutcomeTable):
+            self.table = OutcomeTable.from_outcomes(list(self.table))
+
+    # -- object views (lazy, for API compatibility) ----------------------------
     @property
-    def total_requests(self) -> int:
-        """Number of client requests issued."""
-        return len(self.outcomes)
+    def outcomes(self) -> List[RequestOutcome]:
+        """Per-request outcome objects, reconstructed from the table."""
+        if self._outcomes_view is None:
+            self._outcomes_view = self.table.to_outcomes()
+        return self._outcomes_view
 
     @property
     def successful(self) -> List[RequestOutcome]:
@@ -43,20 +62,27 @@ class RunResult:
         """Outcomes of the requests that failed."""
         return [o for o in self.outcomes if not o.success]
 
+    # -- headline metrics -----------------------------------------------------
+    @property
+    def total_requests(self) -> int:
+        """Number of client requests issued."""
+        return self.table.count
+
     @property
     def success_ratio(self) -> float:
         """Fraction of requests that succeeded (the paper's SR metric)."""
-        if not self.outcomes:
+        count = self.table.count
+        if count == 0:
             return 0.0
-        return len(self.successful) / len(self.outcomes)
+        return int(self.table.success.sum()) / count
 
     @property
     def average_latency(self) -> float:
         """Mean end-to-end latency of the *successful* requests (paper metric)."""
-        latencies = [o.latency for o in self.successful if o.latency is not None]
-        if not latencies:
+        latencies = self.table.successful_latencies()
+        if latencies.size == 0:
             return 0.0
-        return sum(latencies) / len(latencies)
+        return float(latencies.mean())
 
     @property
     def cost(self) -> float:
@@ -66,15 +92,38 @@ class RunResult:
     @property
     def cold_start_ratio(self) -> float:
         """Fraction of successful requests served by a cold instance."""
-        successful = self.successful
-        if not successful:
+        success = self.table.success
+        n_success = int(success.sum())
+        if n_success == 0:
             return 0.0
-        return sum(1 for o in successful if o.cold_start) / len(successful)
+        return int(self.table.cold_start[success].sum()) / n_success
 
     def latency_stats(self) -> LatencyStats:
         """Distributional statistics over successful-request latencies."""
-        return LatencyStats.from_values(
-            o.latency for o in self.successful if o.latency is not None)
+        return LatencyStats.from_values(self.table.successful_latencies())
+
+    # -- transport -------------------------------------------------------------
+    def to_transport(self) -> Tuple:
+        """Compact worker-to-parent payload (everything but the deployment).
+
+        The deployment object is the one piece of a result the parent
+        already holds (it shipped it to the worker in the first place),
+        and the only piece that is an arbitrary object graph; everything
+        else is the packed outcome columns (see
+        :meth:`OutcomeTable.packed`) and small dicts.
+        """
+        return (self.workload_name, self.table.packed(), self.usage,
+                self.duration_s, self.workload_scale, self.metadata)
+
+    @classmethod
+    def from_transport(cls, payload: Tuple,
+                       deployment: Deployment) -> "RunResult":
+        """Rebuild a result from :meth:`to_transport` plus the local deployment."""
+        workload_name, packed, usage, duration_s, scale, metadata = payload
+        return cls(deployment=deployment, workload_name=workload_name,
+                   table=OutcomeTable.from_packed(packed), usage=usage,
+                   duration_s=duration_s, workload_scale=scale,
+                   metadata=metadata)
 
     # -- presentation ---------------------------------------------------------
     @property

@@ -17,8 +17,6 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-import numpy as np
-
 from repro.experiments.base import ExperimentContext, ExperimentResult
 from repro.serving.deployment import PlatformKind
 
@@ -42,15 +40,15 @@ PANEL_MODELS = {
 
 
 def _cold_e2e(result) -> float:
-    values = [o.latency for o in result.successful
-              if o.cold_start and o.latency is not None]
-    return float(np.mean(values)) if values else 0.0
+    table = result.table
+    mask = table.success & table.cold_start
+    return float(table.latency[mask].mean()) if mask.any() else 0.0
 
 
 def _warm_e2e(result) -> float:
-    values = [o.latency for o in result.successful
-              if not o.cold_start and o.latency is not None]
-    return float(np.mean(values)) if values else 0.0
+    table = result.table
+    mask = table.success & ~table.cold_start
+    return float(table.latency[mask].mean()) if mask.any() else 0.0
 
 
 def run(context: ExperimentContext) -> ExperimentResult:

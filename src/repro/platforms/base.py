@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.models.profiles import LatencyProfiles
 from repro.serving.deployment import Deployment, PlatformKind
@@ -52,10 +52,22 @@ class ServingPlatform(abc.ABC):
         self.deployment = deployment
         self.profiles = profiles or LatencyProfiles()
         self.rng = rng or RandomStreams(0)
+        #: Optional callback (set by the executor) re-recording an outcome
+        #: the platform mutated *after* its client already finished it —
+        #: e.g. a serverless invocation that runs and bills after the
+        #: client's 300 s deadline expired.
+        self.outcome_sink: Optional[Callable[[RequestOutcome], None]] = None
         self.provider = deployment.provider
         self.model = deployment.model
         self.runtime = deployment.runtime
         self.config = deployment.config
+        # The network model's fields, hoisted for the two per-request
+        # transfer legs (the attribute/method chain cost more than the
+        # arithmetic).
+        network = self.provider.network
+        self._net_latency_s = network.one_way_latency_s
+        self._net_bandwidth = network.bandwidth_mbps
+        self._net_jitter_cv = network.jitter_cv
 
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> None:
@@ -84,16 +96,26 @@ class ServingPlatform(abc.ABC):
         """Per-request parsing/serialisation overhead for this family."""
         return self.profiles.handler_overhead_s(self.family)
 
+    def _transfer_time(self, payload_mb: float) -> float:
+        """One network leg; inlined ``NetworkModel.transfer_time``."""
+        latency = self._net_latency_s
+        if self._net_jitter_cv > 0:
+            latency = self.rng.lognormal_around("network", latency,
+                                                self._net_jitter_cv)
+        return latency + payload_mb / self._net_bandwidth
+
     def _network_up(self, outcome: RequestOutcome, payload_mb: float):
-        """Simulate the client-to-endpoint transfer; returns a generator."""
-        duration = self.provider.network.transfer_time(payload_mb, self.rng)
-        outcome.add_stage("network", duration)
+        """Simulate the client-to-endpoint transfer; returns a timeout event."""
+        duration = self._transfer_time(payload_mb)
+        breakdown = outcome.breakdown
+        breakdown["network"] = breakdown.get("network", 0.0) + duration
         return self.env.timeout(duration)
 
     def _network_down(self, outcome: RequestOutcome, response_mb: float):
-        """Simulate the endpoint-to-client transfer; returns a generator."""
-        duration = self.provider.network.transfer_time(response_mb, self.rng)
-        outcome.add_stage("network", duration)
+        """Simulate the endpoint-to-client transfer; returns a timeout event."""
+        duration = self._transfer_time(response_mb)
+        breakdown = outcome.breakdown
+        breakdown["network"] = breakdown.get("network", 0.0) + duration
         return self.env.timeout(duration)
 
 

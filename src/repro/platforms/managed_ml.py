@@ -61,6 +61,11 @@ class ManagedMlPlatform(ServingPlatform):
         self._rejected = 0
         self._timed_out = 0
         self._start_time = env.now
+        # Per-run constants hoisted off the per-request path.
+        self._handler_s = self._handler_overhead()
+        self._predict_s = (self.profiles.server_predict_time(
+            self.runtime.key, self.model.name, "cpu")
+            * self._traits.service_time_multiplier)
         self._scaler = TargetTrackingScaler(
             env=env,
             evaluation_period_s=self._traits.scale_evaluation_period_s,
@@ -154,7 +159,7 @@ class ManagedMlPlatform(ServingPlatform):
         enqueue = self.env.now
         claim = self._workers.request()
         deadline = self.env.timeout(self._traits.request_timeout_s)
-        yield self.env.any_of([claim, deadline])
+        yield self.env.race(claim, deadline)
         if not claim.triggered:
             self._workers.cancel(claim)
             self._timed_out += 1
@@ -166,15 +171,10 @@ class ManagedMlPlatform(ServingPlatform):
 
         outcome.add_stage(Stage.QUEUE, self.env.now - enqueue)
         try:
-            handler = self._handler_overhead()
-            hardware = "cpu"
-            per_predict = (self.profiles.server_predict_time(
-                self.runtime.key, self.model.name, hardware)
-                * self._traits.service_time_multiplier)
-            predict = sum(
-                self.rng.lognormal_around("managed-predict", per_predict,
-                                          _SERVICE_JITTER_CV)
-                for _ in range(max(outcome.inferences, 1)))
+            handler = self._handler_s
+            predict = self.rng.lognormal_sum(
+                "managed-predict", self._predict_s, _SERVICE_JITTER_CV,
+                max(outcome.inferences, 1))
             yield self.env.timeout(handler + predict)
             outcome.add_stage(Stage.HANDLER, handler)
             outcome.add_stage(Stage.PREDICT, predict)

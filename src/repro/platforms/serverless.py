@@ -103,6 +103,26 @@ class ServerlessPlatform(ServingPlatform):
                                     pricing=self.provider.pricing.serverless)
         self._scaler_started = False
         self._start_time = env.now
+        # Per-run constants, hoisted off the per-request path: the profile
+        # lookups are pure functions of the (fixed) deployment, and the
+        # method chains cost more than the arithmetic they guard.
+        profiles = self.profiles
+        self._handler_s = self._handler_overhead()
+        self._warm_predict_s = profiles.warm_predict_time(
+            self.provider.name, self.runtime.key, self.model.name,
+            self.config.memory_gb)
+        self._cold_predict_s = profiles.cold_predict_time(
+            self.provider.name, self.runtime.key, self.model.name,
+            self.config.memory_gb)
+        self._import_time_s = profiles.import_time(
+            self.provider.name, self.runtime.key, self.model.name)
+        self._load_time_s = profiles.load_time(
+            self.provider.name, self.runtime.key, self.model.name,
+            self.config.memory_gb)
+        self._image_mb = (self.runtime.image_size_mb(self.provider.name)
+                          + self.config.extra_container_mb)
+        self._download_mb = (self.model.download_mb
+                             + self.config.extra_download_mb)
         # Provisioned concurrency makes the platform scale more aggressively
         # (Section 5.4 observes *more* cold starts with provisioned
         # concurrency enabled).
@@ -163,11 +183,11 @@ class ServerlessPlatform(ServingPlatform):
         pending = _PendingRequest(outcome=outcome,
                                   response_event=response_event,
                                   enqueue_time=self.env.now)
-        self._queue.put(pending)
+        self._queue.add(pending)
         self._scale_out()
         deadline = self.env.timeout(_FUNCTION_TIMEOUT_S)
-        result = yield self.env.any_of([response_event, deadline])
-        if response_event not in result:
+        winner = yield self.env.race(response_event, deadline)
+        if winner is not response_event:
             outcome.finish(self.env.now, success=False, error="timeout")
             return outcome
         # The response won the race: withdraw the 300 s guard timer so it
@@ -203,13 +223,11 @@ class ServerlessPlatform(ServingPlatform):
         to_start = min(backlog, budget, headroom)
         pinned = 0
         for _ in range(to_start):
-            get_event = self._queue.get()
-            if not get_event.triggered:
-                # The backlog emptied while we were launching; withdraw.
-                self._queue.cancel_get(get_event)
+            pending = self._queue.take()
+            if pending is None:
+                # The backlog emptied while we were launching.
                 break
-            self._launch_instance(prewarmed=False,
-                                  first_request=get_event.value)
+            self._launch_instance(prewarmed=False, first_request=pending)
             pinned += 1
         speculative = min(math.ceil(pinned * (self._overprovision - 1.0)),
                           max(headroom - pinned, 0),
@@ -238,29 +256,22 @@ class ServerlessPlatform(ServingPlatform):
     def _cold_start_pipeline(self, instance: _Instance):
         """Run the sandbox / import / download / load pipeline."""
         stages = _ColdStages()
-        image_mb = (self.runtime.image_size_mb(self.provider.name)
-                    + self.config.extra_container_mb)
-        pull = self.provider.registry.pull_time(image_mb, self.rng)
+        pull = self.provider.registry.pull_time(self._image_mb, self.rng)
         stages.sandbox_s = pull + self._jitter(
             self._traits.sandbox_setup_s, _STAGE_JITTER_CV, "sandbox")
         yield self.env.timeout(stages.sandbox_s)
 
         stages.import_s = self._jitter(
-            self.profiles.import_time(self.provider.name, self.runtime.key,
-                                      self.model.name),
-            _STAGE_JITTER_CV, "import")
+            self._import_time_s, _STAGE_JITTER_CV, "import")
         yield self.env.timeout(stages.import_s)
 
-        download_mb = self.model.download_mb + self.config.extra_download_mb
-        if download_mb > 0:
+        if self._download_mb > 0:
             stages.download_s = self.provider.storage.download_time(
-                download_mb, self.rng)
+                self._download_mb, self.rng)
             yield self.env.timeout(stages.download_s)
 
         stages.load_s = self._jitter(
-            self.profiles.load_time(self.provider.name, self.runtime.key,
-                                    self.model.name, self.config.memory_gb),
-            _STAGE_JITTER_CV, "load")
+            self._load_time_s, _STAGE_JITTER_CV, "load")
         yield self.env.timeout(stages.load_s)
         instance.cold_stages = stages
 
@@ -278,7 +289,7 @@ class ServerlessPlatform(ServingPlatform):
         while instance.alive:
             get_event = self._queue.get()
             keep_alive = self.env.timeout(self._traits.keep_alive_s)
-            yield self.env.any_of([get_event, keep_alive])
+            yield self.env.race(get_event, keep_alive)
             if not get_event.triggered:
                 self._queue.cancel_get(get_event)
                 if instance.provisioned:
@@ -301,44 +312,45 @@ class ServerlessPlatform(ServingPlatform):
         wait = self.env.now - pending.enqueue_time
 
         init_billable = 0.0
+        breakdown = outcome.breakdown
         if is_cold_trigger and instance.cold_stages is not None:
             # This request triggered the instance: it paid for the whole
             # cold-start pipeline, so attribute the sub-stages to it (this
-            # is how the paper measures Figure 10).
+            # is how the paper measures Figure 10).  Each stage is set
+            # exactly once per outcome, so plain dict writes replace the
+            # accumulate-style add_stage calls on this hot path.
             stages = instance.cold_stages
             outcome.cold_start = True
-            outcome.add_stage(Stage.SANDBOX, stages.sandbox_s)
-            outcome.add_stage(Stage.IMPORT, stages.import_s)
-            outcome.add_stage(Stage.DOWNLOAD, stages.download_s)
-            outcome.add_stage(Stage.LOAD, stages.load_s)
-            outcome.add_stage(Stage.QUEUE, max(wait - stages.total(), 0.0))
+            breakdown[Stage.SANDBOX] = stages.sandbox_s
+            breakdown[Stage.IMPORT] = stages.import_s
+            breakdown[Stage.DOWNLOAD] = stages.download_s
+            breakdown[Stage.LOAD] = stages.load_s
+            breakdown[Stage.QUEUE] = max(wait - stages.total(), 0.0)
             init_billable = (stages.import_s + stages.download_s
                              + stages.load_s)
         else:
-            outcome.add_stage(Stage.QUEUE, wait)
+            breakdown[Stage.QUEUE] = wait
 
-        handler = self._handler_overhead()
-        inferences = max(outcome.inferences, 1)
-        warm_predict = self.profiles.warm_predict_time(
-            self.provider.name, self.runtime.key, self.model.name,
-            self.config.memory_gb)
-        durations = [warm_predict] * inferences
+        handler = self._handler_s
+        inferences = outcome.inferences
+        # Only the very first inference on a fresh runtime pays the
+        # lazy-initialisation penalty (Section 5.1); subsequent inferences
+        # in the same (possibly batched) invocation run at the warm speed.
         if instance.first_predict_pending:
-            # Only the very first inference on a fresh runtime pays the
-            # lazy-initialisation penalty (Section 5.1); subsequent
-            # inferences in the same (possibly batched) invocation run at
-            # the warm speed.
-            durations[0] = self.profiles.cold_predict_time(
-                self.provider.name, self.runtime.key, self.model.name,
-                self.config.memory_gb)
             instance.first_predict_pending = False
-        predict = sum(
-            self._jitter(duration, _PREDICT_JITTER_CV, "predict")
-            for duration in durations)
+            predict = self._jitter(self._cold_predict_s, _PREDICT_JITTER_CV,
+                                   "predict")
+        else:
+            predict = self._jitter(self._warm_predict_s, _PREDICT_JITTER_CV,
+                                   "predict")
+        if inferences > 1 and self._warm_predict_s > 0:
+            predict += self.rng.lognormal_sum(
+                "predict", self._warm_predict_s, _PREDICT_JITTER_CV,
+                inferences - 1)
         yield self.env.timeout(handler + predict)
 
-        outcome.add_stage(Stage.HANDLER, handler)
-        outcome.add_stage(Stage.PREDICT, predict)
+        breakdown[Stage.HANDLER] = handler
+        breakdown[Stage.PREDICT] = predict
 
         billed = handler + predict
         if self._traits.billing_includes_init:
@@ -347,4 +359,10 @@ class ServerlessPlatform(ServingPlatform):
         self._bill.add_invocation(billed, provisioned=instance.provisioned)
 
         instance.served_requests += 1
+        if outcome.completion_time is not None and self.outcome_sink is not None:
+            # The client already gave up on this request (the 300 s
+            # deadline) and its row was committed without the serve-side
+            # fields; re-record it now that the invocation actually ran
+            # and was billed.
+            self.outcome_sink(outcome)
         pending.response_event.succeed()

@@ -61,6 +61,11 @@ class VmPlatform(ServingPlatform):
         self._rejected = 0
         self._timed_out = 0
         self._start_time = env.now
+        # Per-run constants hoisted off the per-request path.
+        self._handler_s = self._handler_overhead()
+        self._predict_s = self.profiles.server_predict_time(
+            self.runtime.key, self.model.name,
+            "gpu" if self._is_gpu else "cpu")
         self._scaler = TargetTrackingScaler(
             env=env,
             evaluation_period_s=60.0,
@@ -147,7 +152,7 @@ class VmPlatform(ServingPlatform):
         enqueue = self.env.now
         claim = self._workers.request()
         deadline = self.env.timeout(self._traits.request_timeout_s)
-        yield self.env.any_of([claim, deadline])
+        yield self.env.race(claim, deadline)
         if not claim.triggered:
             self._workers.cancel(claim)
             self._timed_out += 1
@@ -158,15 +163,11 @@ class VmPlatform(ServingPlatform):
         deadline.cancel()
 
         outcome.add_stage(Stage.QUEUE, self.env.now - enqueue)
-        handler = self._handler_overhead()
-        hardware = "gpu" if self._is_gpu else "cpu"
+        handler = self._handler_s
         try:
-            per_predict = self.profiles.server_predict_time(
-                self.runtime.key, self.model.name, hardware)
-            predict = sum(
-                self.rng.lognormal_around("vm-predict", per_predict,
-                                          _SERVICE_JITTER_CV)
-                for _ in range(max(outcome.inferences, 1)))
+            predict = self.rng.lognormal_sum(
+                "vm-predict", self._predict_s, _SERVICE_JITTER_CV,
+                max(outcome.inferences, 1))
             # On a GPU server the HTTP handling runs on the host CPUs and
             # does not occupy the accelerator; on a CPU server it competes
             # with inference for the same cores.

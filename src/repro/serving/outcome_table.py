@@ -1,0 +1,434 @@
+"""Columnar (struct-of-arrays) request outcomes.
+
+The simulation's data plane used to be a ``List[RequestOutcome]`` — one
+Python object plus one breakdown dict per request, walked by list
+comprehensions for every metric and re-pickled wholesale through the
+process pool.  :class:`OutcomeTable` replaces that with numpy columns:
+every metric becomes a masked reduction, result transport shrinks to a
+handful of compact arrays, and the per-request objects only live while
+their request is in flight.
+
+:class:`OutcomeRecorder` is the write side: preallocated to the
+workload's known request count, it captures a request's issue-time
+fields when the executor creates it and the completion-time fields when
+the platform finishes it, after which the Python object is garbage.
+
+``RequestOutcome`` remains the in-flight representation (platforms
+mutate it incrementally) and the API-compatibility view:
+:meth:`OutcomeTable.to_outcomes` reconstructs equivalent objects on
+demand.  Reconstruction drops breakdown stages whose accumulated value
+is exactly 0.0 (the table cannot distinguish "absent" from "zero");
+``RequestOutcome.stage`` reports 0.0 for both, so metrics are unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.serving.records import RequestOutcome, Stage
+
+__all__ = ["OutcomeTable", "OutcomeRecorder"]
+
+#: Column order of the per-stage latency matrix.
+STAGE_ORDER = Stage.ORDER
+_STAGE_INDEX: Dict[str, int] = {name: i for i, name in enumerate(STAGE_ORDER)}
+_N_STAGES = len(STAGE_ORDER)
+
+
+class OutcomeTable:
+    """Immutable-ish struct-of-arrays over one run's request outcomes.
+
+    Columns (all length ``count``):
+
+    * ``request_id``   int64
+    * ``client_id``    int32
+    * ``send_time``    float64 (seconds)
+    * ``completion_time`` float64 (NaN while unfinished)
+    * ``success``      bool
+    * ``cold_start``   bool
+    * ``instance_id``  int64 (-1 = never assigned)
+    * ``billed_duration_s`` float64
+    * ``inferences``   int32
+    * ``error_code``   int16 (index into ``error_names``; 0 = no error)
+    * ``stages``       float64 matrix of shape (count, len(Stage.ORDER))
+    """
+
+    def __init__(self, request_id, client_id, send_time, completion_time,
+                 success, cold_start, instance_id, billed_duration_s,
+                 inferences, error_code, stages,
+                 error_names: Sequence[str] = ("",)):
+        self.request_id = request_id
+        self.client_id = client_id
+        self.send_time = send_time
+        self.completion_time = completion_time
+        self.success = success
+        self.cold_start = cold_start
+        self.instance_id = instance_id
+        self.billed_duration_s = billed_duration_s
+        self.inferences = inferences
+        self.error_code = error_code
+        self.stages = stages
+        self.error_names: List[str] = list(error_names)
+
+    # -- shape ----------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of recorded requests."""
+        return int(self.send_time.shape[0])
+
+    def __len__(self) -> int:
+        return self.count
+
+    # -- derived columns -------------------------------------------------------
+    @property
+    def latency(self) -> np.ndarray:
+        """End-to-end latency per request (NaN where unfinished)."""
+        return self.completion_time - self.send_time
+
+    def successful_latencies(self) -> np.ndarray:
+        """Latencies of the successful requests (the paper's headline set)."""
+        return self.latency[self.success]
+
+    def stage_column(self, stage: str) -> np.ndarray:
+        """Accumulated seconds in one breakdown stage, per request."""
+        return self.stages[:, _STAGE_INDEX[stage]]
+
+    def error_strings(self) -> List[str]:
+        """Per-request error messages ('' for successful requests)."""
+        names = self.error_names
+        return [names[code] for code in self.error_code.tolist()]
+
+    # -- mutation (benchmark-internal) ----------------------------------------
+    def fail_unfinished(self, horizon: float,
+                        error: str = "unfinished") -> int:
+        """Mark still-open requests as failed at ``horizon`` (vectorised).
+
+        Returns the number of requests so marked.  Mirrors the per-object
+        ``outcome.finish(max(horizon, send_time), success=False)`` the
+        benchmark used to apply in a Python loop.
+        """
+        open_mask = np.isnan(self.completion_time)
+        n_open = int(open_mask.sum())
+        if n_open == 0:
+            return 0
+        self.completion_time[open_mask] = np.maximum(
+            horizon, self.send_time[open_mask])
+        self.success[open_mask] = False
+        self.error_code[open_mask] = _intern_error(self.error_names, error)
+        return n_open
+
+    # -- interchange -----------------------------------------------------------
+    @classmethod
+    def from_outcomes(cls, outcomes: Iterable[RequestOutcome]) -> "OutcomeTable":
+        """Build a table from materialised outcome objects.
+
+        Unfinished outcomes keep everything except the completion fields
+        (``table()`` flushes their partial state, including any error
+        string already set).  The objects themselves are left untouched —
+        the recorder's row bookkeeping is not leaked back to the caller.
+        """
+        recorder = OutcomeRecorder(capacity=0)
+        for outcome in outcomes:
+            caller_row = outcome.row
+            recorder.register(outcome)
+            if outcome.completion_time is not None:
+                recorder.commit(outcome)
+            outcome.row = caller_row
+        return recorder.table()
+
+    def row(self, index: int) -> RequestOutcome:
+        """Reconstruct one request's outcome object."""
+        completion = float(self.completion_time[index])
+        instance = int(self.instance_id[index])
+        breakdown: Dict[str, float] = {}
+        for stage_index, name in enumerate(STAGE_ORDER):
+            seconds = float(self.stages[index, stage_index])
+            if seconds != 0.0:
+                breakdown[name] = seconds
+        return RequestOutcome(
+            request_id=int(self.request_id[index]),
+            client_id=int(self.client_id[index]),
+            send_time=float(self.send_time[index]),
+            completion_time=None if np.isnan(completion) else completion,
+            success=bool(self.success[index]),
+            error=self.error_names[int(self.error_code[index])],
+            cold_start=bool(self.cold_start[index]),
+            instance_id=None if instance < 0 else instance,
+            billed_duration_s=float(self.billed_duration_s[index]),
+            inferences=int(self.inferences[index]),
+            breakdown=breakdown,
+        )
+
+    def to_outcomes(self) -> List[RequestOutcome]:
+        """Reconstruct the full list of outcome objects (API-compat view)."""
+        return [self.row(index) for index in range(self.count)]
+
+    # -- wire format -----------------------------------------------------------
+    def packed(self) -> dict:
+        """A compact lossless encoding for cross-process transport.
+
+        Applied tricks (all exactly invertible):
+
+        * ``request_id`` is elided when it equals ``arange(count)`` (the
+          executor's normal sequential numbering);
+        * integer columns travel as int32, booleans as ``packbits`` bit
+          arrays;
+        * columns that are mostly zero (billed duration on server
+          platforms, the cold-only stage columns) travel as
+          ``(indices, values)`` pairs; all-default columns vanish.
+        """
+        count = self.count
+        packed: dict = {"count": count, "errors": self.error_names}
+        if not np.array_equal(self.request_id,
+                              np.arange(count, dtype=np.int64)):
+            packed["request_id"] = self.request_id.astype(np.int64)
+        packed["client_id"] = self.client_id.astype(np.int32)
+        packed["send_time"] = self.send_time
+        packed["completion_time"] = self.completion_time
+        packed["success"] = np.packbits(self.success)
+        if self.cold_start.any():
+            packed["cold_start"] = np.packbits(self.cold_start)
+        if (self.instance_id >= 0).any():
+            packed["instance_id"] = self.instance_id.astype(np.int32)
+        if (self.inferences != 1).any():
+            packed["inferences"] = self.inferences.astype(np.int32)
+        if self.error_code.any():
+            packed["error_code"] = self.error_code
+        packed["billed_duration_s"] = _pack_sparse(self.billed_duration_s)
+        packed["stages"] = [_pack_sparse(self.stages[:, i])
+                            for i in range(_N_STAGES)]
+        return packed
+
+    @classmethod
+    def from_packed(cls, packed: dict) -> "OutcomeTable":
+        """Rebuild a table from :meth:`packed` output (exact inverse)."""
+        count = packed["count"]
+        request_id = packed.get("request_id")
+        if request_id is None:
+            request_id = np.arange(count, dtype=np.int64)
+        else:
+            request_id = request_id.astype(np.int64)
+        success = np.unpackbits(packed["success"],
+                                count=count).astype(bool)
+        cold = packed.get("cold_start")
+        if cold is None:
+            cold_start = np.zeros(count, dtype=bool)
+        else:
+            cold_start = np.unpackbits(cold, count=count).astype(bool)
+        instance_id = packed.get("instance_id")
+        if instance_id is None:
+            instance_id = np.full(count, -1, dtype=np.int64)
+        else:
+            instance_id = instance_id.astype(np.int64)
+        inferences = packed.get("inferences")
+        if inferences is None:
+            inferences = np.ones(count, dtype=np.int32)
+        else:
+            inferences = inferences.astype(np.int32)
+        error_code = packed.get("error_code")
+        if error_code is None:
+            error_code = np.zeros(count, dtype=np.int16)
+        stages = np.zeros((count, _N_STAGES), dtype=np.float64)
+        for stage_index, column in enumerate(packed["stages"]):
+            stages[:, stage_index] = _unpack_sparse(column, count)
+        return cls(
+            request_id=request_id,
+            client_id=packed["client_id"].astype(np.int32),
+            send_time=packed["send_time"],
+            completion_time=packed["completion_time"],
+            success=success,
+            cold_start=cold_start,
+            instance_id=instance_id,
+            billed_duration_s=_unpack_sparse(packed["billed_duration_s"],
+                                             count),
+            inferences=inferences,
+            error_code=error_code,
+            stages=stages,
+            error_names=packed["errors"],
+        )
+
+    # -- determinism -----------------------------------------------------------
+    def column_hash(self) -> str:
+        """SHA-256 over every column's bytes (golden-hash determinism tests).
+
+        Equal hashes mean bit-identical runs: same times, same successes,
+        same stage breakdowns, same error assignments.
+        """
+        digest = hashlib.sha256()
+        for column in (self.request_id, self.client_id, self.send_time,
+                       self.completion_time, self.success, self.cold_start,
+                       self.instance_id, self.billed_duration_s,
+                       self.inferences, self.error_code, self.stages):
+            digest.update(np.ascontiguousarray(column).tobytes())
+        digest.update("\x00".join(self.error_names).encode("utf-8"))
+        return digest.hexdigest()
+
+
+def _pack_sparse(column: np.ndarray):
+    """Shrink a float column: None (all zero) / scalar (constant) /
+    (indices, values) (mostly zero) / dense ndarray."""
+    nonzero = np.flatnonzero(column)
+    if nonzero.size == 0:
+        return None
+    first = column[0]
+    if nonzero.size == column.size and (column == first).all():
+        # e.g. the HANDLER stage: a per-run constant on every request.
+        return float(first)
+    if nonzero.size * 3 < column.size:  # 12B/entry sparse vs 8B/entry dense
+        return (nonzero.astype(np.int32), column[nonzero])
+    return column
+
+
+def _unpack_sparse(packed, count: int) -> np.ndarray:
+    """Inverse of :func:`_pack_sparse`."""
+    if packed is None:
+        return np.zeros(count, dtype=np.float64)
+    if isinstance(packed, float):
+        return np.full(count, packed, dtype=np.float64)
+    if isinstance(packed, tuple):
+        column = np.zeros(count, dtype=np.float64)
+        indices, values = packed
+        column[indices] = values
+        return column
+    return packed
+
+
+def _intern_error(names: List[str], error: str) -> int:
+    """Index of ``error`` in the vocabulary, appending it if new."""
+    try:
+        return names.index(error)
+    except ValueError:
+        names.append(error)
+        return len(names) - 1
+
+
+class OutcomeRecorder:
+    """Preallocated write-side of an :class:`OutcomeTable`.
+
+    Sized from the workload's known request count; grows geometrically in
+    the (unusual) case more requests are issued than the hint promised.
+    """
+
+    def __init__(self, capacity: int):
+        self._capacity = max(int(capacity), 16)
+        self._count = 0
+        capacity = self._capacity
+        self.request_id = np.zeros(capacity, dtype=np.int64)
+        self.client_id = np.zeros(capacity, dtype=np.int32)
+        self.send_time = np.zeros(capacity, dtype=np.float64)
+        self.completion_time = np.full(capacity, np.nan, dtype=np.float64)
+        self.success = np.zeros(capacity, dtype=bool)
+        self.cold_start = np.zeros(capacity, dtype=bool)
+        self.instance_id = np.full(capacity, -1, dtype=np.int64)
+        self.billed_duration_s = np.zeros(capacity, dtype=np.float64)
+        self.inferences = np.ones(capacity, dtype=np.int32)
+        self.error_code = np.zeros(capacity, dtype=np.int16)
+        self.stages = np.zeros((capacity, _N_STAGES), dtype=np.float64)
+        self.error_names: List[str] = [""]
+        #: Registered-but-uncommitted outcomes; their partial state
+        #: (accrued stages, instance assignment) is flushed by
+        #: :meth:`table` so requests that never complete keep the fields
+        #: they did accumulate.
+        self._inflight: Dict[int, RequestOutcome] = {}
+
+    def __len__(self) -> int:
+        return self._count
+
+    def _grow(self) -> None:
+        new_capacity = self._capacity * 2
+        pad = new_capacity - self._capacity
+
+        def extend(array: np.ndarray, fill) -> np.ndarray:
+            shape = (pad,) + array.shape[1:]
+            return np.concatenate(
+                [array, np.full(shape, fill, dtype=array.dtype)])
+
+        self.request_id = extend(self.request_id, 0)
+        self.client_id = extend(self.client_id, 0)
+        self.send_time = extend(self.send_time, 0.0)
+        self.completion_time = extend(self.completion_time, np.nan)
+        self.success = extend(self.success, False)
+        self.cold_start = extend(self.cold_start, False)
+        self.instance_id = extend(self.instance_id, -1)
+        self.billed_duration_s = extend(self.billed_duration_s, 0.0)
+        self.inferences = extend(self.inferences, 1)
+        self.error_code = extend(self.error_code, 0)
+        self.stages = extend(self.stages, 0.0)
+        self._capacity = new_capacity
+
+    # -- write path ------------------------------------------------------------
+    def register(self, outcome: RequestOutcome) -> int:
+        """Record a freshly issued request; returns its row index."""
+        row = self._count
+        if row >= self._capacity:
+            self._grow()
+        self._count = row + 1
+        outcome.row = row
+        self._inflight[row] = outcome
+        self.request_id[row] = outcome.request_id
+        self.client_id[row] = outcome.client_id
+        self.send_time[row] = outcome.send_time
+        if outcome.inferences != 1:
+            self.inferences[row] = outcome.inferences
+        return row
+
+    def commit(self, outcome: RequestOutcome) -> None:
+        """Record a finished request's completion-time fields.
+
+        Safe to call again for the same outcome (e.g. when a serverless
+        invocation still runs — and bills — after its client already gave
+        up at the 300 s deadline): the row is simply rewritten with the
+        later state.
+        """
+        row = outcome.row
+        self._inflight.pop(row, None)
+        self.completion_time[row] = outcome.completion_time
+        self._write_serve_fields(row, outcome)
+
+    def _write_serve_fields(self, row: int, outcome: RequestOutcome) -> None:
+        if outcome.error:
+            self.error_code[row] = _intern_error(self.error_names,
+                                                 outcome.error)
+        if outcome.success:
+            self.success[row] = True
+        if outcome.cold_start:
+            self.cold_start[row] = True
+        if outcome.instance_id is not None:
+            self.instance_id[row] = outcome.instance_id
+        if outcome.billed_duration_s:
+            self.billed_duration_s[row] = outcome.billed_duration_s
+        breakdown = outcome.breakdown
+        if breakdown:
+            stages = self.stages
+            index = _STAGE_INDEX
+            for name, seconds in breakdown.items():
+                stages[row, index[name]] = seconds
+
+    # -- read side -------------------------------------------------------------
+    def table(self) -> OutcomeTable:
+        """The recorded outcomes as a trimmed :class:`OutcomeTable`.
+
+        Flushes the partial state (accrued network/queue stages, instance
+        assignment) of registered-but-never-committed requests first, so
+        unfinished rows carry everything their in-flight objects did.
+        """
+        for row, outcome in self._inflight.items():
+            self._write_serve_fields(row, outcome)
+        n = self._count
+        return OutcomeTable(
+            request_id=self.request_id[:n],
+            client_id=self.client_id[:n],
+            send_time=self.send_time[:n],
+            completion_time=self.completion_time[:n],
+            success=self.success[:n],
+            cold_start=self.cold_start[:n],
+            instance_id=self.instance_id[:n],
+            billed_duration_s=self.billed_duration_s[:n],
+            inferences=self.inferences[:n],
+            error_code=self.error_code[:n],
+            stages=self.stages[:n],
+            error_names=self.error_names,
+        )

@@ -26,9 +26,14 @@ class Stage:
     ORDER = (QUEUE, NETWORK, SANDBOX, IMPORT, DOWNLOAD, LOAD, PREDICT, HANDLER)
 
 
-@dataclass
+@dataclass(slots=True)
 class RequestOutcome:
-    """Everything the framework records about one client request."""
+    """Everything the framework records about one client request.
+
+    With tens of thousands of live requests per run this is a hot
+    allocation site, hence ``slots=True``: no per-instance ``__dict__``,
+    faster attribute access in the platform code that mutates outcomes.
+    """
 
     request_id: int
     client_id: int
@@ -49,6 +54,9 @@ class RequestOutcome:
     inferences: int = 1
     #: Per-stage latency breakdown in seconds.
     breakdown: Dict[str, float] = field(default_factory=dict)
+    #: Row index assigned by the :class:`~repro.serving.outcome_table.
+    #: OutcomeRecorder` (-1 while unregistered).
+    row: int = field(default=-1, repr=False, compare=False)
 
     @property
     def latency(self) -> Optional[float]:

@@ -67,6 +67,7 @@ __all__ = [
     "Process",
     "AnyOf",
     "AllOf",
+    "Race",
     "Environment",
 ]
 
@@ -285,7 +286,16 @@ class Process(Event):
             self._ok = True
             self._value = stop.value
             env._active_process = None
-            env._schedule(self, priority=URGENT)
+            # Successful completion dispatches its waiters synchronously
+            # instead of through an URGENT calendar entry: one entry per
+            # request saved, and everyone interested has already attached
+            # (attachment happens while the process is still pending).
+            # Failures (below) still travel through the calendar so the
+            # scheduler's unhandled-failure check can surface them.
+            callbacks, self.callbacks = self.callbacks, None
+            if callbacks:
+                for callback in callbacks:
+                    callback(self)
             return
         except BaseException as exc:  # noqa: BLE001 - propagate as failure
             self._triggered = True
@@ -381,6 +391,77 @@ class AllOf(_Condition):
             self.succeed(self._collect())
 
 
+class Race(Event):
+    """First-of-two specialisation of :class:`AnyOf` for guard-timer races.
+
+    Every simulated request runs two of these (response vs request
+    deadline on the client, queue-get vs keep-alive on the instance), so
+    the general condition machinery — member list, observer genexprs,
+    result-dict collection — was pure per-request overhead.  ``Race``
+    triggers with the **winning event** as its value.
+
+    The win is handed to the race's waiters *synchronously*, inside the
+    winning event's own callback cascade, instead of travelling through
+    an extra calendar entry the way a generic condition's ``succeed``
+    does.  At two races per request that removes two of the ~10 calendar
+    entries each request used to cost.  The only observable difference
+    is that the waiter resumes within the winner's pop rather than one
+    (zero-delay) entry later — i.e. slightly earlier relative to other
+    events scheduled at the exact same timestamp.  Both events must
+    belong to this environment.
+    """
+
+    __slots__ = ("_a", "_b")
+
+    def __init__(self, env: "Environment", a: Event, b: Event):
+        Event.__init__(self, env)
+        if a.env is not env or b.env is not env:
+            raise SimulationError(
+                "cannot mix events of different environments")
+        self._a = a
+        self._b = b
+        # Mirror _Condition: already-processed failed members are defused
+        # at construction; an already-processed ok member wins outright
+        # (through the calendar, like AnyOf's constructor _check).
+        winner = None
+        a_done = a.callbacks is None
+        b_done = b.callbacks is None
+        if a_done:
+            if a._ok is False:
+                a._defused = True
+            elif a._ok:
+                winner = a
+        if b_done:
+            if b._ok is False:
+                b._defused = True
+            elif winner is None and b._ok:
+                winner = b
+        if winner is not None:
+            self.succeed(winner)
+            return
+        observe = self._observe
+        if not a_done:
+            a.callbacks.append(observe)
+        if not b_done:
+            b.callbacks.append(observe)
+
+    def _observe(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._ok is False:
+            event._defused = True
+            self.fail(event._value)
+            return
+        # Synchronous win: trigger and run the waiters in place.
+        self._triggered = True
+        self._ok = True
+        self._value = event
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+
+
 class Environment:
     """The simulation environment: clock, calendar, and process factory."""
 
@@ -424,6 +505,10 @@ class Environment:
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         """Composite event triggering when any of ``events`` triggers."""
         return AnyOf(self, events)
+
+    def race(self, a: Event, b: Event) -> Race:
+        """First-of-two event (lightweight ``any_of``; value = the winner)."""
+        return Race(self, a, b)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Composite event triggering when all of ``events`` have triggered."""

@@ -150,6 +150,33 @@ class Store:
         self._dispatch()
         return event
 
+    def add(self, item: Any) -> None:
+        """Insert ``item`` without a completion event (hot-path put).
+
+        Only valid on an unbounded store, where a put can never block.
+        Dispatch semantics are identical to :meth:`put`; the difference
+        is that no :class:`StorePut` event is allocated or scheduled —
+        on request-queue stores that event was one calendar entry per
+        request that nobody ever waited on.
+        """
+        if self.capacity != float("inf"):
+            raise SimulationError("add() requires an unbounded store")
+        self.items.append(item)
+        self._dispatch()
+
+    def take(self) -> Any:
+        """Remove and return the oldest buffered item, or ``None`` if empty.
+
+        The synchronous counterpart of :meth:`get` for callers that only
+        want an item that is already there (e.g. a scaler pinning queued
+        requests to fresh instances).  Items only accumulate while no
+        getter is waiting, so taking the head cannot starve a pending
+        :meth:`get`.
+        """
+        if self.items:
+            return self.items.popleft()
+        return None
+
     def get(self) -> StoreGet:
         """Remove the oldest item; the event triggers with that item."""
         event = StoreGet(self)

@@ -48,12 +48,16 @@ class RequestPool:
         self.sample_payload_mb = sample_payload_mb
         self.samples_per_request = samples_per_request
         rng = RandomStreams(seed).stream("request-pool")
-        self._templates: List[RequestTemplate] = []
-        for index in range(pool_size):
-            jitter = 1.0 + payload_jitter * (rng.random() * 2.0 - 1.0)
-            payload = sample_payload_mb * samples_per_request * jitter
-            self._templates.append(RequestTemplate(
-                index=index, payload_mb=payload, samples=samples_per_request))
+        # One vectorised draw for the whole pool.  numpy fills arrays with
+        # the same per-element sampler scalar draws use, and the jitter
+        # arithmetic is applied element-wise in the same order, so the
+        # pool's seeded payloads are bit-identical to the old scalar loop.
+        jitter = 1.0 + payload_jitter * (rng.random(pool_size) * 2.0 - 1.0)
+        payloads = sample_payload_mb * samples_per_request * jitter
+        self._templates: List[RequestTemplate] = [
+            RequestTemplate(index=index, payload_mb=payload,
+                            samples=samples_per_request)
+            for index, payload in enumerate(payloads.tolist())]
 
     def __len__(self) -> int:
         return len(self._templates)

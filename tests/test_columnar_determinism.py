@@ -1,0 +1,159 @@
+"""Golden-hash determinism tests for the columnar outcome pipeline.
+
+The columnar rework leans on two exact-equivalence guarantees:
+
+* block-buffered random draws serve the *same per-stream sequence* as
+  scalar draws, at any block size (``RandomStreams`` pre-draws standard
+  variates and scales them with the exact operations numpy applies
+  internally);
+* parallel cells are bit-identical to serial cells (every cell reseeds
+  its own streams, and the packed transport encoding is lossless).
+
+Both are asserted here as SHA-256 hashes over every outcome column of a
+fixed-seed w-40 cell — if any draw, any completion time, or any stage
+attribution shifts by one ULP, the hashes diverge.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.benchmark import ServingBenchmark
+from repro.core.planner import Planner
+from repro.serving.outcome_table import OutcomeTable
+from repro.sim import RandomStreams
+from repro.workload.generator import standard_workload
+
+SEED = 5
+
+
+@pytest.fixture(scope="module")
+def w40_cell():
+    return (Planner().plan("aws", "mobilenet", "tf1.15", "serverless"),
+            standard_workload("w-40", seed=SEED, scale=0.05))
+
+
+def _run_hash(deployment, workload, block_size):
+    bench = ServingBenchmark(seed=SEED, rng_block_size=block_size)
+    return bench.run(deployment, workload).table.column_hash()
+
+
+class TestBlockSizeInvariance:
+    def test_buffered_draws_match_unbuffered_run(self, w40_cell):
+        """Identical outcome columns before/after block-buffered draws."""
+        deployment, workload = w40_cell
+        unbuffered = _run_hash(deployment, workload, block_size=1)
+        for block_size in (7, 1024):
+            assert _run_hash(deployment, workload, block_size) == unbuffered
+
+    def test_stream_sequences_identical_at_any_block_size(self):
+        for block_size in (3, 256):
+            reference = RandomStreams(SEED, block_size=1)
+            streams = RandomStreams(SEED, block_size=block_size)
+            for _ in range(600):
+                assert (streams.lognormal_around("jitter", 0.05, 0.08)
+                        == reference.lognormal_around("jitter", 0.05, 0.08))
+                assert (streams.exponential("dwell", 2.0)
+                        == reference.exponential("dwell", 2.0))
+                assert (streams.uniform("pull", 0.0, 1.0)
+                        == reference.uniform("pull", 0.0, 1.0))
+                assert (streams.choice("pick", 200)
+                        == reference.choice("pick", 200))
+
+    def test_lognormal_sum_matches_repeated_draws(self):
+        summed = RandomStreams(SEED)
+        repeated = RandomStreams(SEED)
+        for count in (1, 2, 5):
+            expected = sum(repeated.lognormal_around("x", 0.1, 0.2)
+                           for _ in range(count))
+            assert summed.lognormal_sum("x", 0.1, 0.2, count) == expected
+
+
+class TestSerialParallelEquality:
+    def test_worker_pool_produces_identical_columns(self, w40_cell):
+        """Fixed-seed serial and workers=4 runs: bit-identical columns."""
+        _deployment, workload = w40_cell
+        planner = Planner()
+        deployments = [planner.plan("aws", "mobilenet", "tf1.15", platform)
+                       for platform in ("serverless", "cpu_server",
+                                        "managed_ml", "gpu_server")]
+        bench = ServingBenchmark(seed=SEED)
+        serial = bench.run_many(deployments, workload)
+        parallel = bench.run_many(deployments, workload, workers=4)
+        for left, right in zip(serial, parallel):
+            assert left.table.column_hash() == right.table.column_hash()
+            assert left.cost == right.cost
+            assert left.duration_s == right.duration_s
+            assert left.usage.cold_starts == right.usage.cold_starts
+
+
+class TestPackedTransport:
+    def test_packed_round_trip_is_lossless(self, w40_cell):
+        deployment, workload = w40_cell
+        result = ServingBenchmark(seed=SEED).run(deployment, workload)
+        wire = pickle.dumps(result.table.packed())
+        restored = OutcomeTable.from_packed(pickle.loads(wire))
+        assert restored.column_hash() == result.table.column_hash()
+
+    def test_packed_is_smaller_than_object_pickles(self, w40_cell):
+        deployment, workload = w40_cell
+        result = ServingBenchmark(seed=SEED).run(deployment, workload)
+        packed = len(pickle.dumps(result.to_transport()))
+        legacy = len(pickle.dumps(result.outcomes))
+        # The margin widens with request count (per-table overhead is
+        # constant); at this tiny 750-request cell it is already ~1.9x.
+        assert packed < legacy * 0.6
+
+
+class TestLateAndPartialCommits:
+    def test_timed_out_requests_keep_serve_side_fields(self, monkeypatch,
+                                                       w40_cell):
+        """A request served *after* its client gave up still records the
+        instance assignment, billed duration, and predict stage (the
+        platform re-commits the row through the executor's sink)."""
+        import repro.platforms.serverless as serverless_module
+        monkeypatch.setattr(serverless_module, "_FUNCTION_TIMEOUT_S", 0.05)
+        deployment, workload = w40_cell
+        result = ServingBenchmark(seed=SEED).run(deployment, workload)
+        table = result.table
+        timeout_code = table.error_names.index("timeout")
+        timed_out = table.error_code == timeout_code
+        assert timed_out.any()
+        served_late = timed_out & (table.instance_id >= 0)
+        assert served_late.any()
+        assert (table.billed_duration_s[served_late] > 0).all()
+        assert (table.stage_column("predict")[served_late] > 0).all()
+
+    def test_unfinished_requests_keep_partial_stages(self):
+        """Registered-but-never-completed rows flush their accrued state."""
+        from repro.serving.outcome_table import OutcomeRecorder
+        from repro.serving.records import RequestOutcome, Stage
+
+        recorder = OutcomeRecorder(capacity=2)
+        outcome = RequestOutcome(request_id=0, client_id=0, send_time=1.0)
+        recorder.register(outcome)
+        outcome.add_stage(Stage.NETWORK, 0.25)
+        outcome.instance_id = 3
+        table = recorder.table()
+        assert table.stage_column(Stage.NETWORK)[0] == 0.25
+        assert table.instance_id[0] == 3
+        assert table.completion_time[0] != table.completion_time[0]  # NaN
+
+
+class TestObjectViewConsistency:
+    def test_metrics_match_object_view(self, w40_cell):
+        """Masked reductions agree with the reconstructed object view."""
+        deployment, workload = w40_cell
+        result = ServingBenchmark(seed=SEED).run(deployment, workload)
+        outcomes = result.outcomes
+        assert result.total_requests == len(outcomes)
+        successes = [o for o in outcomes if o.success]
+        assert result.success_ratio == len(successes) / len(outcomes)
+        assert result.average_latency == pytest.approx(
+            sum(o.latency for o in successes) / len(successes))
+        cold = sum(1 for o in successes if o.cold_start)
+        assert result.cold_start_ratio == cold / len(successes)
+        # Stage attributions survive the round trip through the columns.
+        for outcome in outcomes[:50]:
+            for stage, seconds in outcome.breakdown.items():
+                assert seconds >= 0.0, stage
