@@ -16,9 +16,11 @@ Usage::
 ``--check`` runs only the small fixed probe cell (well under a second),
 compares its throughput against the probe entry recorded in
 ``BENCH_engine.json``, and also smokes the columnar outcome pipeline
-(outcome-table build + metric reductions on the probe's data).  It exits
-non-zero if any of the three probes regressed by more than 30 % — a
-cheap guard against accidentally pessimising the hot path.
+(outcome-table build + metric reductions on the probe's data) and the
+serving control plane (instance-pool transitions, scaling-policy
+decisions, work-queue ticket cycling).  It exits non-zero if any
+recorded probe regressed by more than 30 % — a cheap guard against
+accidentally pessimising the hot paths.
 
 The recorded numbers are machine-relative: absolute req/s on a CI
 runner differs from the dev box the JSON was generated on.  For a
@@ -129,6 +131,60 @@ def run_columnar_probe(result) -> dict:
     }
 
 
+def run_control_probe(iterations: int = 50_000) -> dict:
+    """Smoke the control-plane hot paths in isolation.
+
+    Exercises the per-request operations the refactored platforms put on
+    the hot path — work-queue ticket enqueue/take/recycle (interned
+    allocations), scaling-policy decisions, and the instance pool's
+    launch / ready / busy / idle / retire transitions — in a tight loop
+    with no simulation around them.  Reported as cycles/s so the
+    ``--check`` gate catches a control-plane pessimisation even when the
+    end-to-end probe hides it behind event-calendar costs.  Runs in well
+    under a second.
+    """
+    from repro.platforms.admission import WorkQueue  # noqa: E402
+    from repro.platforms.policies import (  # noqa: E402
+        ConcurrencyScalingPolicy,
+        TargetUtilisationPolicy,
+    )
+    from repro.platforms.pool import InstancePool  # noqa: E402
+    from repro.serving.records import RequestOutcome  # noqa: E402
+    from repro.sim import Environment  # noqa: E402
+
+    best = None
+    for _ in range(3):
+        env = Environment()
+        pool = InstancePool(env, gauge_name="probe")
+        queue = WorkQueue(env)
+        router = ConcurrencyScalingPolicy(
+            max_concurrency=1_000, max_starts_per_second=200.0,
+            interval_s=1.0, overprovision=1.6)
+        tracker = TargetUtilisationPolicy(
+            target_per_instance=4.0, min_instances=1, max_instances=32)
+        outcome = RequestOutcome(request_id=0, client_id=0, send_time=0.0)
+        started = time.perf_counter()
+        for index in range(iterations):
+            ticket = queue.enqueue(outcome)
+            pinned, budget, headroom = router.plan_starts(queue.backlog,
+                                                          pool.alive)
+            router.speculative_starts(pinned, budget, headroom)
+            tracker.launches(float(index & 63), 8)
+            instance = pool.launch(warm=False)
+            pool.mark_ready(instance)
+            pool.mark_busy(instance)
+            pool.mark_idle(instance)
+            queue.take()
+            queue.recycle(ticket)
+            pool.retire(instance)
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return {
+        "iterations": iterations,
+        "cycles_per_s": round(iterations / best, 1),
+    }
+
+
 def run_sweep(scale: float, repeats: int) -> dict:
     """The full sweep plus the --check probe; returns the report payload."""
     results = []
@@ -144,10 +200,12 @@ def run_sweep(scale: float, repeats: int) -> dict:
     keep: list = []
     probe = run_cell(CHECK_WORKLOAD, CHECK_SCALE, repeats, keep_result=keep)
     columnar = run_columnar_probe(keep[0])
+    control = run_control_probe()
     print(f" probe x{CHECK_SCALE:<5g} {probe['wall_s']:>8.3f}s "
           f"{probe['requests_per_s']:>10,.0f} req/s")
     print(f" columnar build {columnar['build_rows_per_s']:>12,.0f} rows/s "
           f"reduce {columnar['reduce_rows_per_s']:>14,.0f} rows/s")
+    print(f" control plane {control['cycles_per_s']:>13,.0f} cycles/s")
     return {
         "bench": "engine-throughput",
         "cell": "aws/mobilenet/tf1.15/serverless",
@@ -156,6 +214,7 @@ def run_sweep(scale: float, repeats: int) -> dict:
         "results": results,
         "check_probe": probe,
         "columnar_probe": columnar,
+        "control_probe": control,
     }
 
 
@@ -193,6 +252,15 @@ def run_check(path: str) -> int:
                        columnar_reference["reduce_rows_per_s"]))
     else:
         print("note: no columnar_probe recorded; rerun the full sweep "
+              "to extend the gate")
+    control_reference = recorded.get("control_probe")
+    if control_reference:
+        control = run_control_probe()
+        checks.append(("control-plane cycles/s",
+                       control["cycles_per_s"],
+                       control_reference["cycles_per_s"]))
+    else:
+        print("note: no control_probe recorded; rerun the full sweep "
               "to extend the gate")
     failed = False
     for label, measured, baseline in checks:

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# One-stop CI / pre-commit gate:
+#
+#   scripts/check.sh          tier-1 tests + all perf probes
+#   scripts/check.sh --fast   tests only (skip the perf gate)
+#
+# The perf gate is benchmarks/bench_engine_throughput.py --check: the
+# fixed simulation probe cell, the columnar build/reduce probes, and the
+# control-plane (pool / policy / queue) probe, each compared against
+# BENCH_engine.json with a 30% regression tolerance.  Regenerate the
+# baseline with `python benchmarks/bench_engine_throughput.py` on the
+# machine that runs the gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -q
+
+if [[ "${1:-}" != "--fast" ]]; then
+    echo "== perf gate (engine + columnar + control-plane probes) =="
+    python benchmarks/bench_engine_throughput.py --check
+fi
+
+echo "check.sh: OK"

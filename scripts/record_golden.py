@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Record golden outcome-column hashes for the equivalence tests.
+
+Runs a fixed set of (deployment, workload) cells chosen to exercise every
+platform mechanism — serverless cold starts and provisioned concurrency,
+VM and managed autoscaling scale-out (including the bring-up delay
+draws), rejection and timeout paths — and records each cell's
+SHA-256 outcome-column hash plus headline usage counters into
+``tests/data/golden_hashes.json``.
+
+``tests/test_control_plane.py`` asserts the current code reproduces
+these hashes bit-for-bit.  The file is only regenerated deliberately,
+when a PR *intends* to change simulation behaviour::
+
+    PYTHONPATH=src python scripts/record_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+from repro.core.benchmark import ServingBenchmark  # noqa: E402
+from repro.core.planner import Planner  # noqa: E402
+from repro.workload.generator import standard_workload  # noqa: E402
+
+OUTPUT = os.path.join(ROOT, "tests", "data", "golden_hashes.json")
+
+SEED = 5
+
+#: (workload name, compression scale) pairs used by the golden cells.
+WORKLOADS = {
+    "w-40x0.05": ("w-40", 0.05),
+    "w-120x0.03": ("w-120", 0.03),
+    "w-120x0.12": ("w-120", 0.12),
+    "w-120x0.4": ("w-120", 0.4),
+}
+
+#: (provider, model, runtime, platform, workload key, config overrides).
+CELLS = [
+    # Serverless: cold starts, GCP overprovisioning, memory/batch knobs,
+    # provisioned concurrency.
+    ("aws", "mobilenet", "tf1.15", "serverless", "w-40x0.05", {}),
+    ("gcp", "mobilenet", "tf1.15", "serverless", "w-40x0.05", {}),
+    ("aws", "vgg", "ort1.4", "serverless", "w-40x0.05",
+     {"memory_gb": 4.0, "batch_size": 2}),
+    ("aws", "mobilenet", "tf1.15", "serverless", "w-40x0.05",
+     {"provisioned_concurrency": 4}),
+    # Fixed-fleet servers (CPU / GPU) and the managed endpoint.
+    ("aws", "mobilenet", "tf1.15", "cpu_server", "w-40x0.05", {}),
+    ("aws", "mobilenet", "tf1.15", "gpu_server", "w-40x0.05", {}),
+    ("aws", "mobilenet", "tf1.15", "managed_ml", "w-40x0.05", {}),
+    # Overload: rejections and queue timeouts.
+    ("aws", "albert", "tf1.15", "managed_ml", "w-120x0.03", {}),
+    ("aws", "albert", "tf1.15", "managed_ml", "w-120x0.12", {}),
+    ("gcp", "mobilenet", "tf1.15", "managed_ml", "w-120x0.12", {}),
+    # Autoscaling scale-out actually fires (bring-up delay draws).
+    ("aws", "mobilenet", "tf1.15", "cpu_server", "w-120x0.12",
+     {"autoscaling": True, "max_instances": 5}),
+    ("aws", "vgg", "tf1.15", "cpu_server", "w-120x0.12",
+     {"autoscaling": True, "max_instances": 6, "workers_per_instance": 4}),
+    ("aws", "mobilenet", "tf1.15", "cpu_server", "w-120x0.03",
+     {"autoscaling": True, "max_instances": 4}),
+    ("gcp", "albert", "tf1.15", "managed_ml", "w-120x0.4", {}),
+]
+
+
+def cell_key(provider, model, runtime, platform, workload_key, overrides):
+    key = f"{provider}/{model}/{runtime}/{platform}/{workload_key}"
+    if overrides:
+        key += "/" + ",".join(f"{k}={v}" for k, v in sorted(overrides.items()))
+    return key
+
+
+def record(path: str = OUTPUT) -> dict:
+    planner = Planner()
+    workloads = {key: standard_workload(name, seed=SEED, scale=scale)
+                 for key, (name, scale) in WORKLOADS.items()}
+    cells = {}
+    for provider, model, runtime, platform, wkey, overrides in CELLS:
+        deployment = planner.plan(provider, model, runtime, platform,
+                                  **overrides)
+        result = ServingBenchmark(seed=SEED).run(deployment, workloads[wkey])
+        cells[cell_key(provider, model, runtime, platform, wkey,
+                       overrides)] = {
+            "column_hash": result.table.column_hash(),
+            "requests": result.total_requests,
+            "cost": result.cost,
+            "cold_starts": result.usage.cold_starts,
+            "instances_created": result.usage.instances_created,
+            "peak_instances": result.usage.peak_instances,
+        }
+    payload = {
+        "seed": SEED,
+        "workloads": {key: {"name": name, "scale": scale}
+                      for key, (name, scale) in WORKLOADS.items()},
+        "cells": cells,
+    }
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return payload
+
+
+if __name__ == "__main__":
+    payload = record()
+    for key, entry in payload["cells"].items():
+        print(f"{entry['column_hash'][:16]}  {key}")
+    print(f"wrote {OUTPUT} ({len(payload['cells'])} cells)")

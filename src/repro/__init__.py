@@ -22,7 +22,17 @@ paper-versus-measured record of every experiment.
 """
 
 from repro.cloud import aws, gcp, get_provider
-from repro.core import Analyzer, Executor, Planner, RunResult, ServingBenchmark
+from repro.core import (
+    Analyzer,
+    Executor,
+    Planner,
+    RunResult,
+    ScenarioSpec,
+    ServingBenchmark,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+)
 from repro.models import LatencyProfiles, get_model, list_models
 from repro.runtimes import get_runtime, list_runtimes
 from repro.serving import Deployment, PlatformKind, RequestOutcome, ServiceConfig
@@ -49,6 +59,7 @@ __all__ = [
     "Planner",
     "RequestOutcome",
     "RunResult",
+    "ScenarioSpec",
     "ServiceConfig",
     "ServingBenchmark",
     "Workload",
@@ -60,8 +71,11 @@ __all__ = [
     "get_model",
     "get_provider",
     "get_runtime",
+    "get_scenario",
     "list_models",
     "list_runtimes",
+    "list_scenarios",
+    "register_scenario",
     "standard_workload",
     "standard_workload_specs",
 ]

@@ -14,7 +14,10 @@ The framework has four components, mirroring the paper's design:
   time-series and cold-start breakdowns used in the figures.
 
 :class:`~repro.core.benchmark.ServingBenchmark` is the façade that wires
-the pieces together; most users only need it plus the planner.
+the pieces together; most users only need it plus the planner.  On top
+of both, :mod:`repro.core.scenario` defines the declarative
+:class:`~repro.core.scenario.ScenarioSpec` layer — experiment cells as
+data — and the registry of named scenarios.
 """
 
 from repro.core.analyzer import Analyzer
@@ -23,6 +26,13 @@ from repro.core.executor import Executor
 from repro.core.metrics import LatencyStats, percentile
 from repro.core.planner import Planner
 from repro.core.results import RunResult
+from repro.core.scenario import (
+    ScenarioSpec,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    scenario_library,
+)
 
 __all__ = [
     "Analyzer",
@@ -30,6 +40,11 @@ __all__ = [
     "LatencyStats",
     "Planner",
     "RunResult",
+    "ScenarioSpec",
     "ServingBenchmark",
+    "get_scenario",
+    "list_scenarios",
     "percentile",
+    "register_scenario",
+    "scenario_library",
 ]

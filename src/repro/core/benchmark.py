@@ -16,10 +16,11 @@ Typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Union
 
 from repro.core.executor import Executor
 from repro.core.results import RunResult
+from repro.core.scenario import ScenarioSpec, get_scenario
 from repro.models.profiles import LatencyProfiles
 from repro.platforms.base import build_platform
 from repro.serving.deployment import Deployment
@@ -71,6 +72,56 @@ class ServingBenchmark:
             workload_scale=workload_scale,
             metadata={"events_processed": float(env.events_processed)},
         )
+
+    def run_scenario(self, scenario: Union[str, ScenarioSpec],
+                     workload: Optional[Workload] = None,
+                     scale: float = 1.0,
+                     planner=None) -> RunResult:
+        """Run one declarative scenario (by spec or registered name).
+
+        The scenario's workload reference is resolved (and compressed to
+        ``scale``) unless an explicit ``workload`` is supplied — the
+        tools pass one when they evaluate candidates against a shared
+        target workload.
+        """
+        spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
+        deployment = spec.deployment(planner)
+        if workload is None:
+            workload = spec.build_workload(seed=self.seed, scale=scale)
+        return self.run(deployment, workload, workload_scale=scale)
+
+    def run_scenarios(self, scenarios: Iterable[Union[str, ScenarioSpec]],
+                      scale: float = 1.0, workers: int = 0,
+                      planner=None) -> Dict[str, RunResult]:
+        """Run several scenarios, keyed by scenario name.
+
+        Workload references are deduplicated, so scenarios that share a
+        workload generate (and, with ``workers`` > 1, ship) it once.
+        Scenario names must be distinct — the results are keyed by them.
+        """
+        specs = [get_scenario(s) if isinstance(s, str) else s
+                 for s in scenarios]
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            duplicates = sorted({name for name in names
+                                 if names.count(name) > 1})
+            raise ValueError(f"scenario names must be distinct, got "
+                             f"duplicates: {duplicates}")
+        workloads: Dict[str, Workload] = {}
+        cells = []
+        for spec in specs:
+            if spec.workload not in workloads:
+                workloads[spec.workload] = spec.build_workload(
+                    seed=self.seed, scale=scale)
+            cells.append((spec.deployment(planner),
+                          workloads[spec.workload], scale))
+        if workers and workers != 1 and len(cells) > 1:
+            from repro.core.parallel import run_cells
+            results = run_cells(self, cells, workers)
+        else:
+            results = [self.run(deployment, workload, cell_scale)
+                       for deployment, workload, cell_scale in cells]
+        return {spec.name: result for spec, result in zip(specs, results)}
 
     def run_many(self, deployments: Iterable[Deployment],
                  workload: Workload,

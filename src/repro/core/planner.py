@@ -49,6 +49,14 @@ class Planner:
         return Deployment(provider=provider_obj, model=model_obj,
                           runtime=runtime_obj, config=config)
 
+    def plan_scenario(self, scenario) -> Deployment:
+        """Resolve a :class:`~repro.core.scenario.ScenarioSpec` (or a
+        registered scenario name) into a deployment."""
+        from repro.core.scenario import get_scenario
+        if isinstance(scenario, str):
+            scenario = get_scenario(scenario)
+        return scenario.deployment(self)
+
     def plan_matrix(self, providers: Iterable[str], models: Iterable[str],
                     runtimes: Iterable[str], platforms: Iterable[str],
                     **config_overrides) -> List[Deployment]:

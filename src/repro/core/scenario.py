@@ -1,0 +1,233 @@
+"""Declarative scenario specifications: experiment cells as data.
+
+A :class:`ScenarioSpec` names everything one experiment cell needs —
+provider, model, runtime, platform, workload, and service-config /
+scaling-policy overrides — as plain data.  It is the single construction
+path for cells: :meth:`~repro.core.benchmark.ServingBenchmark.
+run_scenario` executes one, the experiment modules'
+:class:`~repro.experiments.base.ExperimentContext` builds every figure
+cell through one, and the analysis tools (navigator, hybrid planner,
+cost estimator) resolve their deployments from one.  Before this layer,
+``run_matrix``, the figure experiments, and each tool all hand-rolled
+their own planner calls.
+
+Because platform behaviour is itself composed from the control plane
+(pool / policy / queue / meter — see ARCHITECTURE.md), a *new* scenario
+is configuration, not code.  The registry below ships a library of
+named scenarios, including two that exist purely as data:
+
+* ``provisioned-serverless`` — Lambda with reserved warm capacity
+  (Section 5.4's provisioned-concurrency study as a standing scenario);
+* ``burst-storm`` — serverless under ``w-storm``, a registered workload
+  whose three short, violent demand storms are far spikier than the
+  paper's w-200;
+
+plus ``burst-storm-managed`` (the same storm against the slow-scaling
+managed endpoint) and ``eager-managed`` (a managed endpoint whose
+scaling *policy* is overridden to evaluate 4x faster with half the
+per-instance target — policy as data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Iterator, List, Mapping, Tuple, Union
+
+from repro.serving.deployment import Deployment, PlatformKind
+from repro.workload.generator import (
+    Workload,
+    WorkloadSpec,
+    register_workload_spec,
+    standard_workload,
+    workload_spec,
+)
+
+__all__ = [
+    "ScenarioSpec",
+    "register_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "scenario_library",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One experiment cell — deployment x workload x policy — as data."""
+
+    name: str
+    provider: str
+    model: str
+    runtime: str = "tf1.15"
+    platform: str = PlatformKind.SERVERLESS
+    workload: str = "w-40"
+    #: :class:`~repro.serving.deployment.ServiceConfig` overrides
+    #: (including the scaling-policy knobs ``scale_interval_s`` /
+    #: ``target_per_instance``).  Accepts a mapping; stored as a sorted
+    #: item tuple so specs stay hashable.
+    config: Union[Mapping[str, object], Tuple[Tuple[str, object], ...]] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if isinstance(self.config, Mapping):
+            object.__setattr__(self, "config",
+                               tuple(sorted(self.config.items())))
+        else:
+            object.__setattr__(self, "config",
+                               tuple(sorted(tuple(self.config))))
+        if self.platform not in PlatformKind.ALL:
+            raise ValueError(f"unknown platform {self.platform!r}")
+
+    # -- data access ---------------------------------------------------------
+    @property
+    def overrides(self) -> Dict[str, object]:
+        """The config overrides as a plain dict."""
+        return dict(self.config)
+
+    def __getitem__(self, key: str):
+        """Mapping-style access to spec fields and config overrides."""
+        if key in {f.name for f in fields(self)}:
+            return getattr(self, key)
+        return self.overrides[key]
+
+    def with_config(self, **changes) -> "ScenarioSpec":
+        """A copy with additional / changed config overrides."""
+        merged = self.overrides
+        merged.update(changes)
+        return ScenarioSpec(name=self.name, provider=self.provider,
+                            model=self.model, runtime=self.runtime,
+                            platform=self.platform, workload=self.workload,
+                            config=merged, description=self.description)
+
+    @property
+    def cell_key(self) -> str:
+        """Stable identifier for run caching and result labelling."""
+        overrides = ",".join(f"{key}={value}" for key, value in self.config)
+        return (f"{self.provider}/{self.model}/{self.runtime}/"
+                f"{self.platform}/{self.workload}"
+                + (f"/{overrides}" if overrides else ""))
+
+    def as_row(self) -> Dict[str, object]:
+        """The spec's dimensions as a flat result-table row."""
+        row: Dict[str, object] = {
+            "scenario": self.name,
+            "provider": self.provider,
+            "model": self.model,
+            "runtime": self.runtime,
+            "platform": self.platform,
+            "workload": self.workload,
+        }
+        row.update(self.overrides)
+        return row
+
+    # -- construction --------------------------------------------------------
+    def deployment(self, planner=None) -> Deployment:
+        """Resolve the spec into a fully specified deployment."""
+        if planner is None:
+            from repro.core.planner import Planner
+            planner = Planner()
+        return planner.plan(self.provider, self.model, self.runtime,
+                            self.platform, **self.overrides)
+
+    def workload_spec(self) -> WorkloadSpec:
+        """The referenced workload's spec (standard or registered)."""
+        return workload_spec(self.workload)
+
+    def build_workload(self, seed: int = 7, scale: float = 1.0) -> Workload:
+        """Generate the referenced workload at the given seed / scale."""
+        return standard_workload(self.workload, seed=seed, scale=scale)
+
+
+# ---------------------------------------------------------------------------
+# Scenario registry
+# ---------------------------------------------------------------------------
+
+_SCENARIOS: Dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec,
+                      overwrite: bool = False) -> ScenarioSpec:
+    """Add ``spec`` to the named scenario library."""
+    existing = _SCENARIOS.get(spec.name)
+    if existing is not None and existing != spec and not overwrite:
+        raise ValueError(f"scenario {spec.name!r} is already registered "
+                         f"with a different spec (pass overwrite=True)")
+    _SCENARIOS[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a registered scenario by name."""
+    if name not in _SCENARIOS:
+        raise KeyError(f"unknown scenario {name!r}; "
+                       f"known: {list_scenarios()}")
+    return _SCENARIOS[name]
+
+
+def list_scenarios() -> List[str]:
+    """Names of every registered scenario."""
+    return sorted(_SCENARIOS)
+
+
+def scenario_library() -> Iterator[ScenarioSpec]:
+    """Iterate over the registered scenarios."""
+    for name in list_scenarios():
+        yield _SCENARIOS[name]
+
+
+# ---------------------------------------------------------------------------
+# Built-in library
+# ---------------------------------------------------------------------------
+
+#: A burst-storm workload: three short windows of violent fast-switching
+#: demand (peak 8x the w-40 high rate) separated by near-idle valleys —
+#: spikier than anything in the paper, and exactly the shape serverless
+#: absorbs while slow-scaling endpoints collapse.  Registered as data;
+#: resolvable anywhere a standard workload name is.
+BURST_STORM_WORKLOAD = register_workload_spec(WorkloadSpec(
+    name="w-storm",
+    high_rate=320.0,
+    low_rate=4.0,
+    target_requests=36_000,
+    duration_s=600.0,
+    burst_windows=((60.0, 120.0), (260.0, 330.0), (470.0, 540.0)),
+    burst_high_dwell_s=9.0,
+    burst_low_dwell_s=4.0,
+))
+
+register_scenario(ScenarioSpec(
+    name="provisioned-serverless",
+    provider="aws", model="mobilenet", runtime="tf1.15",
+    platform=PlatformKind.SERVERLESS, workload="w-40",
+    config={"provisioned_concurrency": 8},
+    description="Lambda with 8 provisioned-concurrency instances: "
+                "reserved-warm billing and the paradoxical extra cold "
+                "starts of Section 5.4.",
+))
+
+register_scenario(ScenarioSpec(
+    name="burst-storm",
+    provider="aws", model="mobilenet", runtime="tf1.15",
+    platform=PlatformKind.SERVERLESS, workload="w-storm",
+    description="Serverless under three short demand storms (peak 320 "
+                "req/s out of a 4 req/s valley).",
+))
+
+register_scenario(ScenarioSpec(
+    name="burst-storm-managed",
+    provider="aws", model="mobilenet", runtime="tf1.15",
+    platform=PlatformKind.MANAGED_ML, workload="w-storm",
+    description="The same storm against the minutes-late managed "
+                "autoscaler: queue collapse instead of cold starts.",
+))
+
+register_scenario(ScenarioSpec(
+    name="eager-managed",
+    provider="aws", model="mobilenet", runtime="tf1.15",
+    platform=PlatformKind.MANAGED_ML, workload="w-120",
+    config={"scale_interval_s": 105.0, "target_per_instance": 2.0,
+            "max_instances": 8},
+    description="Managed endpoint with the scaling policy overridden as "
+                "data: 4x faster evaluation, half the per-instance "
+                "target, a higher ceiling.",
+))

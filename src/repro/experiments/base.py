@@ -10,6 +10,7 @@ from repro.core.analyzer import Analyzer
 from repro.core.benchmark import ServingBenchmark
 from repro.core.planner import Planner
 from repro.core.results import RunResult
+from repro.core.scenario import ScenarioSpec, get_scenario
 from repro.serving.deployment import Deployment
 from repro.workload.generator import Workload, standard_workload
 
@@ -111,25 +112,51 @@ class ExperimentContext:
 
     # -- runs -------------------------------------------------------------------
     @staticmethod
-    def _cache_key(deployment: Deployment, workload_name: str) -> str:
-        return f"{deployment.label}|{deployment.config}|{workload_name}"
+    def _cell_spec(provider: str, model: str, runtime: str, platform: str,
+                   workload_name: str, overrides: Dict[str, object]
+                   ) -> ScenarioSpec:
+        """An anonymous scenario for one figure cell (named by its key)."""
+        spec = ScenarioSpec(name="", provider=provider, model=model,
+                            runtime=runtime, platform=platform,
+                            workload=workload_name, config=overrides)
+        return spec
 
     def run(self, deployment: Deployment, workload_name: str,
             cache_key: Optional[str] = None) -> RunResult:
-        """Run one experiment cell, with caching across experiment modules."""
-        key = cache_key or self._cache_key(deployment, workload_name)
+        """Run one pre-planned cell, with caching across experiment modules.
+
+        Prefer :meth:`run_cell` / :meth:`run_scenario`; this entry point
+        exists for callers that already hold a deployment object.
+        """
+        key = cache_key or f"{deployment.label}|{deployment.config}|{workload_name}"
         if key not in self._runs:
             self._runs[key] = self.benchmark.run(
                 deployment, self.workload(workload_name),
                 workload_scale=self.scale)
         return self._runs[key]
 
+    def run_scenario(self, scenario) -> RunResult:
+        """Run one declarative scenario (spec or registered name), cached."""
+        spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
+        key = spec.cell_key
+        if key not in self._runs:
+            self._runs[key] = self.benchmark.run(
+                spec.deployment(self.planner),
+                self.workload(spec.workload),
+                workload_scale=self.scale)
+        return self._runs[key]
+
     def run_cell(self, provider: str, model: str, runtime: str, platform: str,
                  workload_name: str, **config_overrides) -> RunResult:
-        """Plan and run a (provider, model, runtime, platform, workload) cell."""
-        deployment = self.planner.plan(provider, model, runtime, platform,
-                                       **config_overrides)
-        return self.run(deployment, workload_name)
+        """Plan and run a (provider, model, runtime, platform, workload) cell.
+
+        The cell is built through a :class:`ScenarioSpec` — the same
+        construction path the registered scenarios, the tools, and
+        :meth:`prefetch` use.
+        """
+        return self.run_scenario(self._cell_spec(
+            provider, model, runtime, platform, workload_name,
+            config_overrides))
 
     def prefetch(self, cells: Iterable[CellTuple]) -> None:
         """Simulate many cells up front, in parallel when ``workers`` > 1.
@@ -148,23 +175,22 @@ class ExperimentContext:
             if provider not in self.providers:
                 continue
             overrides = cell[5] if len(cell) > 5 else {}
-            deployment = self.planner.plan(provider, *cell[1:4], **overrides)
-            workload_name = cell[4]
-            key = self._cache_key(deployment, workload_name)
+            spec = self._cell_spec(provider, cell[1], cell[2], cell[3],
+                                   cell[4], overrides)
+            key = spec.cell_key
             if key in self._runs or key in queued:
                 continue
             queued.add(key)
-            pending.append((key, deployment, workload_name))
+            pending.append((key, spec))
         if not pending:
             return
         from repro.core.parallel import run_cells
         results = run_cells(
             self.benchmark,
-            [(deployment, self.workload(workload_name), self.scale)
-             for _key, deployment, workload_name in pending],
+            [(spec.deployment(self.planner), self.workload(spec.workload),
+              self.scale) for _key, spec in pending],
             self.workers)
-        for (key, _deployment, _workload_name), result in zip(pending,
-                                                              results):
+        for (key, _spec), result in zip(pending, results):
             self._runs[key] = result
 
 

@@ -1,0 +1,190 @@
+"""Admission control shared by the serving platforms.
+
+Two queueing models cover every platform the paper evaluates:
+
+* :class:`WorkQueue` — the *pull* model of a FaaS router: submitted
+  requests are buffered as :class:`PendingRequest` tickets; idle
+  instances pull work, the scaler pins queued tickets to fresh
+  instances, and the client waits on the ticket's response event under
+  a deadline guard.
+* :class:`SlotQueue` — the *slot* model of a server frontend (VM or
+  managed endpoint): a capacity-limited connection backlog in front of
+  a worker pool.  Requests beyond the backlog are rejected on the spot
+  (spill); admitted requests race a server-side deadline for a worker
+  slot and time out if the queue moves too slowly — the mechanism
+  behind the success-ratio collapse of Figures 5, 8 and 9.
+
+Both keep their own rejection/timeout tallies, which the platform's
+:class:`~repro.platforms.billing.BillingMeter` folds into the final
+:class:`~repro.platforms.base.PlatformUsage`.
+
+``PendingRequest`` tickets are slotted *and interned*: with tens of
+thousands of requests per run the ticket was a hot allocation site, so
+served tickets return to a free list and are reused for later arrivals
+instead of being handed back to the allocator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Union
+
+from repro.serving.records import RequestOutcome
+from repro.sim import Environment, Resource, Store
+from repro.sim.engine import Event
+
+__all__ = ["PendingRequest", "WorkQueue", "SlotQueue"]
+
+
+class PendingRequest:
+    """A request waiting for an instance (slotted, free-listed)."""
+
+    __slots__ = ("outcome", "response_event", "enqueue_time")
+
+    def __init__(self, outcome: Optional[RequestOutcome] = None,
+                 response_event: Optional[Event] = None,
+                 enqueue_time: float = 0.0):
+        self.outcome = outcome
+        self.response_event = response_event
+        self.enqueue_time = enqueue_time
+
+
+class WorkQueue:
+    """Pull-model admission queue (the FaaS router's backlog)."""
+
+    __slots__ = ("env", "store", "_free")
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.store = Store(env)
+        self._free: List[PendingRequest] = []
+
+    @property
+    def backlog(self) -> int:
+        """Number of requests waiting for an instance."""
+        return self.store.size
+
+    # -- submit side -------------------------------------------------------
+    def enqueue(self, outcome: RequestOutcome) -> PendingRequest:
+        """Buffer one request; returns its (possibly recycled) ticket."""
+        free = self._free
+        if free:
+            pending = free.pop()
+        else:
+            pending = PendingRequest()
+        pending.outcome = outcome
+        pending.response_event = self.env.event()
+        pending.enqueue_time = self.env.now
+        self.store.add(pending)
+        return pending
+
+    def await_response(self, pending: PendingRequest, deadline_s: float):
+        """Wait for the ticket's response under a deadline guard.
+
+        A generator (``yield from`` it): returns ``True`` if the
+        response arrived in time — cancelling the dead guard timer —
+        and ``False`` if the deadline fired first.
+        """
+        response_event = pending.response_event
+        deadline = self.env.timeout(deadline_s)
+        winner = yield self.env.race(response_event, deadline)
+        if winner is not response_event:
+            return False
+        deadline.cancel()
+        return True
+
+    # -- serve side --------------------------------------------------------
+    def take(self) -> Optional[PendingRequest]:
+        """Pop the oldest buffered ticket, or ``None`` (scaler pinning)."""
+        return self.store.take()
+
+    def get(self):
+        """Event-returning pull (idle instances waiting for work)."""
+        return self.store.get()
+
+    def cancel_get(self, event) -> None:
+        """Withdraw a pending pull (keep-alive expiry)."""
+        self.store.cancel_get(event)
+
+    def recycle(self, pending: PendingRequest) -> None:
+        """Return a served ticket to the free list for reuse."""
+        pending.outcome = None
+        pending.response_event = None
+        self._free.append(pending)
+
+
+class SlotQueue:
+    """Slot-model admission queue (server frontend + worker pool).
+
+    Owns the worker :class:`~repro.sim.Resource`; ``capacity`` bounds
+    the *waiting* backlog and may be a callable for endpoints whose
+    backlog grows with the ready fleet (managed ML's per-instance queue
+    capacity).
+    """
+
+    __slots__ = ("env", "workers", "deadline_s", "_capacity",
+                 "rejected", "timed_out")
+
+    def __init__(self, env: Environment,
+                 capacity: Union[int, Callable[[], float]],
+                 deadline_s: float):
+        self.env = env
+        self.workers = Resource(env, capacity=1)
+        self.deadline_s = deadline_s
+        self._capacity = capacity
+        self.rejected = 0
+        self.timed_out = 0
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting for a worker slot."""
+        return self.workers.queue_length
+
+    @property
+    def in_flight(self) -> int:
+        """Requests currently holding a worker slot."""
+        return self.workers.count
+
+    @property
+    def demand(self) -> float:
+        """In-flight plus queued requests (the autoscaler's signal)."""
+        return self.workers.count + self.workers.queue_length
+
+    def capacity(self) -> float:
+        """Current backlog capacity (may track the fleet size)."""
+        capacity = self._capacity
+        return capacity() if callable(capacity) else capacity
+
+    # -- protocol ----------------------------------------------------------
+    def try_admit(self) -> bool:
+        """Admit the request, or reject it when the backlog is full."""
+        if self.workers.queue_length >= self.capacity():
+            self.rejected += 1
+            return False
+        return True
+
+    def acquire(self):
+        """Wait for a worker slot under the server-side deadline.
+
+        A generator (``yield from`` it): returns the granted claim —
+        release it with :meth:`release` — or ``None`` on timeout.  The
+        losing guard timer is cancelled so it does not rot in the
+        calendar.
+        """
+        claim = self.workers.request()
+        deadline = self.env.timeout(self.deadline_s)
+        yield self.env.race(claim, deadline)
+        if not claim.triggered:
+            self.workers.cancel(claim)
+            self.timed_out += 1
+            return None
+        deadline.cancel()
+        return claim
+
+    def release(self, claim) -> None:
+        """Return a granted worker slot."""
+        self.workers.release(claim)
+
+    def resize(self, worker_capacity: int) -> None:
+        """Adjust the worker pool (autoscaling changed the fleet)."""
+        self.workers.resize(worker_capacity)

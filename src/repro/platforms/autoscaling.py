@@ -1,20 +1,23 @@
-"""Autoscaling policies for server-based platforms.
+"""The shared autoscaler loop for server-based platforms.
 
 Managed ML services (SageMaker, AI Platform) and EC2/GCE autoscaling
 groups both follow the same pattern the paper describes: a periodic
 evaluation of current demand against a per-instance target, followed by a
 scale-out that only becomes effective minutes later (Section 4.2 and 4.3
-observe 3–5 minutes on AWS).  The policy itself is deliberately simple —
-the point the paper makes is that *any* policy with a minutes-long
-actuation delay cannot follow bursty inference workloads.
+observe 3–5 minutes on AWS).  The decision itself lives in a
+:class:`~repro.platforms.policies.TargetUtilisationPolicy`; this module
+is only the *driver* that samples demand on a period and executes the
+policy's launch decision.  The policy is deliberately simple — the point
+the paper makes is that *any* policy with a minutes-long actuation delay
+cannot follow bursty inference workloads.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Optional
 
+from repro.platforms.policies import TargetUtilisationPolicy
 from repro.sim import Environment
 
 __all__ = ["TargetTrackingScaler"]
@@ -22,54 +25,70 @@ __all__ = ["TargetTrackingScaler"]
 
 @dataclass
 class TargetTrackingScaler:
-    """Periodic target-tracking scale-out controller.
+    """Periodic driver of a target-utilisation scaling policy.
 
     Every ``evaluation_period_s`` the scaler reads the current demand
-    (in-flight plus queued requests), computes the number of instances
-    needed to keep demand per instance at ``target_per_instance``, and
-    asks the platform to launch the difference.  Scale-in is intentionally
-    not modelled: the paper's experiments are too short for it to matter.
+    (in-flight plus queued requests), asks the policy how many launches
+    that demand calls for, and hands the count to the platform.
+    Scale-in is intentionally not modelled: the paper's experiments are
+    too short for it to matter.
+
+    Construct it either with an explicit ``policy`` or with the scalar
+    fields (``target_per_instance`` / ``min_instances`` /
+    ``max_instances`` / ``max_scale_step``), from which a policy is
+    built.
     """
 
     env: Environment
     evaluation_period_s: float
-    target_per_instance: float
-    min_instances: int
-    max_instances: int
     #: Returns the current demand (in-flight + queued requests).
     demand: Callable[[], float]
     #: Returns the number of instances currently ready or being launched.
     provisioned_total: Callable[[], int]
     #: Launches ``n`` additional instances (platform handles the delay).
     launch: Callable[[int], None]
+    #: The decision rule; built from the scalar fields when omitted.
+    policy: Optional[TargetUtilisationPolicy] = None
+    target_per_instance: Optional[float] = None
+    min_instances: Optional[int] = None
+    max_instances: Optional[int] = None
     #: Maximum number of instances added per evaluation.
     max_scale_step: int = 1_000_000
 
     def __post_init__(self) -> None:
         if self.evaluation_period_s <= 0:
             raise ValueError("evaluation_period_s must be positive")
-        if self.target_per_instance <= 0:
-            raise ValueError("target_per_instance must be positive")
-        if self.min_instances < 1 or self.max_instances < self.min_instances:
-            raise ValueError("need 1 <= min_instances <= max_instances")
-        if self.max_scale_step < 1:
-            raise ValueError("max_scale_step must be >= 1")
+        if self.policy is None:
+            self.policy = TargetUtilisationPolicy(
+                target_per_instance=self.target_per_instance or 0.0,
+                min_instances=(1 if self.min_instances is None
+                               else self.min_instances),
+                max_instances=(1 if self.max_instances is None
+                               else self.max_instances),
+                max_scale_step=self.max_scale_step,
+            )
+        elif (self.target_per_instance is not None
+              or self.min_instances is not None
+              or self.max_instances is not None
+              or self.max_scale_step != 1_000_000):
+            # The scalar fields only parameterise a policy the scaler
+            # builds itself; with an explicit policy they would be
+            # silently ignored (e.g. a max_scale_step cap that never
+            # applies), so reject the mix outright.
+            raise ValueError("pass either an explicit policy or the "
+                             "scalar fields, not both")
 
     def desired_instances(self) -> int:
         """Number of instances the current demand calls for."""
-        demand = max(self.demand(), 0.0)
-        desired = math.ceil(demand / self.target_per_instance)
-        return max(self.min_instances, min(desired, self.max_instances))
+        return self.policy.desired_instances(self.demand())
 
     def evaluate_once(self) -> int:
         """Run one evaluation; returns how many launches were requested."""
-        desired = self.desired_instances()
-        current = self.provisioned_total()
-        missing = min(desired - current, self.max_scale_step)
+        missing = self.policy.launches(self.demand(),
+                                       self.provisioned_total())
         if missing > 0:
             self.launch(missing)
-            return missing
-        return 0
+        return missing
 
     def run(self):
         """The scaler's periodic process (register with ``env.process``)."""

@@ -1,0 +1,151 @@
+"""Billing meters: the single writer of :class:`PlatformUsage`.
+
+Every platform used to assemble its own ``PlatformUsage`` in
+``finalize()``, which let the ``peak_instances`` / ``instance_count``
+pair drift apart (they were computed from different sources).  A
+:class:`BillingMeter` now owns *every* field: platforms feed it
+invocations / submissions as they happen, and ``finalize`` derives the
+usage record from the meter's tallies plus the instance pool's gauge —
+so ``peak_instances == max(instance_count)`` holds by construction.
+
+The meters also keep the request conservation ledger: every submitted
+request ends exactly one way (completed, failed, or rejected), and
+``submitted == completed + failed + rejected`` is asserted by the
+cross-platform conservation test in ``tests/test_control_plane.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cloud.pricing import ServerlessBill, ServerlessPricing
+from repro.platforms.admission import SlotQueue
+from repro.platforms.base import PlatformUsage
+from repro.platforms.pool import InstancePool
+
+__all__ = ["BillingMeter", "ServerlessMeter", "InstanceHourMeter"]
+
+
+class BillingMeter:
+    """Base meter: request conservation ledger shared by all platforms."""
+
+    __slots__ = ("submitted", "completed", "failed")
+
+    def __init__(self) -> None:
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+
+    # -- conservation ledger (hot path: plain increments) ------------------
+    def record_submitted(self) -> None:
+        self.submitted += 1
+
+    def record_completed(self) -> None:
+        self.completed += 1
+
+    def record_failed(self) -> None:
+        self.failed += 1
+
+    def conservation_notes(self, rejected: int = 0,
+                           timed_out: int = 0) -> Dict[str, float]:
+        """The ledger as ``PlatformUsage.notes`` entries.
+
+        Every request the platform finished ends in exactly one bucket:
+        ``submitted == completed + failed + rejected``.  ``failed``
+        covers requests the platform accepted but could not serve in
+        time (``timed_out`` breaks out how many of those were queue
+        timeouts); ``rejected`` covers admission-control spills.
+        Requests still in flight when the simulation horizon cuts the
+        run off are in none of the buckets — the conservation test runs
+        with a full drain.
+        """
+        return {
+            "submitted": float(self.submitted),
+            "completed": float(self.completed),
+            "failed": float(self.failed),
+            "rejected": float(rejected),
+            "timed_out": float(timed_out),
+        }
+
+
+class ServerlessMeter(BillingMeter):
+    """Meters a FaaS deployment: GB-seconds, request fees, cold starts."""
+
+    __slots__ = ("bill", "cold_starts", "memory_gb", "_pricing")
+
+    def __init__(self, memory_gb: float, pricing: ServerlessPricing):
+        super().__init__()
+        self.bill = ServerlessBill(memory_gb=memory_gb, pricing=pricing)
+        self.cold_starts = 0
+        self.memory_gb = memory_gb
+        self._pricing = pricing
+
+    def record_cold_start(self) -> None:
+        self.cold_starts += 1
+
+    def record_invocation(self, billed_seconds: float,
+                          provisioned: bool) -> None:
+        """One function invocation of the given billed duration."""
+        self.bill.add_invocation(billed_seconds, provisioned=provisioned)
+
+    def finalize(self, pool: InstancePool, duration_s: float,
+                 provisioned_concurrency: int) -> PlatformUsage:
+        """Close the books on one serverless experiment."""
+        if provisioned_concurrency > 0:
+            self.bill.add_provisioned_reservation(provisioned_concurrency,
+                                                  duration_s)
+        pricing = self._pricing
+        execution = pricing.execution_cost(
+            self.memory_gb, self.bill.billed_seconds, 0)
+        request_fees = pricing.execution_cost(
+            self.memory_gb, 0.0, self.bill.requests
+            + self.bill.provisioned_requests)
+        provisioned = self.bill.total() - execution - request_fees
+        return PlatformUsage(
+            cost=self.bill.total(),
+            cost_breakdown={
+                "execution": execution,
+                "requests": request_fees,
+                "provisioned": max(provisioned, 0.0),
+            },
+            cold_starts=self.cold_starts,
+            instances_created=pool.created,
+            peak_instances=pool.peak,
+            instance_count=pool.gauge.history,
+            billed_seconds=(self.bill.billed_seconds
+                            + self.bill.provisioned_billed_seconds),
+            notes=self.conservation_notes(),
+        )
+
+
+class InstanceHourMeter(BillingMeter):
+    """Meters a server fleet billed per instance-hour from launch."""
+
+    __slots__ = ("instance_type", "_pricing")
+
+    def __init__(self, instance_type: str, pricing) -> None:
+        """``pricing`` is a :class:`~repro.cloud.pricing.VmPricing` or
+        :class:`~repro.cloud.pricing.ManagedMlPricing` (same ``cost``
+        signature)."""
+        super().__init__()
+        self.instance_type = instance_type
+        self._pricing = pricing
+
+    def finalize(self, pool: InstancePool, end_time: float,
+                 queue: Optional[SlotQueue] = None) -> PlatformUsage:
+        """Close the books on one server-fleet experiment."""
+        instance_seconds = pool.instance_seconds(end_time)
+        cost = self._pricing.cost(self.instance_type, instance_seconds)
+        rejected = queue.rejected if queue is not None else 0
+        timed_out = queue.timed_out if queue is not None else 0
+        return PlatformUsage(
+            cost=cost,
+            cost_breakdown={"instance_hours": cost},
+            cold_starts=0,
+            instances_created=pool.created,
+            peak_instances=pool.peak,
+            instance_count=pool.gauge.history,
+            instance_seconds=instance_seconds,
+            notes=self.conservation_notes(rejected=rejected,
+                                          timed_out=timed_out),
+        )

@@ -1,0 +1,214 @@
+"""Shared worker-pool endpoint: the base of the VM and managed platforms.
+
+The paper's two server-based families — self-rented VMs (Section 4.3)
+and managed ML endpoints (Section 4.2) — are the *same machine* with
+different knobs: a fleet of identical instances whose worker slots form
+one FIFO queue, a capacity-limited connection backlog in front of it, a
+target-tracking autoscaler whose new instances only become ready
+minutes after the decision, and per-instance-hour billing from launch.
+
+:class:`PooledEndpointPlatform` implements that machine once as a
+composition of the control plane — :class:`~repro.platforms.pool.
+InstancePool`, :class:`~repro.platforms.admission.SlotQueue`,
+:class:`~repro.platforms.policies.TargetUtilisationPolicy` (driven by
+the shared :class:`~repro.platforms.autoscaling.TargetTrackingScaler`
+loop), and :class:`~repro.platforms.billing.InstanceHourMeter` — and
+the concrete platforms shrink to the knobs: traits, service times,
+queue capacity, error vocabulary, and pricing table.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+from repro.cloud.instances import get_instance_type
+from repro.platforms.admission import SlotQueue
+from repro.platforms.autoscaling import TargetTrackingScaler
+from repro.platforms.base import PlatformUsage, ServingPlatform
+from repro.platforms.billing import InstanceHourMeter
+from repro.platforms.policies import TargetUtilisationPolicy
+from repro.platforms.pool import InstancePool, PoolInstance
+from repro.serving.records import RequestOutcome, Stage
+
+__all__ = ["PooledEndpointPlatform"]
+
+_SERVICE_JITTER_CV = 0.10
+
+
+class PooledEndpointPlatform(ServingPlatform):
+    """A fleet of identical server instances behind a slot queue.
+
+    Subclasses configure the machine by overriding the ``_``-prefixed
+    hooks (gauge name, streams, error strings, delays, capacities,
+    pricing) — they contain no lifecycle, queueing, or billing logic of
+    their own.
+    """
+
+    #: Gauge name recorded for the ready-instance timeline.
+    gauge_name = "instances"
+    #: Error string for requests rejected at admission.
+    reject_error = "connection_refused"
+    #: Latency of the rejection response.
+    rejection_latency_s = 0.02
+    #: RNG stream for the instance bring-up delay.
+    scaleout_stream = "vm-scaleout"
+    #: RNG stream for the per-request service time.
+    predict_stream = "vm-predict"
+    #: Whether HTTP handling runs off the worker (GPU accelerator model).
+    handler_off_worker = False
+
+    def __init__(self, env, deployment, profiles=None, rng=None):
+        super().__init__(env, deployment, profiles, rng)
+        self._instance_type = get_instance_type(deployment.instance_type())
+        self._workers_per_instance = (self.config.workers_per_instance
+                                      or self._default_workers())
+        self.pool = InstancePool(env, gauge_name=self.gauge_name,
+                                 auto_gauge=False, keep_records=True)
+        self.queue = SlotQueue(env, capacity=self._queue_capacity(),
+                               deadline_s=self._request_timeout_s())
+        self._start_time = env.now
+        # Per-run constants hoisted off the per-request path.
+        self._handler_s = self._handler_overhead()
+        self._predict_s = self._service_time_s()
+        self.policy = TargetUtilisationPolicy(
+            target_per_instance=(self.config.target_per_instance
+                                 or self._target_per_instance()),
+            min_instances=self.config.initial_instances,
+            max_instances=self._max_instances(),
+            max_scale_step=self._max_scale_step(),
+        )
+        self._scaler = TargetTrackingScaler(
+            env=env,
+            evaluation_period_s=(self.config.scale_interval_s
+                                 or self._evaluation_period_s()),
+            policy=self.policy,
+            demand=lambda: self.queue.demand,
+            provisioned_total=lambda: self.pool.ready + self.pool.warming,
+            launch=self._launch_instances,
+        )
+        self.meter = InstanceHourMeter(instance_type=self._instance_type.name,
+                                       pricing=self._pricing())
+
+    # -- subclass knobs ------------------------------------------------------
+    def _default_workers(self) -> int:
+        """Worker slots per instance when the config does not override."""
+        raise NotImplementedError
+
+    def _service_time_s(self) -> float:
+        """Mean per-inference service time for this endpoint."""
+        raise NotImplementedError
+
+    def _queue_capacity(self) -> Union[int, Callable[[], float]]:
+        """Connection-backlog capacity (int, or callable for dynamic)."""
+        raise NotImplementedError
+
+    def _request_timeout_s(self) -> float:
+        """Server-side timeout for queued requests."""
+        raise NotImplementedError
+
+    def _target_per_instance(self) -> float:
+        """Demand per instance the autoscaler tracks."""
+        raise NotImplementedError
+
+    def _max_instances(self) -> int:
+        """Autoscaling ceiling."""
+        raise NotImplementedError
+
+    def _max_scale_step(self) -> int:
+        """Maximum instances added per autoscaler evaluation."""
+        return 1_000_000
+
+    def _evaluation_period_s(self) -> float:
+        """Autoscaler evaluation period."""
+        raise NotImplementedError
+
+    def _launch_delay_s(self) -> float:
+        """Mean bring-up delay of a newly launched instance."""
+        raise NotImplementedError
+
+    def _pricing(self):
+        """Per-instance-hour pricing table."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ API
+    def start(self) -> None:
+        """Bring up the initial fleet and, if requested, the autoscaler."""
+        for _ in range(self.config.initial_instances):
+            self.pool.launch(warm=True)
+        self._resize_workers()
+        if self.config.autoscaling:
+            self.env.process(self._scaler.run())
+
+    def submit(self, outcome: RequestOutcome, payload_mb: float,
+               response_mb: float):
+        """Submit one request to the endpoint's serving frontend."""
+        self.meter.record_submitted()
+        return self.env.process(self._handle(outcome, payload_mb, response_mb))
+
+    def finalize(self, end_time: Optional[float] = None) -> PlatformUsage:
+        """Close the books: the meter assembles the usage record."""
+        end = end_time if end_time is not None else self.env.now
+        return self.meter.finalize(pool=self.pool, end_time=end,
+                                   queue=self.queue)
+
+    # ------------------------------------------------------------- scaling
+    def _launch_instances(self, count: int) -> None:
+        for _ in range(count):
+            record = self.pool.launch(warm=False)
+            self.env.process(self._bring_up(record))
+
+    def _bring_up(self, record: PoolInstance):
+        delay = self.rng.lognormal_around(
+            self.scaleout_stream, self._launch_delay_s(), 0.15)
+        yield self.env.timeout(delay)
+        self.pool.mark_ready(record)
+        self._resize_workers()
+
+    def _resize_workers(self) -> None:
+        capacity = max(self.pool.ready, 1) * self._workers_per_instance
+        self.queue.resize(capacity)
+        self.pool.sync_gauge()
+
+    # ------------------------------------------------------------- serving
+    def _handle(self, outcome: RequestOutcome, payload_mb: float,
+                response_mb: float):
+        yield self._network_up(outcome, payload_mb)
+        if not self.queue.try_admit():
+            # Spilled at admission: the queue's rejection tally (not the
+            # meter's failure count) carries it in the conservation
+            # ledger — submitted == completed + failed + rejected.
+            yield self.env.timeout(self.rejection_latency_s)
+            outcome.finish(self.env.now, success=False,
+                           error=self.reject_error)
+            return outcome
+
+        enqueue = self.env.now
+        claim = yield from self.queue.acquire()
+        if claim is None:
+            outcome.add_stage(Stage.QUEUE, self.env.now - enqueue)
+            outcome.finish(self.env.now, success=False, error="timeout")
+            self.meter.record_failed()
+            return outcome
+
+        outcome.add_stage(Stage.QUEUE, self.env.now - enqueue)
+        handler = self._handler_s
+        try:
+            predict = self.rng.lognormal_sum(
+                self.predict_stream, self._predict_s, _SERVICE_JITTER_CV,
+                max(outcome.inferences, 1))
+            # With the handler off the worker (GPU servers) the HTTP
+            # handling runs on the host CPUs and does not occupy the
+            # accelerator; otherwise it competes with inference for the
+            # same cores.
+            held = predict if self.handler_off_worker else handler + predict
+            yield self.env.timeout(held)
+            outcome.add_stage(Stage.HANDLER, handler)
+            outcome.add_stage(Stage.PREDICT, predict)
+        finally:
+            self.queue.release(claim)
+        if self.handler_off_worker:
+            yield self.env.timeout(handler)
+        yield self._network_down(outcome, response_mb)
+        outcome.finish(self.env.now, success=True)
+        self.meter.record_completed()
+        return outcome

@@ -14,172 +14,63 @@ Billing is per instance-hour, counted from the moment an instance is
 launched, which also matches the paper's observation that "most of the
 costs are spent on autoscaling instances rather than on doing the
 prediction" (Section 4.2).
+
+All of the machinery — pool, slot queue, target-utilisation scaling,
+instance-hour metering — lives in
+:class:`~repro.platforms.endpoint.PooledEndpointPlatform`; this class
+only supplies the managed-endpoint knobs from the provider's
+:class:`~repro.cloud.providers.ManagedMlTraits`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
-
-from repro.cloud.instances import get_instance_type
-from repro.platforms.autoscaling import TargetTrackingScaler
-from repro.platforms.base import PlatformUsage, ServingPlatform
-from repro.serving.records import RequestOutcome, Stage
-from repro.sim import GaugeMonitor, Resource
+from repro.platforms.endpoint import PooledEndpointPlatform
 
 __all__ = ["ManagedMlPlatform"]
 
-_SERVICE_JITTER_CV = 0.10
-#: Latency of a rejection response when the endpoint sheds load.
-_REJECTION_LATENCY_S = 0.05
 
-
-@dataclass
-class _ManagedInstance:
-    """Bookkeeping for one endpoint instance (billing starts at launch)."""
-
-    launch_time: float
-    ready_time: Optional[float] = None
-
-
-class ManagedMlPlatform(ServingPlatform):
+class ManagedMlPlatform(PooledEndpointPlatform):
     """Managed ML model serving (SageMaker / AI Platform)."""
 
     family = "managed_ml"
+    gauge_name = "managed-instances"
+    reject_error = "throttled"
+    #: Latency of a rejection response when the endpoint sheds load.
+    rejection_latency_s = 0.05
+    scaleout_stream = "managed-scaleout"
+    predict_stream = "managed-predict"
 
-    def __init__(self, env, deployment, profiles=None, rng=None):
-        super().__init__(env, deployment, profiles, rng)
-        self._traits = self.provider.managed_ml
-        self._instance_type = get_instance_type(deployment.instance_type())
-        self._workers_per_instance = (self.config.workers_per_instance
-                                      or self._traits.workers_per_instance)
-        self._ready = 0
-        self._launching = 0
-        self._instances: List[_ManagedInstance] = []
-        self._workers = Resource(env, capacity=1)
-        self._ready_gauge = GaugeMonitor(name="managed-instances")
-        self._rejected = 0
-        self._timed_out = 0
-        self._start_time = env.now
-        # Per-run constants hoisted off the per-request path.
-        self._handler_s = self._handler_overhead()
-        self._predict_s = (self.profiles.server_predict_time(
+    # -- knobs ---------------------------------------------------------------
+    def _default_workers(self) -> int:
+        return self.provider.managed_ml.workers_per_instance
+
+    def _service_time_s(self) -> float:
+        return (self.profiles.server_predict_time(
             self.runtime.key, self.model.name, "cpu")
-            * self._traits.service_time_multiplier)
-        self._scaler = TargetTrackingScaler(
-            env=env,
-            evaluation_period_s=self._traits.scale_evaluation_period_s,
-            target_per_instance=self._traits.target_inflight_per_instance,
-            min_instances=self.config.initial_instances,
-            max_instances=(self.config.max_instances
-                           or self._traits.max_instances),
-            demand=self._current_demand,
-            provisioned_total=lambda: self._ready + self._launching,
-            launch=self._launch_instances,
-            max_scale_step=self._traits.max_scale_step,
-        )
+            * self.provider.managed_ml.service_time_multiplier)
 
-    # ------------------------------------------------------------------ API
-    def start(self) -> None:
-        """Bring up the initial instances and the autoscaler."""
-        for _ in range(self.config.initial_instances):
-            record = _ManagedInstance(launch_time=self.env.now,
-                                      ready_time=self.env.now)
-            self._instances.append(record)
-        self._ready = self.config.initial_instances
-        self._resize_workers()
-        if self.config.autoscaling:
-            self.env.process(self._scaler.run())
+    def _queue_capacity(self):
+        per_instance = self.provider.managed_ml.queue_capacity_per_instance
+        return lambda: per_instance * max(self.pool.ready, 1)
 
-    def submit(self, outcome: RequestOutcome, payload_mb: float,
-               response_mb: float):
-        """Submit one request to the managed endpoint."""
-        return self.env.process(
-            self._handle(outcome, payload_mb, response_mb))
+    def _request_timeout_s(self) -> float:
+        return self.provider.managed_ml.request_timeout_s
 
-    def finalize(self, end_time: Optional[float] = None) -> PlatformUsage:
-        """Compute instance-hour cost and usage statistics."""
-        end = end_time if end_time is not None else self.env.now
-        instance_seconds = sum(max(end - record.launch_time, 0.0)
-                               for record in self._instances)
-        cost = self.provider.pricing.managed_ml.cost(
-            self._instance_type.name, instance_seconds)
-        return PlatformUsage(
-            cost=cost,
-            cost_breakdown={"instance_hours": cost},
-            cold_starts=0,
-            instances_created=len(self._instances),
-            peak_instances=int(self._ready_gauge.history.max()),
-            instance_count=self._ready_gauge.history,
-            instance_seconds=instance_seconds,
-            notes={"rejected": float(self._rejected),
-                   "timed_out": float(self._timed_out)},
-        )
+    def _target_per_instance(self) -> float:
+        return self.provider.managed_ml.target_inflight_per_instance
 
-    # ------------------------------------------------------------- scaling
-    def _current_demand(self) -> float:
-        return self._workers.count + self._workers.queue_length
+    def _max_instances(self) -> int:
+        return (self.config.max_instances
+                or self.provider.managed_ml.max_instances)
 
-    def _launch_instances(self, count: int) -> None:
-        for _ in range(count):
-            record = _ManagedInstance(launch_time=self.env.now)
-            self._instances.append(record)
-            self._launching += 1
-            self.env.process(self._bring_up(record))
+    def _max_scale_step(self) -> int:
+        return self.provider.managed_ml.max_scale_step
 
-    def _bring_up(self, record: _ManagedInstance):
-        delay = self.rng.lognormal_around(
-            "managed-scaleout", self._traits.scale_out_delay_s, 0.15)
-        yield self.env.timeout(delay)
-        record.ready_time = self.env.now
-        self._launching -= 1
-        self._ready += 1
-        self._resize_workers()
+    def _evaluation_period_s(self) -> float:
+        return self.provider.managed_ml.scale_evaluation_period_s
 
-    def _resize_workers(self) -> None:
-        capacity = max(self._ready, 1) * self._workers_per_instance
-        self._workers.resize(capacity)
-        self._ready_gauge.set(self.env.now, self._ready)
+    def _launch_delay_s(self) -> float:
+        return self.provider.managed_ml.scale_out_delay_s
 
-    # ------------------------------------------------------------- serving
-    def _queue_full(self) -> bool:
-        capacity = (self._traits.queue_capacity_per_instance
-                    * max(self._ready, 1))
-        return self._workers.queue_length >= capacity
-
-    def _handle(self, outcome: RequestOutcome, payload_mb: float,
-                response_mb: float):
-        yield self._network_up(outcome, payload_mb)
-        if self._queue_full():
-            self._rejected += 1
-            yield self.env.timeout(_REJECTION_LATENCY_S)
-            outcome.finish(self.env.now, success=False, error="throttled")
-            return outcome
-
-        enqueue = self.env.now
-        claim = self._workers.request()
-        deadline = self.env.timeout(self._traits.request_timeout_s)
-        yield self.env.race(claim, deadline)
-        if not claim.triggered:
-            self._workers.cancel(claim)
-            self._timed_out += 1
-            outcome.add_stage(Stage.QUEUE, self.env.now - enqueue)
-            outcome.finish(self.env.now, success=False, error="timeout")
-            return outcome
-        # The slot was granted in time: withdraw the dead deadline timer.
-        deadline.cancel()
-
-        outcome.add_stage(Stage.QUEUE, self.env.now - enqueue)
-        try:
-            handler = self._handler_s
-            predict = self.rng.lognormal_sum(
-                "managed-predict", self._predict_s, _SERVICE_JITTER_CV,
-                max(outcome.inferences, 1))
-            yield self.env.timeout(handler + predict)
-            outcome.add_stage(Stage.HANDLER, handler)
-            outcome.add_stage(Stage.PREDICT, predict)
-        finally:
-            self._workers.release(claim)
-        yield self._network_down(outcome, response_mb)
-        outcome.finish(self.env.now, success=True)
-        return outcome
+    def _pricing(self):
+        return self.provider.pricing.managed_ml

@@ -1,0 +1,119 @@
+"""Pluggable scaling policies for the serving control plane.
+
+The paper's three platform families scale in three different ways, and
+before the control-plane refactor each behaviour was welded into its
+platform class.  Each is now a small, separately-testable policy object
+that turns an observed demand signal into a launch decision; the
+platforms (and the shared :class:`~repro.platforms.autoscaling.
+TargetTrackingScaler` driver) only *execute* the decision.
+
+* :class:`ConcurrencyScalingPolicy` — the FaaS router (Section 5.1):
+  react every ``interval_s`` to the unserved backlog, pin one fresh
+  instance per uncovered request up to a start-rate budget and the
+  concurrency ceiling, then speculatively over-provision.
+* :class:`TargetUtilisationPolicy` — the managed-endpoint / autoscaling
+  group rule (Sections 4.2–4.3): keep demand per instance at a target,
+  bounded by min/max fleet size and a per-evaluation step limit.
+* :class:`FixedFleetPolicy` — provisioned/fixed capacity: never scales;
+  the fleet the deployment starts with is the fleet it ends with.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = [
+    "ConcurrencyScalingPolicy",
+    "TargetUtilisationPolicy",
+    "FixedFleetPolicy",
+]
+
+
+@dataclass(frozen=True)
+class ConcurrencyScalingPolicy:
+    """Backlog-driven FaaS scaling: one instance per unserved request.
+
+    ``plan_starts`` returns how many queued requests get *pinned* to a
+    fresh instance this round (that pinning is what makes them the
+    paper's "cold-start requests"), plus the remaining budget/headroom;
+    ``speculative_starts`` then adds the provider's over-provisioning
+    (``overprovision - 1`` extra instances per pinned one — the
+    mechanism behind GCP's instance explosion in Figure 11).
+    """
+
+    max_concurrency: int
+    max_starts_per_second: float
+    interval_s: float
+    overprovision: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1")
+        if self.max_starts_per_second <= 0 or self.interval_s <= 0:
+            raise ValueError("start rate and interval must be positive")
+        if self.overprovision < 1.0:
+            raise ValueError("overprovision must be >= 1")
+
+    def plan_starts(self, backlog: int, alive: int) -> Tuple[int, int, int]:
+        """``(pinned starts, start budget, concurrency headroom)``."""
+        if backlog <= 0:
+            return 0, 0, 0
+        budget = max(1, int(self.max_starts_per_second * self.interval_s))
+        headroom = max(self.max_concurrency - alive, 0)
+        return min(backlog, budget, headroom), budget, headroom
+
+    def speculative_starts(self, pinned: int, budget: int,
+                           headroom: int) -> int:
+        """Extra over-provisioned starts on top of ``pinned`` ones."""
+        return min(math.ceil(pinned * (self.overprovision - 1.0)),
+                   max(headroom - pinned, 0),
+                   max(budget - pinned, 0))
+
+
+@dataclass(frozen=True)
+class TargetUtilisationPolicy:
+    """Target-tracking: hold demand per instance at a fixed target."""
+
+    target_per_instance: float
+    min_instances: int
+    max_instances: int
+    #: Maximum number of instances added per evaluation.
+    max_scale_step: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.target_per_instance <= 0:
+            raise ValueError("target_per_instance must be positive")
+        if self.min_instances < 1 or self.max_instances < self.min_instances:
+            raise ValueError("need 1 <= min_instances <= max_instances")
+        if self.max_scale_step < 1:
+            raise ValueError("max_scale_step must be >= 1")
+
+    def desired_instances(self, demand: float) -> int:
+        """Fleet size the current demand calls for."""
+        desired = math.ceil(max(demand, 0.0) / self.target_per_instance)
+        return max(self.min_instances, min(desired, self.max_instances))
+
+    def launches(self, demand: float, provisioned: int) -> int:
+        """How many instances to launch now (0 if none are missing)."""
+        missing = min(self.desired_instances(demand) - provisioned,
+                      self.max_scale_step)
+        return missing if missing > 0 else 0
+
+
+@dataclass(frozen=True)
+class FixedFleetPolicy:
+    """No scaling: the initial fleet is the whole fleet."""
+
+    instances: int = 1
+
+    def __post_init__(self) -> None:
+        if self.instances < 1:
+            raise ValueError("instances must be >= 1")
+
+    def desired_instances(self, demand: float) -> int:
+        return self.instances
+
+    def launches(self, demand: float, provisioned: int) -> int:
+        return 0

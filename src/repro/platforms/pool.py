@@ -1,0 +1,182 @@
+"""Shared instance pool: lifecycle states and O(1) fleet accounting.
+
+Every serving platform the paper compares manages a fleet of instances —
+serverless execution environments, rented VMs, managed-endpoint
+instances — and before the control-plane refactor each platform
+hand-rolled its own counters and gauge updates.  :class:`InstancePool`
+is the one mechanism they now share: instances move through
+
+    cold -> warming -> idle <-> busy -> retired
+
+and the pool maintains O(1) counters for every state plus the fleet
+gauge the analyzers plot (Figures 7 and 11, "instances over time").
+
+Two fleet styles are covered by construction flags:
+
+* **ephemeral fleets** (serverless): thousands of instances launch and
+  retire per run, so the pool keeps *no* per-instance records — only
+  counters — and it gauges the ``alive`` count on every launch/retire
+  (``auto_gauge=True``).  This is the O(1) accounting PR 1 introduced.
+* **billed fleets** (VM / managed): a handful of instances that never
+  retire but whose ``launch_time`` matters for instance-hour billing,
+  so the pool keeps the records (``keep_records=True``) and the
+  platform decides when the ``ready`` gauge is recorded (worker-pool
+  resizes), matching the endpoint semantics where capacity counts only
+  instances that serve traffic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sim import Environment, GaugeMonitor
+
+__all__ = ["InstanceState", "PoolInstance", "InstancePool"]
+
+
+class InstanceState:
+    """Lifecycle states of a pooled serving instance."""
+
+    COLD = "cold"          #: created, cold-start pipeline not yet begun
+    WARMING = "warming"    #: running the cold-start / bring-up pipeline
+    IDLE = "idle"          #: ready and waiting for work
+    BUSY = "busy"          #: executing a request
+    RETIRED = "retired"    #: reclaimed (keep-alive expired)
+
+    ORDER = (COLD, WARMING, IDLE, BUSY, RETIRED)
+
+
+class PoolInstance:
+    """One pooled serving instance (slotted: hot allocation site)."""
+
+    __slots__ = ("instance_id", "state", "provisioned", "launch_time",
+                 "ready_time", "served_requests", "cold_stages",
+                 "first_predict_pending")
+
+    def __init__(self, instance_id: int, state: str, launch_time: float,
+                 provisioned: bool = False,
+                 ready_time: Optional[float] = None):
+        self.instance_id = instance_id
+        self.state = state
+        self.provisioned = provisioned
+        self.launch_time = launch_time
+        self.ready_time = ready_time
+        self.served_requests = 0
+        #: Realised cold-start stage durations (platform-specific object).
+        self.cold_stages = None
+        #: Whether the next prediction pays the lazy-initialisation penalty.
+        self.first_predict_pending = True
+
+    @property
+    def alive(self) -> bool:
+        """``True`` until the instance is retired."""
+        return self.state != InstanceState.RETIRED
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<PoolInstance {self.instance_id} {self.state}"
+                f"{' provisioned' if self.provisioned else ''}>")
+
+
+class InstancePool:
+    """O(1) lifecycle accounting for one platform's instance fleet."""
+
+    __slots__ = ("env", "gauge", "created", "alive", "warming", "idle",
+                 "busy", "retired", "records", "_next_id", "_auto_gauge")
+
+    def __init__(self, env: Environment, gauge_name: str = "instances",
+                 auto_gauge: bool = True, keep_records: bool = False):
+        self.env = env
+        self.gauge = GaugeMonitor(name=gauge_name)
+        self.created = 0
+        self.alive = 0
+        self.warming = 0
+        self.idle = 0
+        self.busy = 0
+        self.retired = 0
+        #: Per-instance records; only kept for billed (small) fleets.
+        self.records: Optional[List[PoolInstance]] = (
+            [] if keep_records else None)
+        self._next_id = 0
+        self._auto_gauge = auto_gauge
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def ready(self) -> int:
+        """Instances ready to serve traffic (idle + busy)."""
+        return self.idle + self.busy
+
+    @property
+    def peak(self) -> int:
+        """Highest gauge value observed so far."""
+        return int(self.gauge.history.max())
+
+    def instance_seconds(self, end_time: float) -> float:
+        """Cumulative billed instance-seconds from launch to ``end_time``.
+
+        Requires ``keep_records=True`` (billed fleets never retire, so
+        every record accrues from its launch to the end of the run).
+        """
+        if self.records is None:
+            raise ValueError("instance_seconds requires keep_records=True")
+        return sum(max(end_time - record.launch_time, 0.0)
+                   for record in self.records)
+
+    # -- lifecycle ---------------------------------------------------------
+    def launch(self, warm: bool = False,
+               provisioned: bool = False) -> PoolInstance:
+        """Create one instance: warm (immediately idle) or cold (warming)."""
+        now = self.env.now
+        instance = PoolInstance(
+            instance_id=self._next_id,
+            state=InstanceState.IDLE if warm else InstanceState.WARMING,
+            launch_time=now,
+            provisioned=provisioned,
+            ready_time=now if warm else None,
+        )
+        self._next_id += 1
+        self.created += 1
+        self.alive += 1
+        if warm:
+            instance.first_predict_pending = False
+            self.idle += 1
+        else:
+            self.warming += 1
+        if self.records is not None:
+            self.records.append(instance)
+        if self._auto_gauge:
+            self.gauge.set(now, self.alive)
+        return instance
+
+    def mark_ready(self, instance: PoolInstance) -> None:
+        """Cold-start / bring-up finished: warming -> idle."""
+        instance.state = InstanceState.IDLE
+        instance.ready_time = self.env.now
+        self.warming -= 1
+        self.idle += 1
+
+    def mark_busy(self, instance: PoolInstance) -> None:
+        """The instance starts executing a request: idle -> busy."""
+        instance.state = InstanceState.BUSY
+        self.idle -= 1
+        self.busy += 1
+
+    def mark_idle(self, instance: PoolInstance) -> None:
+        """The instance finished its request: busy -> idle."""
+        instance.state = InstanceState.IDLE
+        instance.served_requests += 1
+        self.busy -= 1
+        self.idle += 1
+
+    def retire(self, instance: PoolInstance) -> None:
+        """Reclaim an idle instance (keep-alive expiry)."""
+        instance.state = InstanceState.RETIRED
+        self.idle -= 1
+        self.alive -= 1
+        self.retired += 1
+        if self._auto_gauge:
+            self.gauge.set(self.env.now, self.alive)
+
+    def sync_gauge(self, value: Optional[float] = None) -> None:
+        """Record the gauge explicitly (billed fleets gauge ``ready``)."""
+        self.gauge.set(self.env.now,
+                       self.ready if value is None else value)

@@ -10,29 +10,37 @@ of lazy runtime initialisation.  Warm instances serve requests one at a
 time (concurrency = 1 per instance, as on Lambda and Cloud Functions) and
 are reclaimed after a keep-alive period of idleness.
 
-Scaling behaviour is driven by the provider's
-:class:`~repro.cloud.providers.ServerlessTraits`: the router reacts every
-``scale_interval_s`` to the unserved backlog, launches up to
-``max_starts_per_second`` new instances per second, and over-provisions by
-``overprovision_factor`` — the mechanism behind the paper's observation
-that GCP creates far more instances than needed (Figure 11, Section 5.1).
+The platform is a thin composition of the serving control plane:
 
-Billing follows the provider's pricing: GB-seconds of billed duration plus
-a per-request fee, with AWS excluding the initialisation phase from the
-billed duration and GCP including it, and with provisioned concurrency
-billed as reserved GB-seconds (Section 5.4).
+* an :class:`~repro.platforms.pool.InstancePool` tracks the execution
+  environments (cold -> warming -> idle -> busy -> retired) with O(1)
+  accounting and the Figure 11 instance gauge;
+* a :class:`~repro.platforms.policies.ConcurrencyScalingPolicy` turns
+  the unserved backlog into pinned + speculative launches every
+  ``scale_interval_s`` (the provider's
+  :class:`~repro.cloud.providers.ServerlessTraits`), which is the
+  mechanism behind GCP creating far more instances than needed
+  (Figure 11, Section 5.1);
+* a :class:`~repro.platforms.admission.WorkQueue` buffers pending
+  requests as interned tickets that idle instances pull;
+* a :class:`~repro.platforms.billing.ServerlessMeter` owns the bill
+  (GB-seconds plus per-request fees, AWS excluding initialisation from
+  the billed duration and GCP including it, provisioned concurrency as
+  reserved GB-seconds — Section 5.4) and assembles the final
+  :class:`~repro.platforms.base.PlatformUsage`.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.cloud.pricing import ServerlessBill
+from repro.platforms.admission import PendingRequest, WorkQueue
 from repro.platforms.base import PlatformUsage, ServingPlatform
+from repro.platforms.billing import ServerlessMeter
+from repro.platforms.policies import ConcurrencyScalingPolicy
+from repro.platforms.pool import InstancePool, PoolInstance
 from repro.serving.records import RequestOutcome, Stage
-from repro.sim import Environment, GaugeMonitor, Store
 
 __all__ = ["ServerlessPlatform"]
 
@@ -42,15 +50,6 @@ _STAGE_JITTER_CV = 0.06
 _PREDICT_JITTER_CV = 0.08
 #: Hard cap a function invocation may run before the platform kills it.
 _FUNCTION_TIMEOUT_S = 300.0
-
-
-@dataclass
-class _PendingRequest:
-    """A request waiting for an instance."""
-
-    outcome: RequestOutcome
-    response_event: object
-    enqueue_time: float
 
 
 @dataclass
@@ -66,19 +65,6 @@ class _ColdStages:
         return self.sandbox_s + self.import_s + self.download_s + self.load_s
 
 
-@dataclass
-class _Instance:
-    """One serverless execution environment."""
-
-    instance_id: int
-    provisioned: bool = False
-    alive: bool = True
-    served_requests: int = 0
-    cold_stages: Optional[_ColdStages] = None
-    #: Whether the next prediction pays the lazy-initialisation penalty.
-    first_predict_pending: bool = True
-
-
 class ServerlessPlatform(ServingPlatform):
     """Serverless model serving on AWS Lambda or Google Cloud Functions."""
 
@@ -88,19 +74,25 @@ class ServerlessPlatform(ServingPlatform):
         super().__init__(env, deployment, profiles, rng)
         traits = self.provider.serverless
         self._traits = traits
-        self._queue: Store = Store(env)
-        # O(1) accounting: platforms used to keep every _Instance ever
-        # created in a list and scan it for the alive count on every
-        # gauge update, which is O(instances²) over a run.
-        self._alive = 0
-        self._created = 0
-        self._starting = 0
-        self._idle = 0
-        self._next_instance_id = 0
-        self._cold_starts = 0
-        self._active_gauge = GaugeMonitor(name="serverless-instances")
-        self._bill = ServerlessBill(memory_gb=self.config.memory_gb,
-                                    pricing=self.provider.pricing.serverless)
+        self.queue = WorkQueue(env)
+        self.pool = InstancePool(env, gauge_name="serverless-instances",
+                                 auto_gauge=True)
+        # Provisioned concurrency makes the platform scale more aggressively
+        # (Section 5.4 observes *more* cold starts with provisioned
+        # concurrency enabled).
+        overprovision = traits.overprovision_factor
+        if self.config.provisioned_concurrency > 0:
+            overprovision *= 1.35
+        self.policy = ConcurrencyScalingPolicy(
+            max_concurrency=traits.max_concurrency,
+            max_starts_per_second=traits.max_starts_per_second,
+            interval_s=(self.config.scale_interval_s
+                        or traits.scale_interval_s),
+            overprovision=overprovision,
+        )
+        self.meter = ServerlessMeter(
+            memory_gb=self.config.memory_gb,
+            pricing=self.provider.pricing.serverless)
         self._scaler_started = False
         self._start_time = env.now
         # Per-run constants, hoisted off the per-request path: the profile
@@ -123,12 +115,6 @@ class ServerlessPlatform(ServingPlatform):
                           + self.config.extra_container_mb)
         self._download_mb = (self.model.download_mb
                              + self.config.extra_download_mb)
-        # Provisioned concurrency makes the platform scale more aggressively
-        # (Section 5.4 observes *more* cold starts with provisioned
-        # concurrency enabled).
-        self._overprovision = traits.overprovision_factor
-        if self.config.provisioned_concurrency > 0:
-            self._overprovision *= 1.35
 
     # ------------------------------------------------------------------ API
     def start(self) -> None:
@@ -142,110 +128,76 @@ class ServerlessPlatform(ServingPlatform):
     def submit(self, outcome: RequestOutcome, payload_mb: float,
                response_mb: float):
         """Submit one request to the serverless endpoint."""
+        self.meter.record_submitted()
         return self.env.process(
             self._client_request(outcome, payload_mb, response_mb))
 
     def finalize(self, end_time: Optional[float] = None) -> PlatformUsage:
-        """Compute the experiment's cost and usage statistics."""
+        """Close the books: the meter assembles the usage record."""
         end = end_time if end_time is not None else self.env.now
         duration = max(end - self._start_time, 0.0)
-        if self.config.provisioned_concurrency > 0:
-            self._bill.add_provisioned_reservation(
-                self.config.provisioned_concurrency, duration)
-        pricing = self.provider.pricing.serverless
-        execution = pricing.execution_cost(
-            self.config.memory_gb, self._bill.billed_seconds, 0)
-        request_fees = pricing.execution_cost(
-            self.config.memory_gb, 0.0, self._bill.requests
-            + self._bill.provisioned_requests)
-        provisioned = (self._bill.total() - execution - request_fees)
-        usage = PlatformUsage(
-            cost=self._bill.total(),
-            cost_breakdown={
-                "execution": execution,
-                "requests": request_fees,
-                "provisioned": max(provisioned, 0.0),
-            },
-            cold_starts=self._cold_starts,
-            instances_created=self._created,
-            peak_instances=int(self._active_gauge.history.max()),
-            instance_count=self._active_gauge.history,
-            billed_seconds=(self._bill.billed_seconds
-                            + self._bill.provisioned_billed_seconds),
-        )
-        return usage
+        return self.meter.finalize(
+            pool=self.pool, duration_s=duration,
+            provisioned_concurrency=self.config.provisioned_concurrency)
 
     # --------------------------------------------------------------- client
     def _client_request(self, outcome: RequestOutcome, payload_mb: float,
                         response_mb: float):
         yield self._network_up(outcome, payload_mb)
-        response_event = self.env.event()
-        pending = _PendingRequest(outcome=outcome,
-                                  response_event=response_event,
-                                  enqueue_time=self.env.now)
-        self._queue.add(pending)
+        pending = self.queue.enqueue(outcome)
         self._scale_out()
+        # The deadline guard is WorkQueue.await_response, inlined: one
+        # sub-generator per request costs ~2% end-to-end throughput.
+        response_event = pending.response_event
         deadline = self.env.timeout(_FUNCTION_TIMEOUT_S)
         winner = yield self.env.race(response_event, deadline)
         if winner is not response_event:
             outcome.finish(self.env.now, success=False, error="timeout")
+            self.meter.record_failed()
             return outcome
         # The response won the race: withdraw the 300 s guard timer so it
         # does not rot in the calendar until the platform kill deadline.
         deadline.cancel()
         yield self._network_down(outcome, response_mb)
         outcome.finish(self.env.now, success=True)
+        self.meter.record_completed()
         return outcome
 
     # --------------------------------------------------------------- scaling
     def _scaler_loop(self):
         while True:
-            yield self.env.timeout(self._traits.scale_interval_s)
+            yield self.env.timeout(self.policy.interval_s)
             self._scale_out()
 
     def _scale_out(self) -> None:
-        """Launch instances to cover the unserved backlog.
+        """Execute the policy's decision for the current backlog.
 
         Requests that are not covered by an already-starting instance are
         *pinned* to the new instance launched for them — exactly how a
         FaaS router assigns an incoming request to a fresh execution
         environment, which is what makes that request a "cold-start
-        request" in the paper's terminology.  On top of those, the
-        platform speculatively starts ``overprovision_factor - 1`` extra
-        instances per pinned one (Section 5.1's over-provisioning).
+        request" in the paper's terminology.
         """
-        backlog = self._queue.size
-        if backlog <= 0:
-            return
-        budget = max(1, int(self._traits.max_starts_per_second
-                            * self._traits.scale_interval_s))
-        headroom = max(self._traits.max_concurrency - self._alive, 0)
-        to_start = min(backlog, budget, headroom)
+        to_start, budget, headroom = self.policy.plan_starts(
+            self.queue.backlog, self.pool.alive)
         pinned = 0
         for _ in range(to_start):
-            pending = self._queue.take()
+            pending = self.queue.take()
             if pending is None:
                 # The backlog emptied while we were launching.
                 break
             self._launch_instance(prewarmed=False, first_request=pending)
             pinned += 1
-        speculative = min(math.ceil(pinned * (self._overprovision - 1.0)),
-                          max(headroom - pinned, 0),
-                          max(budget - pinned, 0))
-        for _ in range(speculative):
+        for _ in range(self.policy.speculative_starts(pinned, budget,
+                                                      headroom)):
             self._launch_instance(prewarmed=False)
 
     def _launch_instance(self, prewarmed: bool,
-                         first_request: Optional[_PendingRequest] = None) -> None:
-        instance = _Instance(instance_id=self._next_instance_id,
-                             provisioned=prewarmed)
-        self._next_instance_id += 1
-        self._created += 1
-        self._alive += 1
-        if not prewarmed:
-            self._starting += 1
-        self._active_gauge.set(self.env.now, self._alive)
-        self.env.process(self._instance_loop(instance, prewarmed, first_request))
+                         first_request: Optional[PendingRequest] = None
+                         ) -> None:
+        instance = self.pool.launch(warm=prewarmed, provisioned=prewarmed)
+        self.env.process(self._instance_loop(instance, prewarmed,
+                                             first_request))
 
     # -------------------------------------------------------------- instance
     def _jitter(self, value: float, cv: float, stream: str) -> float:
@@ -253,7 +205,7 @@ class ServerlessPlatform(ServingPlatform):
             return 0.0
         return self.rng.lognormal_around(stream, value, cv)
 
-    def _cold_start_pipeline(self, instance: _Instance):
+    def _cold_start_pipeline(self, instance: PoolInstance):
         """Run the sandbox / import / download / load pipeline."""
         stages = _ColdStages()
         pull = self.provider.registry.pull_time(self._image_mb, self.rng)
@@ -275,41 +227,37 @@ class ServerlessPlatform(ServingPlatform):
         yield self.env.timeout(stages.load_s)
         instance.cold_stages = stages
 
-    def _instance_loop(self, instance: _Instance, prewarmed: bool,
-                       first_request: Optional[_PendingRequest] = None):
+    def _instance_loop(self, instance: PoolInstance, prewarmed: bool,
+                       first_request: Optional[PendingRequest] = None):
         if not prewarmed:
             yield from self._cold_start_pipeline(instance)
-            self._starting -= 1
-            self._cold_starts += 1
-        else:
-            instance.first_predict_pending = False
+            self.pool.mark_ready(instance)
+            self.meter.record_cold_start()
         if first_request is not None:
             yield from self._serve(instance, first_request,
                                    is_cold_trigger=True)
         while instance.alive:
-            get_event = self._queue.get()
+            get_event = self.queue.get()
             keep_alive = self.env.timeout(self._traits.keep_alive_s)
             yield self.env.race(get_event, keep_alive)
             if not get_event.triggered:
-                self._queue.cancel_get(get_event)
+                self.queue.cancel_get(get_event)
                 if instance.provisioned:
                     # Provisioned instances stay reserved for the whole run.
                     continue
-                instance.alive = False
-                self._alive -= 1
-                self._active_gauge.set(self.env.now, self._alive)
+                self.pool.retire(instance)
                 return
             # A request arrived: withdraw the keep-alive timer that lost
             # the race so it does not sit dead in the calendar.
             keep_alive.cancel()
-            pending: _PendingRequest = get_event.value
-            yield from self._serve(instance, pending)
+            yield from self._serve(instance, get_event.value)
 
-    def _serve(self, instance: _Instance, pending: _PendingRequest,
+    def _serve(self, instance: PoolInstance, pending: PendingRequest,
                is_cold_trigger: bool = False):
         outcome = pending.outcome
         outcome.instance_id = instance.instance_id
         wait = self.env.now - pending.enqueue_time
+        self.pool.mark_busy(instance)
 
         init_billable = 0.0
         breakdown = outcome.breakdown
@@ -356,9 +304,9 @@ class ServerlessPlatform(ServingPlatform):
         if self._traits.billing_includes_init:
             billed += init_billable
         outcome.billed_duration_s = billed
-        self._bill.add_invocation(billed, provisioned=instance.provisioned)
+        self.meter.record_invocation(billed, provisioned=instance.provisioned)
 
-        instance.served_requests += 1
+        self.pool.mark_idle(instance)
         if outcome.completion_time is not None and self.outcome_sink is not None:
             # The client already gave up on this request (the 300 s
             # deadline) and its row was committed without the serve-side
@@ -366,3 +314,4 @@ class ServerlessPlatform(ServingPlatform):
             # and was billed.
             self.outcome_sink(outcome)
         pending.response_event.succeed()
+        self.queue.recycle(pending)

@@ -12,173 +12,65 @@ ratios of Figures 5, 8 and 9.
 An optional autoscaling group can be enabled (the paper tried one and
 found the 3–5 minute launch delay made it ineffective); billing is per
 instance-hour from launch to the end of the experiment.
+
+All of the machinery — pool, slot queue, target-utilisation scaling,
+instance-hour metering — lives in
+:class:`~repro.platforms.endpoint.PooledEndpointPlatform`; this class
+only supplies the VM-shaped knobs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
-
-from repro.cloud.instances import get_instance_type
-from repro.platforms.autoscaling import TargetTrackingScaler
-from repro.platforms.base import PlatformUsage, ServingPlatform
+from repro.platforms.endpoint import PooledEndpointPlatform
 from repro.serving.deployment import PlatformKind
-from repro.serving.records import RequestOutcome, Stage
-from repro.sim import GaugeMonitor, Resource
 
 __all__ = ["VmPlatform"]
 
-_SERVICE_JITTER_CV = 0.10
-_REJECTION_LATENCY_S = 0.02
 
-
-@dataclass
-class _VmInstance:
-    """One rented VM (billing starts at launch)."""
-
-    launch_time: float
-    ready_time: Optional[float] = None
-
-
-class VmPlatform(ServingPlatform):
+class VmPlatform(PooledEndpointPlatform):
     """Self-rented CPU or GPU serving on EC2 / Compute Engine."""
 
     family = "vm"
+    gauge_name = "vm-instances"
+    reject_error = "connection_refused"
+    rejection_latency_s = 0.02
+    scaleout_stream = "vm-scaleout"
+    predict_stream = "vm-predict"
 
     def __init__(self, env, deployment, profiles=None, rng=None):
+        self._is_gpu = deployment.config.platform == PlatformKind.GPU_SERVER
+        # On a GPU server the HTTP handling runs on the host CPUs and does
+        # not occupy the accelerator.
+        self.handler_off_worker = self._is_gpu
         super().__init__(env, deployment, profiles, rng)
         self._traits = self.provider.vm
-        self._instance_type = get_instance_type(deployment.instance_type())
-        self._is_gpu = deployment.config.platform == PlatformKind.GPU_SERVER
-        default_workers = 1 if self._is_gpu else self._instance_type.vcpus
-        self._workers_per_instance = (self.config.workers_per_instance
-                                      or default_workers)
-        self._ready = 0
-        self._launching = 0
-        self._instances: List[_VmInstance] = []
-        self._workers = Resource(env, capacity=1)
-        self._ready_gauge = GaugeMonitor(name="vm-instances")
-        self._rejected = 0
-        self._timed_out = 0
-        self._start_time = env.now
-        # Per-run constants hoisted off the per-request path.
-        self._handler_s = self._handler_overhead()
-        self._predict_s = self.profiles.server_predict_time(
+
+    # -- knobs ---------------------------------------------------------------
+    def _default_workers(self) -> int:
+        return 1 if self._is_gpu else self._instance_type.vcpus
+
+    def _service_time_s(self) -> float:
+        return self.profiles.server_predict_time(
             self.runtime.key, self.model.name,
             "gpu" if self._is_gpu else "cpu")
-        self._scaler = TargetTrackingScaler(
-            env=env,
-            evaluation_period_s=60.0,
-            target_per_instance=float(self._workers_per_instance),
-            min_instances=self.config.initial_instances,
-            max_instances=self.config.max_instances or 10,
-            demand=self._current_demand,
-            provisioned_total=lambda: self._ready + self._launching,
-            launch=self._launch_instances,
-        )
 
-    # ------------------------------------------------------------------ API
-    def start(self) -> None:
-        """Bring up the rented VM(s) and, if requested, the scaling group."""
-        for _ in range(self.config.initial_instances):
-            record = _VmInstance(launch_time=self.env.now,
-                                 ready_time=self.env.now)
-            self._instances.append(record)
-        self._ready = self.config.initial_instances
-        self._resize_workers()
-        if self.config.autoscaling:
-            self.env.process(self._scaler.run())
+    def _queue_capacity(self) -> int:
+        return self.provider.vm.queue_capacity
 
-    def submit(self, outcome: RequestOutcome, payload_mb: float,
-               response_mb: float):
-        """Submit one request to the VM's serving frontend."""
-        return self.env.process(self._handle(outcome, payload_mb, response_mb))
+    def _request_timeout_s(self) -> float:
+        return self.provider.vm.request_timeout_s
 
-    def finalize(self, end_time: Optional[float] = None) -> PlatformUsage:
-        """Compute instance-hour cost and usage statistics."""
-        end = end_time if end_time is not None else self.env.now
-        instance_seconds = sum(max(end - record.launch_time, 0.0)
-                               for record in self._instances)
-        cost = self.provider.pricing.vm.cost(self._instance_type.name,
-                                             instance_seconds)
-        return PlatformUsage(
-            cost=cost,
-            cost_breakdown={"instance_hours": cost},
-            cold_starts=0,
-            instances_created=len(self._instances),
-            peak_instances=int(self._ready_gauge.history.max()),
-            instance_count=self._ready_gauge.history,
-            instance_seconds=instance_seconds,
-            notes={"rejected": float(self._rejected),
-                   "timed_out": float(self._timed_out)},
-        )
+    def _target_per_instance(self) -> float:
+        return float(self._workers_per_instance)
 
-    # ------------------------------------------------------------- scaling
-    def _current_demand(self) -> float:
-        return self._workers.count + self._workers.queue_length
+    def _max_instances(self) -> int:
+        return self.config.max_instances or 10
 
-    def _launch_instances(self, count: int) -> None:
-        for _ in range(count):
-            record = _VmInstance(launch_time=self.env.now)
-            self._instances.append(record)
-            self._launching += 1
-            self.env.process(self._bring_up(record))
+    def _evaluation_period_s(self) -> float:
+        return 60.0
 
-    def _bring_up(self, record: _VmInstance):
-        delay = self.rng.lognormal_around(
-            "vm-scaleout", self._traits.autoscale_launch_delay_s, 0.15)
-        yield self.env.timeout(delay)
-        record.ready_time = self.env.now
-        self._launching -= 1
-        self._ready += 1
-        self._resize_workers()
+    def _launch_delay_s(self) -> float:
+        return self.provider.vm.autoscale_launch_delay_s
 
-    def _resize_workers(self) -> None:
-        capacity = max(self._ready, 1) * self._workers_per_instance
-        self._workers.resize(capacity)
-        self._ready_gauge.set(self.env.now, self._ready)
-
-    # ------------------------------------------------------------- serving
-    def _handle(self, outcome: RequestOutcome, payload_mb: float,
-                response_mb: float):
-        yield self._network_up(outcome, payload_mb)
-        if self._workers.queue_length >= self._traits.queue_capacity:
-            self._rejected += 1
-            yield self.env.timeout(_REJECTION_LATENCY_S)
-            outcome.finish(self.env.now, success=False,
-                           error="connection_refused")
-            return outcome
-
-        enqueue = self.env.now
-        claim = self._workers.request()
-        deadline = self.env.timeout(self._traits.request_timeout_s)
-        yield self.env.race(claim, deadline)
-        if not claim.triggered:
-            self._workers.cancel(claim)
-            self._timed_out += 1
-            outcome.add_stage(Stage.QUEUE, self.env.now - enqueue)
-            outcome.finish(self.env.now, success=False, error="timeout")
-            return outcome
-        # The slot was granted in time: withdraw the dead deadline timer.
-        deadline.cancel()
-
-        outcome.add_stage(Stage.QUEUE, self.env.now - enqueue)
-        handler = self._handler_s
-        try:
-            predict = self.rng.lognormal_sum(
-                "vm-predict", self._predict_s, _SERVICE_JITTER_CV,
-                max(outcome.inferences, 1))
-            # On a GPU server the HTTP handling runs on the host CPUs and
-            # does not occupy the accelerator; on a CPU server it competes
-            # with inference for the same cores.
-            held = predict if self._is_gpu else handler + predict
-            yield self.env.timeout(held)
-            outcome.add_stage(Stage.HANDLER, handler)
-            outcome.add_stage(Stage.PREDICT, predict)
-        finally:
-            self._workers.release(claim)
-        if self._is_gpu:
-            yield self.env.timeout(handler)
-        yield self._network_down(outcome, response_mb)
-        outcome.finish(self.env.now, success=True)
-        return outcome
+    def _pricing(self):
+        return self.provider.pricing.vm

@@ -47,6 +47,11 @@ class ServiceConfig:
     autoscaling: bool = True
     max_instances: Optional[int] = None
     workers_per_instance: Optional[int] = None
+    # -- scaling-policy overrides (None = the provider's observed values) ---
+    #: Serverless router reaction interval / server-fleet evaluation period.
+    scale_interval_s: Optional[float] = None
+    #: Target demand per instance for target-utilisation scaling.
+    target_per_instance: Optional[float] = None
     # -- client behaviour ---------------------------------------------------
     batch_size: int = 1
     # -- Figure 12 micro-benchmark knobs -------------------------------------
@@ -72,6 +77,11 @@ class ServiceConfig:
             raise ValueError("extra sizes must be non-negative")
         if self.samples_per_request < 1 or self.inferences_per_request < 1:
             raise ValueError("samples/inferences per request must be >= 1")
+        if self.scale_interval_s is not None and self.scale_interval_s <= 0:
+            raise ValueError("scale_interval_s must be positive")
+        if (self.target_per_instance is not None
+                and self.target_per_instance <= 0):
+            raise ValueError("target_per_instance must be positive")
 
     def replace(self, **changes) -> "ServiceConfig":
         """A copy of the config with the given fields changed."""

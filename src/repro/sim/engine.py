@@ -21,12 +21,29 @@ speed:
   live events per run, per-instance ``__dict__`` allocation dominated
   both memory and attribute-access time.
 
-* Process resumption has a dedicated fast path.  Starting a process,
-  interrupting it, and resuming it off an already-processed event all
-  used to allocate a throwaway :class:`Event` whose only job was to
-  carry ``(ok, value)`` to :meth:`Process._resume`.  These now push a
-  raw 6-tuple ``(time, priority, sequence, process, ok, value)`` onto
-  the calendar, and the scheduler resumes the generator directly.
+* Process resumption has a dedicated fast path.  Interrupting a
+  process and resuming it off an already-processed event used to
+  allocate a throwaway :class:`Event` whose only job was to carry
+  ``(ok, value)`` to :meth:`Process._resume`.  These now push a raw
+  6-tuple ``(time, priority, sequence, process, ok, value)`` onto the
+  calendar, and the scheduler resumes the generator directly.
+
+* Starting a process runs its first step *inline*: the generator
+  advances to its first ``yield`` within ``env.process()`` itself
+  instead of through an URGENT calendar entry — one calendar entry per
+  process saved.  The contract is that a new process's first segment
+  runs synchronously, ahead of anything else scheduled at the current
+  time.  For the common pattern (a segment that creates processes and
+  otherwise only schedules NORMAL events) this is indistinguishable
+  from the old URGENT-entry start, because the scheduler drains URGENT
+  entries before resuming user code; the one observable difference is
+  a segment that calls ``interrupt()`` (which enqueues an URGENT
+  resume) *before* ``env.process()`` — the new process's first segment
+  now runs before that interrupt is delivered, where it used to run
+  after.  A corollary: yielding a non-event (or a cancelled event) as
+  the *first* yield raises :class:`SimulationError` at the
+  ``env.process()`` call site rather than later inside
+  :meth:`Environment.run`.
 
 * Scheduled entries are cancellable via lazy-deletion tombstones (see
   below), so platforms can withdraw the overwhelmingly-dead guard
@@ -248,8 +265,16 @@ class Process(Event):
         Event.__init__(self, env)
         self._generator = generator
         self._target: Optional[Event] = None
-        # Fast path: the first resume needs no Event to carry (ok, value).
-        env._schedule_resume(self, True, None)
+        # Run the first step inline: no calendar entry, and a bad first
+        # yield (non-event) surfaces here, at the env.process() call.
+        # _step() always leaves env._active_process at None, so the
+        # caller's identity is restored explicitly (process creation may
+        # happen inside another process's segment).
+        outer = env._active_process
+        try:
+            self._step(True, None)
+        finally:
+            env._active_process = outer
 
     @property
     def is_alive(self) -> bool:

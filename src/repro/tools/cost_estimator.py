@@ -80,6 +80,41 @@ class CostEstimator:
         return self.serverless(model, runtime, spec.target_requests,
                                memory_gb=memory_gb)
 
+    @classmethod
+    def for_scenario(cls, scenario,
+                     profiles: Optional[LatencyProfiles] = None
+                     ) -> "CostEstimator":
+        """An estimator bound to a scenario's provider."""
+        deployment = scenario.deployment()
+        return cls(provider=deployment.provider,
+                   profiles=profiles or LatencyProfiles())
+
+    def estimate_scenario(self, scenario,
+                          cold_start_fraction: float = 0.01
+                          ) -> ServerlessCostEstimate:
+        """Closed-form estimate of a declarative serverless scenario.
+
+        Resolves the scenario's deployment and workload references (the
+        request count comes from the workload spec's target), so the
+        analytical what-if prices exactly the cell
+        :meth:`~repro.core.benchmark.ServingBenchmark.run_scenario`
+        would simulate.
+        """
+        deployment = scenario.deployment()
+        if deployment.provider.name != self.provider.name:
+            raise ValueError(
+                f"scenario targets provider {deployment.provider.name!r}, "
+                f"estimator is bound to {self.provider.name!r}")
+        if deployment.config.platform != "serverless":
+            raise ValueError("estimate_scenario prices serverless "
+                             "scenarios; use vm() / managed_ml() for "
+                             "server-based platforms")
+        workload = scenario.workload_spec()
+        return self.serverless(deployment.model, deployment.runtime,
+                               workload.target_requests,
+                               memory_gb=deployment.config.memory_gb,
+                               cold_start_fraction=cold_start_fraction)
+
     # -- servers ----------------------------------------------------------------
     def vm(self, instance_type: str, duration_s: float,
            instances: int = 1) -> float:

@@ -81,6 +81,34 @@ class HybridPlanner:
         if not 0 < self.base_load_percentile <= 100:
             raise ValueError("base_load_percentile must be in (0, 100]")
 
+    @classmethod
+    def from_scenario(cls, scenario, profiles: Optional[LatencyProfiles] = None,
+                      **overrides) -> "HybridPlanner":
+        """Build a hybrid planner from a declarative scenario.
+
+        The scenario's provider / model / runtime (and a ``memory_gb``
+        config override, if present) are resolved through the same
+        deployment path the simulator uses, so a hybrid what-if always
+        analyses exactly the cell a simulation would run.
+        """
+        deployment = scenario.deployment()
+        kwargs = {
+            "provider": deployment.provider,
+            "model": deployment.model,
+            "runtime": deployment.runtime,
+            "memory_gb": deployment.config.memory_gb,
+        }
+        if profiles is not None:
+            kwargs["profiles"] = profiles
+        kwargs.update(overrides)
+        return cls(**kwargs)
+
+    def plan_scenario(self, scenario, seed: int = 7,
+                      scale: float = 1.0) -> HybridPlan:
+        """Plan against a scenario's referenced workload."""
+        workload = scenario.build_workload(seed=seed, scale=scale)
+        return self.plan(workload.trace)
+
     def plan(self, trace: ArrivalTrace,
              duration_s: Optional[float] = None) -> HybridPlan:
         """Plan a hybrid deployment for one arrival trace."""

@@ -3,11 +3,12 @@
 "A potential direction is to build a navigation tool that automatically
 searches the design space for serverless deployment, and finds the best
 configuration under pre-defined constraints."  The navigator does exactly
-that on the simulated cloud: it enumerates candidate configurations
-(runtime, memory size, batch size, optionally alternative platforms),
-measures each on a time-compressed copy of the target workload, filters
-by the user's latency / success-ratio / cost constraints, and ranks the
-survivors.
+that on the simulated cloud: it enumerates candidate configurations as
+declarative :class:`~repro.core.scenario.ScenarioSpec` cells (runtime,
+memory size, batch size, optionally alternative platforms), measures
+each on a time-compressed copy of the target workload through the same
+``run_scenario`` path the experiments use, filters by the user's
+latency / success-ratio / cost constraints, and ranks the survivors.
 """
 
 from __future__ import annotations
@@ -17,6 +18,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.benchmark import ServingBenchmark
 from repro.core.planner import Planner
+from repro.core.scenario import ScenarioSpec
 from repro.serving.deployment import PlatformKind
 from repro.workload.generator import Workload
 
@@ -78,23 +80,26 @@ class DesignSpaceNavigator:
     batch_sizes: Sequence[int] = (1, 2, 4)
     include_servers: bool = False
 
-    def candidates(self) -> List[Dict[str, object]]:
-        """The candidate configurations the navigator will evaluate."""
-        grid: List[Dict[str, object]] = []
+    def candidates(self) -> List[ScenarioSpec]:
+        """The candidate scenarios the navigator will evaluate."""
+        grid: List[ScenarioSpec] = []
         for runtime in self.runtimes:
             for memory_gb in self.memory_sizes_gb:
                 for batch_size in self.batch_sizes:
-                    grid.append({
-                        "platform": PlatformKind.SERVERLESS,
-                        "runtime": runtime,
-                        "memory_gb": memory_gb,
-                        "batch_size": batch_size,
-                    })
+                    grid.append(ScenarioSpec(
+                        name=(f"nav/{self.provider}/{self.model}/{runtime}"
+                              f"/m{memory_gb:g}/b{batch_size}"),
+                        provider=self.provider, model=self.model,
+                        runtime=runtime, platform=PlatformKind.SERVERLESS,
+                        config={"memory_gb": memory_gb,
+                                "batch_size": batch_size}))
         if self.include_servers:
-            grid.append({"platform": PlatformKind.CPU_SERVER,
-                         "runtime": "tf1.15"})
-            grid.append({"platform": PlatformKind.GPU_SERVER,
-                         "runtime": "tf1.15"})
+            for platform in (PlatformKind.CPU_SERVER,
+                             PlatformKind.GPU_SERVER):
+                grid.append(ScenarioSpec(
+                    name=f"nav/{self.provider}/{self.model}/{platform}",
+                    provider=self.provider, model=self.model,
+                    runtime="tf1.15", platform=platform))
         return grid
 
     def search(self, workload: Workload,
@@ -102,13 +107,10 @@ class DesignSpaceNavigator:
         """Evaluate every candidate and rank the feasible ones."""
         evaluated = []
         for candidate in self.candidates():
-            row = dict(candidate)
-            overrides = {key: value for key, value in candidate.items()
-                         if key not in ("platform", "runtime")}
-            deployment = self.planner.plan(self.provider, self.model,
-                                           candidate["runtime"],
-                                           candidate["platform"], **overrides)
-            result = self.benchmark.run(deployment, workload)
+            result = self.benchmark.run_scenario(candidate,
+                                                 workload=workload,
+                                                 planner=self.planner)
+            row = candidate.as_row()
             row.update({
                 "avg_latency_s": result.average_latency,
                 "success_ratio": result.success_ratio,

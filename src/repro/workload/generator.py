@@ -29,6 +29,9 @@ __all__ = [
     "generate_workload",
     "standard_workload_specs",
     "standard_workload",
+    "register_workload_spec",
+    "workload_spec",
+    "known_workloads",
 ]
 
 #: Burst windows (start, end) in seconds, shared by the three standard
@@ -211,9 +214,50 @@ def standard_workload_specs() -> Dict[str, WorkloadSpec]:
     }
 
 
+#: Workload specs registered beyond the paper's three (scenario library
+#: additions such as the burst-storm workload).  Purely data: registering
+#: a spec makes it resolvable by name everywhere a standard workload is.
+_REGISTERED_SPECS: Dict[str, WorkloadSpec] = {}
+
+
+def register_workload_spec(spec: WorkloadSpec,
+                           overwrite: bool = False) -> WorkloadSpec:
+    """Make ``spec`` resolvable by name through :func:`standard_workload`.
+
+    The paper's three workloads cannot be shadowed; re-registering an
+    identical spec is a no-op, while changing an existing name requires
+    ``overwrite=True`` (guards against two scenarios silently fighting
+    over one name).
+    """
+    if spec.name in standard_workload_specs():
+        raise ValueError(f"cannot shadow the standard workload {spec.name!r}")
+    existing = _REGISTERED_SPECS.get(spec.name)
+    if existing is not None and existing != spec and not overwrite:
+        raise ValueError(f"workload {spec.name!r} is already registered "
+                         f"with a different spec (pass overwrite=True)")
+    _REGISTERED_SPECS[spec.name] = spec
+    return spec
+
+
+def workload_spec(name: str) -> WorkloadSpec:
+    """Resolve a workload name to its spec (standard or registered)."""
+    specs = standard_workload_specs()
+    if name in specs:
+        return specs[name]
+    if name in _REGISTERED_SPECS:
+        return _REGISTERED_SPECS[name]
+    known = sorted(specs) + sorted(_REGISTERED_SPECS)
+    raise KeyError(f"unknown workload {name!r}; expected one of {known}")
+
+
+def known_workloads() -> List[str]:
+    """Names of every resolvable workload (standard + registered)."""
+    return sorted(standard_workload_specs()) + sorted(_REGISTERED_SPECS)
+
+
 def standard_workload(name: str, seed: int = 7,
                       scale: float = 1.0) -> Workload:
-    """Generate one of the standard workloads by name.
+    """Generate a workload by name (standard or registered).
 
     ``scale`` < 1 produces a time-compressed workload: the request rates
     (and therefore the overload behaviour every experiment depends on)
@@ -221,8 +265,7 @@ def standard_workload(name: str, seed: int = 7,
     harness uses this to keep CI runs short; the scale used is recorded
     in the emitted results.
     """
-    specs = standard_workload_specs()
-    if name not in specs:
-        raise KeyError(f"unknown workload {name!r}; expected one of {sorted(specs)}")
-    spec = specs[name] if scale == 1.0 else specs[name].compressed(scale)
+    spec = workload_spec(name)
+    if scale != 1.0:
+        spec = spec.compressed(scale)
     return generate_workload(spec, seed=seed)

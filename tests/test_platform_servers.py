@@ -156,6 +156,24 @@ class TestTargetTrackingScaler:
                                  provisioned_total=lambda: 1,
                                  launch=lambda n: None)
 
+    def test_explicit_policy_excludes_scalar_fields(self, env):
+        from repro.platforms.policies import TargetUtilisationPolicy
+        policy = TargetUtilisationPolicy(target_per_instance=4.0,
+                                         min_instances=1, max_instances=10)
+        # Scalar fields alongside an explicit policy would be silently
+        # ignored (e.g. a dead max_scale_step cap), so the mix is rejected.
+        with pytest.raises(ValueError, match="not both"):
+            TargetTrackingScaler(env=env, evaluation_period_s=60.0,
+                                 policy=policy, max_scale_step=5,
+                                 demand=lambda: 0,
+                                 provisioned_total=lambda: 1,
+                                 launch=lambda n: None)
+        scaler = TargetTrackingScaler(env=env, evaluation_period_s=60.0,
+                                      policy=policy, demand=lambda: 17.0,
+                                      provisioned_total=lambda: 1,
+                                      launch=lambda n: None)
+        assert scaler.desired_instances() == 5
+
 
 class TestDirectPlatformConstruction:
     def test_build_platform_dispatch(self):

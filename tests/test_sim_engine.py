@@ -182,13 +182,51 @@ class TestProcesses:
         with pytest.raises(SimulationError):
             env.process(lambda: None)
 
-    def test_yield_non_event_rejected(self, env):
+    def test_yield_non_event_rejected_at_process_creation(self, env):
+        """The first step runs inline, so a bad first yield surfaces at
+        the env.process() call itself, not later inside run()."""
         def bad():
+            yield 42
+
+        with pytest.raises(SimulationError):
+            env.process(bad())
+
+    def test_yield_non_event_rejected_after_first_step(self, env):
+        def bad():
+            yield env.timeout(1.0)
             yield 42
 
         env.process(bad())
         with pytest.raises(SimulationError):
             env.run()
+
+    def test_first_step_runs_inline(self, env):
+        log = []
+
+        def proc():
+            log.append(env.now)
+            yield env.timeout(1.0)
+            log.append(env.now)
+
+        env.process(proc())
+        assert log == [0.0]  # first segment already ran
+        env.run()
+        assert log == [0.0, 1.0]
+
+    def test_inline_start_restores_active_process(self, env):
+        observed = []
+
+        def child():
+            yield env.timeout(1.0)
+
+        def parent():
+            env.process(child())
+            observed.append(env.active_process)
+            yield env.timeout(2.0)
+
+        parent_proc = env.process(parent())
+        env.run()
+        assert observed == [parent_proc]
 
     def test_interrupt_reaches_process(self, env):
         caught = []

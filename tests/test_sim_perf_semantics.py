@@ -94,6 +94,19 @@ class TestCancellableTimers:
         def proc():
             yield timeout
 
+        # The first step runs inline, so yielding a cancelled event as
+        # the first yield is rejected at the env.process() call itself.
+        with pytest.raises(SimulationError):
+            env.process(proc())
+
+    def test_yield_cancelled_event_rejected_mid_process(self, env):
+        timeout = env.timeout(1.0)
+        timeout.cancel()
+
+        def proc():
+            yield env.timeout(0.5)
+            yield timeout
+
         env.process(proc())
         with pytest.raises(SimulationError):
             env.run()
@@ -152,10 +165,10 @@ class TestAliveCounterConsistency:
         platform, tracked = self._run_serverless(monkeypatch, tiny_w40)
         assert tracked, "expected at least one instance"
         brute_force = sum(1 for instance in tracked if instance.alive)
-        assert platform._alive == brute_force
-        assert platform._created == len(tracked)
+        assert platform.pool.alive == brute_force
+        assert platform.pool.created == len(tracked)
         # The gauge's last recorded value is the O(1) counter.
-        assert platform._active_gauge.value == platform._alive
+        assert platform.pool.gauge.value == platform.pool.alive
 
     def test_usage_counts_match_tracked_instances(self, monkeypatch,
                                                   tiny_w40):
