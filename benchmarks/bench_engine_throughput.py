@@ -16,11 +16,13 @@ Usage::
 ``--check`` runs only the small fixed probe cell (well under a second),
 compares its throughput against the probe entry recorded in
 ``BENCH_engine.json``, and also smokes the columnar outcome pipeline
-(outcome-table build + metric reductions on the probe's data) and the
+(outcome-table build + metric reductions on the probe's data), the
 serving control plane (instance-pool transitions, scaling-policy
-decisions, work-queue ticket cycling).  It exits non-zero if any
-recorded probe regressed by more than 30 % — a cheap guard against
-accidentally pessimising the hot paths.
+decisions, work-queue ticket cycling), and the study layer
+(``ResultFrame`` build over per-cell reductions + where/pivot/to_rows
+queries).  It exits non-zero if any recorded probe regressed by more
+than 30 % — a cheap guard against accidentally pessimising the hot
+paths.
 
 The recorded numbers are machine-relative: absolute req/s on a CI
 runner differs from the dev box the JSON was generated on.  For a
@@ -131,6 +133,44 @@ def run_columnar_probe(result) -> dict:
     }
 
 
+def run_frame_probe(result, cells: int = 64) -> dict:
+    """Smoke the study layer's ResultFrame build and query paths.
+
+    Times (a) assembling a ``cells``-row frame from per-cell results —
+    which runs every standard masked reduction per cell, the hot half of
+    ``Study.run`` once simulations are cached — and (b) the relational
+    verbs (``where`` + ``pivot`` + ``to_rows``) over the built frame.
+    Reported as cells/s and query-ops/s for the ``--check`` gate.
+    """
+    from repro.core.study import ResultFrame  # noqa: E402
+
+    pairs = [({"provider": "aws", "model": "mobilenet",
+               "memory_gb": float(index)}, result)
+             for index in range(cells)]
+    build_s = None
+    for _ in range(3):
+        started = time.perf_counter()
+        frame = ResultFrame.from_results(pairs)
+        elapsed = time.perf_counter() - started
+        build_s = elapsed if build_s is None else min(build_s, elapsed)
+
+    query_s = None
+    for _ in range(3):
+        started = time.perf_counter()
+        for _ in range(10):
+            frame.where(model="mobilenet")
+            frame.pivot(index="provider", columns="memory_gb",
+                        values="cost_usd")
+            frame.to_rows()
+        elapsed = (time.perf_counter() - started) / 10
+        query_s = elapsed if query_s is None else min(query_s, elapsed)
+    return {
+        "cells": cells,
+        "build_cells_per_s": round(cells / build_s, 1),
+        "query_ops_per_s": round(3 / query_s, 1),
+    }
+
+
 def run_control_probe(iterations: int = 50_000) -> dict:
     """Smoke the control-plane hot paths in isolation.
 
@@ -201,11 +241,14 @@ def run_sweep(scale: float, repeats: int) -> dict:
     probe = run_cell(CHECK_WORKLOAD, CHECK_SCALE, repeats, keep_result=keep)
     columnar = run_columnar_probe(keep[0])
     control = run_control_probe()
+    frame = run_frame_probe(keep[0])
     print(f" probe x{CHECK_SCALE:<5g} {probe['wall_s']:>8.3f}s "
           f"{probe['requests_per_s']:>10,.0f} req/s")
     print(f" columnar build {columnar['build_rows_per_s']:>12,.0f} rows/s "
           f"reduce {columnar['reduce_rows_per_s']:>14,.0f} rows/s")
     print(f" control plane {control['cycles_per_s']:>13,.0f} cycles/s")
+    print(f" result frame  {frame['build_cells_per_s']:>10,.0f} cells/s "
+          f"query {frame['query_ops_per_s']:>10,.0f} ops/s")
     return {
         "bench": "engine-throughput",
         "cell": "aws/mobilenet/tf1.15/serverless",
@@ -215,6 +258,7 @@ def run_sweep(scale: float, repeats: int) -> dict:
         "check_probe": probe,
         "columnar_probe": columnar,
         "control_probe": control,
+        "frame_probe": frame,
     }
 
 
@@ -261,6 +305,18 @@ def run_check(path: str) -> int:
                        control_reference["cycles_per_s"]))
     else:
         print("note: no control_probe recorded; rerun the full sweep "
+              "to extend the gate")
+    frame_reference = recorded.get("frame_probe")
+    if frame_reference:
+        frame = run_frame_probe(keep[0])
+        checks.append(("frame build cells/s",
+                       frame["build_cells_per_s"],
+                       frame_reference["build_cells_per_s"]))
+        checks.append(("frame query ops/s",
+                       frame["query_ops_per_s"],
+                       frame_reference["query_ops_per_s"]))
+    else:
+        print("note: no frame_probe recorded; rerun the full sweep "
               "to extend the gate")
     failed = False
     for label, measured, baseline in checks:

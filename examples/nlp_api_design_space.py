@@ -3,17 +3,19 @@
 A data scientist exposes an ALBERT-based NLP model as an API and wants
 to know how the serverless design-space choices from Section 5 of the
 paper — serving runtime, memory size, and batch size — affect latency
-and cost.  The example first sweeps the choices explicitly and then lets
-the design-space navigator (Section 6, challenge #3) pick a
-configuration under a latency constraint, and the memory tuner refine
-the memory size.
+and cost.  The example first declares the choices as a
+:class:`~repro.api.Sweep` (the grid is data; the result is a tidy
+frame), then lets the design-space navigator (Section 6, challenge #3)
+pick a configuration under a latency constraint, and the memory tuner
+refine the memory size.
 
 Run with::
 
     python examples/nlp_api_design_space.py
 """
 
-from repro import Planner, ServingBenchmark, standard_workload
+from repro import standard_workload
+from repro.api import ScenarioSpec, Sweep, run_study
 from repro.tools import DesignSpaceNavigator, MemoryTuner, NavigationConstraints
 
 MODEL = "albert"
@@ -24,19 +26,17 @@ LATENCY_SLO_S = 1.0
 
 
 def sweep() -> None:
-    planner = Planner()
-    benchmark = ServingBenchmark(seed=3)
-    workload = standard_workload(WORKLOAD, seed=3, scale=SCALE)
-    print("Manual design-space sweep (runtime x memory):")
-    for runtime in ("tf1.15", "ort1.4"):
-        for memory_gb in (2.0, 4.0):
-            deployment = planner.plan(PROVIDER, MODEL, runtime, "serverless",
-                                      memory_gb=memory_gb)
-            result = benchmark.run(deployment, workload)
-            print(f"  {runtime:<8s} {memory_gb:.0f}GB  "
-                  f"latency {result.average_latency:.3f}s  "
-                  f"cost ${result.cost:.4f}  "
-                  f"cold starts {result.usage.cold_starts}")
+    grid = Sweep(
+        name="albert-api",
+        base=ScenarioSpec(name="albert-api", provider=PROVIDER, model=MODEL,
+                          platform="serverless", workload=WORKLOAD),
+        axes={"runtime": ("tf1.15", "ort1.4"),
+              "memory_gb": (2.0, 4.0)},
+    )
+    frame = run_study(grid, seed=3, scale=SCALE)
+    print("Declarative design-space sweep (runtime x memory):")
+    print(frame.select("runtime", "memory_gb", "avg_latency_s", "cost_usd",
+                       "cold_starts").to_text())
 
 
 def navigate() -> None:

@@ -3,33 +3,36 @@
 Runs the paper's default configuration — MobileNet, TensorFlow 1.15,
 2 GB AWS Lambda functions — against a time-compressed copy of the w-40
 workload, and compares it with a self-rented GPU server, reproducing the
-paper's three metrics (latency, success ratio, cost) for both.
+paper's three metrics (latency, success ratio, cost) for both.  Both
+cells are one :func:`repro.api.run` call on a declarative
+:class:`~repro.api.ScenarioSpec`.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import Analyzer, Planner, ServingBenchmark, standard_workload
+from repro import Analyzer
+from repro.api import ScenarioSpec, run
+
+#: A 20%-length copy of the paper's w-40 workload: same request rates
+#: and burstiness, just a shorter run so the example finishes quickly.
+SCALE = 0.2
 
 
 def main() -> None:
-    planner = Planner()
-    benchmark = ServingBenchmark(seed=7)
     analyzer = Analyzer()
+    serverless = ScenarioSpec(name="quickstart-serverless", provider="aws",
+                              model="mobilenet", runtime="tf1.15",
+                              platform="serverless")
+    gpu_server = ScenarioSpec(name="quickstart-gpu", provider="aws",
+                              model="mobilenet", runtime="tf1.15",
+                              platform="gpu_server")
 
-    # A 20%-length copy of the paper's w-40 workload: same request rates
-    # and burstiness, just a shorter run so the example finishes quickly.
-    workload = standard_workload("w-40", scale=0.2)
-    print(f"Workload: {workload.summary()}")
-
-    serverless = planner.plan("aws", "mobilenet", "tf1.15", "serverless")
-    gpu_server = planner.plan("aws", "mobilenet", "tf1.15", "gpu_server")
-
-    print("\nRunning AWS Lambda (serverless) ...")
-    serverless_result = benchmark.run(serverless, workload)
+    print("Running AWS Lambda (serverless) ...")
+    serverless_result = run(serverless, scale=SCALE)
     print("Running AWS GPU server (g4dn.2xlarge) ...")
-    gpu_result = benchmark.run(gpu_server, workload)
+    gpu_result = run(gpu_server, scale=SCALE)
 
     print("\n=== Results ===")
     for result in (serverless_result, gpu_result):

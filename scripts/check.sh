@@ -5,8 +5,9 @@
 #   scripts/check.sh --fast   tests only (skip the perf gate)
 #
 # The perf gate is benchmarks/bench_engine_throughput.py --check: the
-# fixed simulation probe cell, the columnar build/reduce probes, and the
-# control-plane (pool / policy / queue) probe, each compared against
+# fixed simulation probe cell, the columnar build/reduce probes, the
+# control-plane (pool / policy / queue) probe, and the study-layer
+# (ResultFrame build/query) probe, each compared against
 # BENCH_engine.json with a 30% regression tolerance.  Regenerate the
 # baseline with `python benchmarks/bench_engine_throughput.py` on the
 # machine that runs the gate.

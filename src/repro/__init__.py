@@ -7,18 +7,16 @@ and self-rented CPU/GPU servers), drives them with the paper's
 MMPP-generated workloads, and reproduces every figure and table of the
 paper's evaluation.
 
-Quick start::
+Quick start (the stable surface lives in :mod:`repro.api`)::
 
-    from repro import Planner, ServingBenchmark, standard_workload
+    from repro.api import ScenarioSpec, run
 
-    planner = Planner()
-    deployment = planner.plan("aws", "mobilenet", "tf1.15", "serverless")
-    workload = standard_workload("w-40", scale=0.2)
-    result = ServingBenchmark(seed=7).run(deployment, workload)
+    result = run(ScenarioSpec(name="demo", provider="aws",
+                              model="mobilenet"), scale=0.2)
     print(result.average_latency, result.success_ratio, result.cost)
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-versus-measured record of every experiment.
+Design-space sweeps are data too — see :class:`repro.api.Sweep` /
+:class:`repro.api.Study`, and ARCHITECTURE.md for the layering.
 """
 
 from repro.cloud import aws, gcp, get_provider
@@ -26,12 +24,18 @@ from repro.core import (
     Analyzer,
     Executor,
     Planner,
+    ResultFrame,
     RunResult,
     ScenarioSpec,
     ServingBenchmark,
+    Study,
+    Sweep,
     get_scenario,
+    get_study,
     list_scenarios,
+    list_studies,
     register_scenario,
+    register_study,
 )
 from repro.models import LatencyProfiles, get_model, list_models
 from repro.runtimes import get_runtime, list_runtimes
@@ -46,7 +50,9 @@ from repro.workload import (
     standard_workload_specs,
 )
 
-__version__ = "1.0.0"
+from repro import api
+
+__version__ = "1.1.0"
 
 __all__ = [
     "Analyzer",
@@ -58,13 +64,17 @@ __all__ = [
     "PlatformKind",
     "Planner",
     "RequestOutcome",
+    "ResultFrame",
     "RunResult",
     "ScenarioSpec",
     "ServiceConfig",
     "ServingBenchmark",
+    "Study",
+    "Sweep",
     "Workload",
     "WorkloadSpec",
     "__version__",
+    "api",
     "aws",
     "gcp",
     "generate_workload",
@@ -72,10 +82,13 @@ __all__ = [
     "get_provider",
     "get_runtime",
     "get_scenario",
+    "get_study",
     "list_models",
     "list_runtimes",
     "list_scenarios",
+    "list_studies",
     "register_scenario",
+    "register_study",
     "standard_workload",
     "standard_workload_specs",
 ]

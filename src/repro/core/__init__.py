@@ -33,18 +33,34 @@ from repro.core.scenario import (
     register_scenario,
     scenario_library,
 )
+from repro.core.study import (
+    ResultFrame,
+    Study,
+    Sweep,
+    get_study,
+    list_studies,
+    register_study,
+    study_library,
+)
 
 __all__ = [
     "Analyzer",
     "Executor",
     "LatencyStats",
     "Planner",
+    "ResultFrame",
     "RunResult",
     "ScenarioSpec",
     "ServingBenchmark",
+    "Study",
+    "Sweep",
     "get_scenario",
+    "get_study",
     "list_scenarios",
+    "list_studies",
     "percentile",
     "register_scenario",
+    "register_study",
     "scenario_library",
+    "study_library",
 ]

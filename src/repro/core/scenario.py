@@ -221,6 +221,34 @@ register_scenario(ScenarioSpec(
                 "autoscaler: queue collapse instead of cold starts.",
 ))
 
+#: A diurnal workload: a one-hour horizon (4x the paper's runs) with two
+#: broad day-time demand plateaus separated by long near-idle valleys —
+#: the shape that makes scale-*in* matter.  A fleet sized for the peaks
+#: wastes most of its instance-hours unless the autoscaler retires the
+#: surplus when the valley arrives.
+DIURNAL_WORKLOAD = register_workload_spec(WorkloadSpec(
+    name="w-diurnal",
+    high_rate=60.0,
+    low_rate=2.0,
+    target_requests=48_000,
+    duration_s=3600.0,
+    burst_windows=((500.0, 1100.0), (2200.0, 2900.0)),
+    burst_high_dwell_s=60.0,
+    burst_low_dwell_s=15.0,
+))
+
+register_scenario(ScenarioSpec(
+    name="diurnal-scalein",
+    provider="aws", model="mobilenet", runtime="tf1.15",
+    platform=PlatformKind.MANAGED_ML, workload="w-diurnal",
+    config={"scale_in_cooldown_s": 240.0, "scale_interval_s": 120.0,
+            "max_instances": 8},
+    description="Managed endpoint over a one-hour diurnal workload with "
+                "scale-in enabled as data: surplus idle instances retire "
+                "240 s after the last scaling action, so the valleys "
+                "stop billing for the peaks.",
+))
+
 register_scenario(ScenarioSpec(
     name="eager-managed",
     provider="aws", model="mobilenet", runtime="tf1.15",

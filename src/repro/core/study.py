@@ -1,0 +1,698 @@
+"""The study layer: sweeps as data, results as a tidy frame.
+
+The paper's contribution is a *design-space study* — provider x model x
+runtime x platform x memory x batch x workload — yet for three PRs the
+public API only ran one cell at a time (``run_scenario``) and every
+figure module hand-rolled its own nested loops, caching, and row
+formatting.  This module lifts the sweeps themselves into data:
+
+* :class:`Sweep` — a declarative parameter grid over any
+  :class:`~repro.core.scenario.ScenarioSpec` axis (``provider``,
+  ``model``, ``runtime``, ``platform``, ``workload``) or any
+  :class:`~repro.serving.deployment.ServiceConfig` knob
+  (``memory_gb``, ``batch_size``, ``scale_interval_s``, ...).  A sweep
+  expands to a flat list of labelled cells — the schedulable
+  unit-of-work list the parallel fan-out wants.
+* :class:`Study` — named sweeps plus derived metrics and named series.
+  ``Study.run`` executes every cell through the shared
+  :class:`~repro.experiments.base.ExperimentContext` run cache (and its
+  worker-pool fan-out) and returns a :class:`ResultFrame`.
+* :class:`ResultFrame` — a tidy struct-of-arrays table: one row per
+  cell, columns = sweep axes plus masked-numpy reductions over each
+  cell's :class:`~repro.serving.outcome_table.OutcomeTable`, with
+  ``select`` / ``where`` / ``pivot`` / ``to_rows`` / ``to_csv`` and
+  named series (timelines) attached.
+
+The figure/table experiments are Study declarations plus a thin
+presentation shim; the registry below (:func:`register_study`) makes
+them runnable by name from the CLI (``repro-experiments sweep <name>``).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import itertools
+from dataclasses import dataclass, fields
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.core.metrics import LatencyStats
+from repro.core.results import RunResult
+from repro.core.scenario import ScenarioSpec
+from repro.serving.deployment import ServiceConfig
+
+__all__ = [
+    "Sweep",
+    "SweepCell",
+    "Study",
+    "ResultFrame",
+    "format_table",
+    "register_study",
+    "get_study",
+    "list_studies",
+    "study_library",
+]
+
+#: Spec fields a sweep axis may vary directly (everything else must be a
+#: :class:`ServiceConfig` knob and lands in the spec's config overrides).
+SPEC_AXES = ("provider", "model", "runtime", "platform", "workload")
+
+_CONFIG_AXES = frozenset(
+    f.name for f in fields(ServiceConfig)) - {"platform"}
+
+
+# ---------------------------------------------------------------------------
+# Sweep: a declarative grid over scenario axes
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One expanded cell of a sweep: axis labels plus the concrete spec."""
+
+    sweep: str
+    labels: Mapping[str, object]
+    spec: ScenarioSpec
+
+
+def _freeze_items(mapping) -> Tuple[Tuple[str, object], ...]:
+    """Normalise a mapping (or item sequence) to an item tuple."""
+    if isinstance(mapping, Mapping):
+        return tuple(mapping.items())
+    return tuple(tuple(item) for item in mapping)
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """A parameter grid over one base scenario.
+
+    ``axes`` maps axis names to value sequences; the grid is the cross
+    product, expanded with the *first* axis outermost (declaration order
+    is iteration order).  An axis name is either a spec axis
+    (:data:`SPEC_AXES`), a :class:`ServiceConfig` knob, or a
+    comma-joined group of them (``"provider,model,workload"``) whose
+    values are tuples — a *zipped* axis for panel-style sweeps where
+    several dimensions move together.
+
+    ``constants`` adds fixed label columns to every cell (e.g. a panel
+    name) without touching the spec.
+    """
+
+    name: str
+    base: ScenarioSpec
+    #: Mapping of axis name -> sequence of values; stored as item tuples.
+    axes: Union[Mapping[str, Sequence], Tuple[Tuple[str, tuple], ...]] = ()
+    constants: Union[Mapping[str, object],
+                     Tuple[Tuple[str, object], ...]] = ()
+    #: An explicit cell list instead of a grid (see :meth:`from_specs`);
+    #: when set, ``axes`` must be empty and ``cells()`` returns these.
+    explicit_cells: Optional[Tuple[SweepCell, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.explicit_cells is not None:
+            if self.axes:
+                raise ValueError("pass either axes or explicit_cells, "
+                                 "not both")
+            object.__setattr__(self, "explicit_cells",
+                               tuple(self.explicit_cells))
+        axes = tuple((key, tuple(values))
+                     for key, values in _freeze_items(self.axes))
+        object.__setattr__(self, "axes", axes)
+        object.__setattr__(self, "constants", _freeze_items(self.constants))
+        seen: set = set()
+        base_overrides = self.base.overrides
+        for key, values in axes:
+            if not values:
+                raise ValueError(f"axis {key!r} has no values")
+            parts = self._parts(key)
+            for part in parts:
+                if part in seen:
+                    raise ValueError(
+                        f"axis {part!r} appears more than once in sweep "
+                        f"{self.name!r}")
+                seen.add(part)
+                if part not in SPEC_AXES and part not in _CONFIG_AXES:
+                    raise ValueError(
+                        f"unknown sweep axis {part!r}; expected a spec axis "
+                        f"{SPEC_AXES} or a ServiceConfig knob")
+                if part in base_overrides:
+                    raise ValueError(
+                        f"axis {part!r} collides with a config override on "
+                        f"the base spec of sweep {self.name!r}")
+            if len(parts) > 1:
+                for value in values:
+                    if not isinstance(value, (tuple, list)) \
+                            or len(value) != len(parts):
+                        raise ValueError(
+                            f"zipped axis {key!r} needs {len(parts)}-tuples, "
+                            f"got {value!r}")
+
+    @staticmethod
+    def _parts(key: str) -> Tuple[str, ...]:
+        return tuple(part.strip() for part in key.split(","))
+
+    @property
+    def axis_names(self) -> Tuple[str, ...]:
+        """Flat label-column names, in declaration order."""
+        names = [key for key, _value in self.constants]
+        for key, _values in self.axes:
+            names.extend(self._parts(key))
+        return tuple(names)
+
+    def __len__(self) -> int:
+        if self.explicit_cells is not None:
+            return len(self.explicit_cells)
+        total = 1
+        for _key, values in self.axes:
+            total *= len(values)
+        return total
+
+    def cells(self) -> List[SweepCell]:
+        """Expand the grid to labelled cells (first axis outermost)."""
+        if self.explicit_cells is not None:
+            return list(self.explicit_cells)
+        axis_parts = [self._parts(key) for key, _values in self.axes]
+        value_lists = [values for _key, values in self.axes]
+        constants = dict(self.constants)
+        cells: List[SweepCell] = []
+        keys: Dict[str, str] = {}
+        for combo in itertools.product(*value_lists) if value_lists else [()]:
+            assignment: Dict[str, object] = {}
+            for parts, value in zip(axis_parts, combo):
+                if len(parts) == 1:
+                    assignment[parts[0]] = value
+                else:
+                    assignment.update(zip(parts, value))
+            spec_fields = {axis: assignment[axis] for axis in SPEC_AXES
+                           if axis in assignment}
+            overrides = dict(self.base.config)
+            overrides.update({key: value for key, value in assignment.items()
+                              if key not in spec_fields})
+            # Per-cell name: sweep name plus the axis values, so rows /
+            # CSV exports stay identifiable (cell_key ignores the name,
+            # so this never splits the run cache).
+            suffix = "/".join(str(value) for value in assignment.values())
+            spec = ScenarioSpec(
+                name=f"{self.name}/{suffix}" if suffix else self.name,
+                provider=spec_fields.get("provider", self.base.provider),
+                model=spec_fields.get("model", self.base.model),
+                runtime=spec_fields.get("runtime", self.base.runtime),
+                platform=spec_fields.get("platform", self.base.platform),
+                workload=spec_fields.get("workload", self.base.workload),
+                config=overrides,
+                description=self.base.description,
+            )
+            key = spec.cell_key
+            if key in keys:
+                raise ValueError(
+                    f"sweep {self.name!r} expands to duplicate cell "
+                    f"{key!r}; every grid point must be a distinct cell")
+            keys[key] = key
+            labels = dict(constants)
+            labels.update(assignment)
+            cells.append(SweepCell(sweep=self.name, labels=labels, spec=spec))
+        return cells
+
+    @classmethod
+    def from_specs(cls, name: str, specs: Sequence[ScenarioSpec],
+                   label: str = "scenario") -> "Sweep":
+        """A degenerate sweep over an explicit cell list.
+
+        Each spec becomes one cell labelled by its name (under the
+        ``label`` column) — the bridge between the registered scenario
+        library and the study layer.
+        """
+        cells = []
+        keys: set = set()
+        for spec in specs:
+            key = spec.cell_key
+            if key in keys:
+                raise ValueError(f"duplicate cell {key!r} in from_specs")
+            keys.add(key)
+            cells.append(SweepCell(sweep=name,
+                                   labels={label: spec.name or key},
+                                   spec=spec))
+        base = specs[0] if specs else ScenarioSpec(
+            name=name, provider="aws", model="mobilenet")
+        return cls(name=name, base=base, explicit_cells=tuple(cells))
+
+
+# ---------------------------------------------------------------------------
+# ResultFrame: the tidy struct-of-arrays result table
+# ---------------------------------------------------------------------------
+
+def _standard_metrics(result: RunResult) -> Dict[str, object]:
+    """The per-cell reductions every frame carries.
+
+    Computed directly as masked numpy reductions over the cell's
+    :class:`~repro.serving.outcome_table.OutcomeTable` columns; the
+    study tests assert them equal to the corresponding
+    :class:`~repro.core.results.RunResult` properties.
+    """
+    table = result.table
+    count = table.count
+    success = table.success
+    n_success = int(success.sum())
+    latencies = table.latency[success]
+    stats = LatencyStats.from_values(latencies)
+    usage = result.usage
+    return {
+        "requests": count,
+        "success_ratio": (n_success / count) if count else 0.0,
+        "avg_latency_s": float(latencies.mean()) if n_success else 0.0,
+        "p50_latency_s": stats.p50,
+        "p99_latency_s": stats.p99,
+        "std_latency_s": stats.std,
+        "cost_usd": usage.cost,
+        "cold_starts": usage.cold_starts,
+        "cold_start_ratio": (int(table.cold_start[success].sum()) / n_success
+                             if n_success else 0.0),
+        "instances_created": usage.instances_created,
+        "peak_instances": usage.peak_instances,
+        "duration_s": result.duration_s,
+    }
+
+
+def _as_scalar(value):
+    """Numpy scalars -> plain Python for rows / CSV / JSON."""
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+class ResultFrame:
+    """A tidy result table: one row per cell, struct-of-arrays columns.
+
+    Label columns (sweep axes) come first, metric columns after.
+    Numeric columns are held as numpy arrays; everything else stays a
+    Python list.  Named series (e.g. per-cell timelines) ride along in
+    :attr:`series`.
+    """
+
+    def __init__(self, columns: Mapping[str, Sequence],
+                 series: Optional[Dict[str, List[Dict[str, object]]]] = None,
+                 name: str = "",
+                 specs: Optional[Sequence[ScenarioSpec]] = None):
+        self._columns: Dict[str, Sequence] = {}
+        length = None
+        for key, values in columns.items():
+            stored = self._store(values)
+            if length is None:
+                length = len(stored)
+            elif len(stored) != length:
+                raise ValueError(
+                    f"column {key!r} has {len(stored)} values, expected "
+                    f"{length}")
+            self._columns[key] = stored
+        self.series: Dict[str, List[Dict[str, object]]] = dict(series or {})
+        self.name = name
+        self.specs: Optional[List[ScenarioSpec]] = (
+            list(specs) if specs is not None else None)
+        if self.specs is not None and length not in (None, len(self.specs)):
+            raise ValueError("specs must align with the frame's rows")
+
+    @staticmethod
+    def _store(values: Sequence) -> Sequence:
+        values = list(values)
+        if values and all(isinstance(v, (bool, int, float, np.generic))
+                          for v in values):
+            return np.asarray(values)
+        return values
+
+    # -- shape / access ----------------------------------------------------
+    @property
+    def columns(self) -> List[str]:
+        """Column names, labels first."""
+        return list(self._columns)
+
+    def __len__(self) -> int:
+        if not self._columns:
+            return 0
+        first = next(iter(self._columns.values()))
+        return len(first)
+
+    def __contains__(self, column: str) -> bool:
+        return column in self._columns
+
+    def column(self, name: str) -> Sequence:
+        """One column as stored (numpy array for numeric columns)."""
+        return self._columns[name]
+
+    def __getitem__(self, name: str) -> Sequence:
+        return self.column(name)
+
+    def row(self, index: int) -> Dict[str, object]:
+        """One row as a plain dictionary."""
+        return {key: _as_scalar(values[index])
+                for key, values in self._columns.items()}
+
+    def iter_rows(self) -> Iterator[Dict[str, object]]:
+        for index in range(len(self)):
+            yield self.row(index)
+
+    # -- relational verbs --------------------------------------------------
+    def select(self, *names: str) -> "ResultFrame":
+        """A frame with only the named columns (row order preserved).
+
+        On a frame with no columns at all (an empty study — e.g. every
+        cell was provider-filtered away) this returns an empty frame
+        with the requested column names, so presentation code renders
+        "(no rows)" instead of crashing.
+        """
+        if not self._columns:
+            return ResultFrame({name: [] for name in names},
+                               series=self.series, name=self.name)
+        missing = [name for name in names if name not in self._columns]
+        if missing:
+            raise KeyError(f"unknown columns {missing}; have {self.columns}")
+        return ResultFrame({name: self._columns[name] for name in names},
+                           series=self.series, name=self.name,
+                           specs=self.specs)
+
+    def where(self, predicate: Optional[Callable[[Dict[str, object]], bool]]
+              = None, **equals) -> "ResultFrame":
+        """Rows matching the keyword equalities (and/or a predicate)."""
+        if not self._columns:
+            return self
+        unknown = [key for key in equals if key not in self._columns]
+        if unknown:
+            raise KeyError(f"unknown columns {unknown}; have {self.columns}")
+        keep: List[int] = []
+        for index in range(len(self)):
+            row = self.row(index)
+            if any(row[key] != value for key, value in equals.items()):
+                continue
+            if predicate is not None and not predicate(row):
+                continue
+            keep.append(index)
+        columns = {}
+        for key, values in self._columns.items():
+            if isinstance(values, np.ndarray):
+                columns[key] = values[keep]
+            else:
+                columns[key] = [values[i] for i in keep]
+        specs = ([self.specs[i] for i in keep]
+                 if self.specs is not None else None)
+        return ResultFrame(columns, series=self.series, name=self.name,
+                           specs=specs)
+
+    def pivot(self, index: Union[str, Sequence[str]], columns: str,
+              values: Union[str, Mapping[str, str]],
+              fmt: str = "{}") -> "ResultFrame":
+        """Spread one label column into metric columns (long -> wide).
+
+        ``index`` names the identity columns; each distinct value of
+        ``columns`` becomes one new column per requested value column.
+        ``values`` is either a single metric column (new columns named
+        ``fmt.format(column_value)``) or a mapping of metric column ->
+        name template.  Cells absent from the frame yield ``None``.
+        """
+        index_names = ((index,) if isinstance(index, str) else tuple(index))
+        value_map = ({values: fmt} if isinstance(values, str)
+                     else dict(values))
+        if not self._columns:
+            return ResultFrame({name: [] for name in index_names},
+                               name=self.name)
+        for name in (*index_names, columns, *value_map):
+            if name not in self._columns:
+                raise KeyError(f"unknown column {name!r}; have {self.columns}")
+        spread: List[object] = []
+        groups: Dict[tuple, Dict[str, Dict[object, object]]] = {}
+        order: List[tuple] = []
+        for row in self.iter_rows():
+            key = tuple(row[name] for name in index_names)
+            if key not in groups:
+                groups[key] = {value: {} for value in value_map}
+                order.append(key)
+            tag = row[columns]
+            if tag not in spread:
+                spread.append(tag)
+            for value in value_map:
+                groups[key][value][tag] = row[value]
+        out: Dict[str, List[object]] = {name: [] for name in index_names}
+        for value, template in value_map.items():
+            for tag in spread:
+                out[template.format(tag)] = []
+        for key in order:
+            for name, part in zip(index_names, key):
+                out[name].append(part)
+            for value, template in value_map.items():
+                for tag in spread:
+                    out[template.format(tag)].append(
+                        groups[key][value].get(tag))
+        return ResultFrame(out, name=self.name)
+
+    def with_column(self, name: str, values: Sequence) -> "ResultFrame":
+        """A frame with one column appended (or replaced)."""
+        if len(values) != len(self):
+            raise ValueError(f"column {name!r} has {len(values)} values, "
+                             f"expected {len(self)}")
+        columns = dict(self._columns)
+        columns[name] = values
+        return ResultFrame(columns, series=self.series, name=self.name,
+                           specs=self.specs)
+
+    # -- presentation ------------------------------------------------------
+    def to_rows(self, columns: Optional[Sequence[str]] = None,
+                round_floats: Optional[int] = None
+                ) -> List[Dict[str, object]]:
+        """The frame as a list of row dictionaries.
+
+        ``columns`` restricts and orders the output; ``round_floats``
+        rounds every float value (the presentation shims' default).
+        """
+        frame = self.select(*columns) if columns is not None else self
+        rows = []
+        for row in frame.iter_rows():
+            if round_floats is not None:
+                row = {key: (round(value, round_floats)
+                             if isinstance(value, float) else value)
+                       for key, value in row.items()}
+            rows.append(row)
+        return rows
+
+    def to_csv(self, path: Optional[str] = None) -> str:
+        """The frame as CSV text (and optionally write it to ``path``)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(self.columns)
+        for row in self.iter_rows():
+            writer.writerow([row[name] for name in self.columns])
+        text = buffer.getvalue()
+        if path:
+            with open(path, "w", encoding="utf-8", newline="") as handle:
+                handle.write(text)
+        return text
+
+    def to_text(self) -> str:
+        """The frame as an aligned plain-text table."""
+        return format_table(self.to_rows(round_floats=4))
+
+    def add_series(self, name: str,
+                   rows: List[Dict[str, object]]) -> None:
+        """Attach one named series (e.g. a per-cell timeline)."""
+        self.series[name] = rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ResultFrame {self.name or '(anonymous)'} "
+                f"{len(self)} rows x {len(self.columns)} cols>")
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def from_results(cls, cells: Sequence[Tuple[Mapping[str, object],
+                                                RunResult]],
+                     metrics: Optional[Mapping[str, Callable[[RunResult],
+                                                             object]]] = None,
+                     name: str = "",
+                     specs: Optional[Sequence[ScenarioSpec]] = None
+                     ) -> "ResultFrame":
+        """Build a frame from ``(labels, result)`` pairs.
+
+        Label columns are the union of all label keys in first-seen
+        order (missing labels become ``None``); the standard reductions
+        are appended, then any extra ``metrics``.  A metric callable may
+        return a mapping, in which case its keys become columns
+        directly (the figure-breakdown pattern).
+        """
+        cells = list(cells)
+        label_names: List[str] = []
+        for labels, _result in cells:
+            for key in labels:
+                if key not in label_names:
+                    label_names.append(key)
+        rows: List[Dict[str, object]] = []
+        for labels, result in cells:
+            row = {key: labels.get(key) for key in label_names}
+            row.update(_standard_metrics(result))
+            for metric, fn in (metrics or {}).items():
+                value = fn(result)
+                if isinstance(value, Mapping):
+                    row.update(value)
+                else:
+                    row[metric] = value
+            rows.append(row)
+        return cls.from_rows(rows, name=name, specs=specs)
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[Mapping[str, object]], name: str = "",
+                  specs: Optional[Sequence[ScenarioSpec]] = None
+                  ) -> "ResultFrame":
+        """Build a frame from row dictionaries (column union, None fill)."""
+        names: List[str] = []
+        for row in rows:
+            for key in row:
+                if key not in names:
+                    names.append(key)
+        columns = {key: [row.get(key) for row in rows] for key in names}
+        return cls(columns, name=name, specs=specs)
+
+
+# ---------------------------------------------------------------------------
+# Study: named sweeps + derived metrics -> ResultFrame
+# ---------------------------------------------------------------------------
+
+#: A per-cell series builder: (context, spec, result) -> series rows.
+SeriesFn = Callable[[object, ScenarioSpec, RunResult],
+                    List[Dict[str, object]]]
+
+
+@dataclass
+class Study:
+    """A named experiment: sweeps, derived metrics, and named series.
+
+    ``metrics`` adds derived columns (callables over each cell's
+    :class:`RunResult`; mapping-valued callables expand to several
+    columns).  ``series`` maps *name templates* — formatted with the
+    cell's labels — to series builders; each cell contributes one named
+    series per entry.
+    """
+
+    name: str
+    sweeps: Sequence[Sweep]
+    title: str = ""
+    metrics: Union[Mapping[str, Callable[[RunResult], object]],
+                   Tuple] = ()
+    series: Union[Mapping[str, SeriesFn], Tuple] = ()
+    notes: Union[Mapping[str, object], Tuple] = ()
+
+    def __post_init__(self) -> None:
+        if isinstance(self.sweeps, Sweep):
+            self.sweeps = (self.sweeps,)
+        self.sweeps = tuple(self.sweeps)
+        self.metrics = dict(_freeze_items(self.metrics))
+        self.series = dict(_freeze_items(self.series))
+        self.notes = dict(_freeze_items(self.notes))
+
+    def cells(self, context=None) -> List[SweepCell]:
+        """Every sweep cell, filtered to the context's providers."""
+        cells = [cell for sweep in self.sweeps for cell in sweep.cells()]
+        if context is not None:
+            cells = [cell for cell in cells
+                     if cell.spec.provider in context.providers]
+        return cells
+
+    def __len__(self) -> int:
+        return sum(len(sweep) for sweep in self.sweeps)
+
+    def run(self, context=None) -> ResultFrame:
+        """Execute every cell and assemble the tidy frame.
+
+        Cells go through the context's shared run cache (so studies
+        overlapping on cells — e.g. fig05 and table1 — simulate each
+        cell once) and its parallel fan-out when ``context.workers`` > 1.
+        """
+        if context is None:
+            from repro.experiments.base import ExperimentContext
+            context = ExperimentContext()
+        cells = self.cells(context)
+        context.prefetch_specs([cell.spec for cell in cells])
+        results = [(cell.labels, context.run_scenario(cell.spec))
+                   for cell in cells]
+        frame = ResultFrame.from_results(
+            results, metrics=self.metrics, name=self.name,
+            specs=[cell.spec for cell in cells])
+        for template, fn in self.series.items():
+            for cell, (_labels, result) in zip(cells, results):
+                key = template.format(**{**cell.spec.as_row(),
+                                         **cell.labels})
+                frame.add_series(key, fn(context, cell.spec, result))
+        return frame
+
+
+# ---------------------------------------------------------------------------
+# Study registry (the CLI's `sweep <name>` lookup)
+# ---------------------------------------------------------------------------
+
+_STUDIES: Dict[str, Study] = {}
+
+
+def register_study(study: Study, overwrite: bool = False) -> Study:
+    """Add ``study`` to the named registry (experiments self-register)."""
+    existing = _STUDIES.get(study.name)
+    if existing is not None and existing is not study and not overwrite:
+        raise ValueError(f"study {study.name!r} is already registered "
+                         f"(pass overwrite=True)")
+    _STUDIES[study.name] = study
+    return study
+
+
+def get_study(name: str) -> Study:
+    """Look up a registered study by name."""
+    if name not in _STUDIES:
+        raise KeyError(f"unknown study {name!r}; known: {list_studies()}")
+    return _STUDIES[name]
+
+
+def list_studies() -> List[str]:
+    """Names of every registered study."""
+    return sorted(_STUDIES)
+
+
+def study_library() -> Iterator[Study]:
+    """Iterate over the registered studies."""
+    for name in list_studies():
+        yield _STUDIES[name]
+
+
+# ---------------------------------------------------------------------------
+# Plain-text table rendering (shared by frames and the CLI)
+# ---------------------------------------------------------------------------
+
+def format_table(rows: Sequence[Mapping[str, object]]) -> str:
+    """Render a list of dictionaries as an aligned plain-text table."""
+    if not rows:
+        return "(no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    rendered = [[_format_cell(row.get(column, "")) for column in columns]
+                for row in rows]
+    widths = [max(len(column), *(len(line[i]) for line in rendered))
+              for i, column in enumerate(columns)]
+    header = "  ".join(column.ljust(widths[i])
+                       for i, column in enumerate(columns))
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line))
+        for line in rendered
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

@@ -1,4 +1,14 @@
-"""Shared infrastructure for the experiment modules."""
+"""Shared infrastructure for the experiment modules.
+
+Since the study-layer redesign each experiment module is a
+:class:`~repro.core.study.Study` declaration (registered by name for the
+CLI's ``sweep`` subcommand) plus a thin presentation shim that turns the
+study's :class:`~repro.core.study.ResultFrame` into the
+:class:`ExperimentResult` rows the paper's figures use.  This module
+carries the shared run cache (:class:`ExperimentContext`), the
+presentation container, and the per-cell series builders the timeline
+figures share.
+"""
 
 from __future__ import annotations
 
@@ -11,6 +21,7 @@ from repro.core.benchmark import ServingBenchmark
 from repro.core.planner import Planner
 from repro.core.results import RunResult
 from repro.core.scenario import ScenarioSpec, get_scenario
+from repro.core.study import ResultFrame, format_table
 from repro.serving.deployment import Deployment
 from repro.workload.generator import Workload, standard_workload
 
@@ -20,6 +31,10 @@ __all__ = [
     "list_experiments",
     "run_experiment",
     "format_table",
+    "breakdown_metrics",
+    "latency_series",
+    "instance_series",
+    "panel_rows",
 ]
 
 #: Registry of experiment ids to the module implementing them.
@@ -66,6 +81,25 @@ class ExperimentResult:
             lines.append(f"-- series: {name} --")
             lines.append(format_table(series))
         return "\n".join(lines)
+
+    @classmethod
+    def from_frame(cls, experiment_id: str, title: str, frame: ResultFrame,
+                   rows: Optional[List[Dict[str, object]]] = None,
+                   notes: Optional[Dict[str, object]] = None
+                   ) -> "ExperimentResult":
+        """Presentation shim: wrap a study's frame as an experiment result.
+
+        ``rows`` defaults to the frame's own tidy rows; pass the shim's
+        figure-specific rows to keep the paper's column layout.  The
+        frame's named series carry over as-is.
+        """
+        return cls(
+            experiment_id=experiment_id,
+            title=title,
+            rows=frame.to_rows() if rows is None else rows,
+            series=dict(frame.series),
+            notes=dict(notes or {}),
+        )
 
 
 #: One prefetchable cell: (provider, model, runtime, platform,
@@ -168,15 +202,24 @@ class ExperimentContext:
         re-run, and every result lands in the shared run cache, so the
         experiment's subsequent :meth:`run_cell` calls are pure lookups.
         """
+        self.prefetch_specs(
+            self._cell_spec(cell[0], cell[1], cell[2], cell[3], cell[4],
+                            cell[5] if len(cell) > 5 else {})
+            for cell in cells)
+
+    def prefetch_specs(self, specs: Iterable[ScenarioSpec]) -> None:
+        """Spec-native prefetch: the study layer's unit-of-work list.
+
+        Deduplicates by ``cell_key``, skips cached cells and providers
+        outside this context, and fans the rest out over the worker
+        pool; afterwards :meth:`run_scenario` on any of the specs is a
+        pure cache lookup.
+        """
         pending: List[tuple] = []
         queued = set()
-        for cell in cells:
-            provider = cell[0]
-            if provider not in self.providers:
+        for spec in specs:
+            if spec.provider not in self.providers:
                 continue
-            overrides = cell[5] if len(cell) > 5 else {}
-            spec = self._cell_spec(provider, cell[1], cell[2], cell[3],
-                                   cell[4], overrides)
             key = spec.cell_key
             if key in self._runs or key in queued:
                 continue
@@ -194,37 +237,83 @@ class ExperimentContext:
             self._runs[key] = result
 
 
-def format_table(rows: Sequence[Dict[str, object]]) -> str:
-    """Render a list of dictionaries as an aligned plain-text table."""
-    if not rows:
-        return "(no rows)"
-    columns: List[str] = []
-    for row in rows:
-        for key in row:
-            if key not in columns:
-                columns.append(key)
-    rendered = [[_format_cell(row.get(column, "")) for column in columns]
-                for row in rows]
-    widths = [max(len(column), *(len(line[i]) for line in rendered))
-              for i, column in enumerate(columns)]
-    header = "  ".join(column.ljust(widths[i]) for i, column in enumerate(columns))
-    separator = "  ".join("-" * width for width in widths)
-    body = [
-        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line))
-        for line in rendered
+def breakdown_metrics(result: RunResult) -> Dict[str, object]:
+    """Derived study metrics: the Figure 10 / 14 sub-stage breakdown.
+
+    Returns a mapping, so each breakdown stage becomes its own frame
+    column (keys match the figure labels), plus the cold-request count.
+    """
+    breakdown = Analyzer().coldstart_breakdown(result)
+    row: Dict[str, object] = {key: round(value, 3)
+                              for key, value in breakdown.as_dict().items()}
+    row["cold_requests"] = breakdown.cold_requests
+    return row
+
+
+def panel_rows(frame: ResultFrame) -> List[Dict[str, object]]:
+    """Presentation rows for the two-panel timeline figures (6, 8, 9).
+
+    One row per (panel, platform) cell: the panel name is composed from
+    the zipped model/workload/provider axis, the headline metrics are
+    rounded the way the figures report them.
+    """
+    return [
+        {"panel": f"{row['model']}-{row['workload']}-{row['provider']}",
+         "platform": row["platform"],
+         "avg_latency_s": round(row["avg_latency_s"], 4),
+         "success_ratio": round(row["success_ratio"], 4)}
+        for row in frame.iter_rows()
     ]
-    return "\n".join([header, separator, *body])
 
 
-def _format_cell(value: object) -> str:
-    if isinstance(value, float):
-        return f"{value:.4f}"
-    return str(value)
+def latency_series(bin_s: float):
+    """A study series builder: the latency/success timeline of one cell.
+
+    Used by the time-series figures (6, 8, 9); rows match the paper's
+    panels (time, average latency, success ratio per bin).
+    """
+    def build(context: ExperimentContext, spec: ScenarioSpec,
+              result: RunResult) -> List[Dict[str, object]]:
+        return [
+            {"time_s": point.time,
+             "avg_latency_s": round(point.average_latency, 4),
+             "success_ratio": round(point.success_ratio, 4)}
+            for point in context.analyzer.latency_timeline(result, bin_s)
+        ]
+    return build
+
+
+def instance_series(bin_s: float):
+    """A study series builder: the instance-count timeline of one cell.
+
+    Used by the fleet-size figures (7, 11).
+    """
+    def build(context: ExperimentContext, spec: ScenarioSpec,
+              result: RunResult) -> List[Dict[str, object]]:
+        return [
+            {"time_s": round(t, 1), "instances": int(count)}
+            for t, count in context.analyzer.instance_timeline(result, bin_s)
+        ]
+    return build
 
 
 def list_experiments() -> List[str]:
     """Identifiers of all registered experiments."""
     return sorted(EXPERIMENTS)
+
+
+def load_registered_studies() -> List[str]:
+    """Import every experiment module so its study self-registers.
+
+    Study registration happens at module import; callers that look
+    studies up by name (the CLI's ``sweep`` subcommand,
+    :func:`repro.api.run_study`) call this first.  Returns the names of
+    all registered studies.
+    """
+    from repro.core.study import list_studies
+    for module_name in EXPERIMENTS.values():
+        importlib.import_module(module_name)
+    return list_studies()
 
 
 def run_experiment(experiment_id: str,

@@ -1,7 +1,13 @@
-"""Figure 4: the three MMPP workloads (w-40, w-120, w-200)."""
+"""Figure 4: the three MMPP workloads (w-40, w-120, w-200).
+
+The only experiment with no simulation cells: it characterises the
+generated workloads themselves, so the frame is built from the workload
+summaries directly rather than through a sweep.
+"""
 
 from __future__ import annotations
 
+from repro.core.study import ResultFrame
 from repro.experiments.base import ExperimentContext, ExperimentResult
 
 EXPERIMENT_ID = "fig04"
@@ -14,7 +20,6 @@ RATE_BIN_S = 30.0
 def run(context: ExperimentContext) -> ExperimentResult:
     """Generate the standard workloads and report their characteristics."""
     rows = []
-    series = {}
     for name in ("w-40", "w-120", "w-200"):
         workload = context.workload(name)
         summary = workload.summary()
@@ -27,15 +32,14 @@ def run(context: ExperimentContext) -> ExperimentResult:
             "peak_rate_1s": summary["peak_rate_1s"],
             "clients": summary["clients"],
         })
-        times, rates = workload.trace.rate_series(RATE_BIN_S)
-        series[name] = [
+    frame = ResultFrame.from_rows(rows, name=EXPERIMENT_ID)
+    for name in ("w-40", "w-120", "w-200"):
+        times, rates = context.workload(name).trace.rate_series(RATE_BIN_S)
+        frame.add_series(name, [
             {"time_s": float(t), "rate_req_s": float(r)}
             for t, r in zip(times, rates)
-        ]
-    return ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
-        rows=rows,
-        series=series,
+        ])
+    return ExperimentResult.from_frame(
+        EXPERIMENT_ID, TITLE, frame, rows=rows,
         notes={"scale": context.scale, "seed": context.seed},
     )

@@ -9,6 +9,8 @@ reported with its measured success ratio instead.
 
 from __future__ import annotations
 
+from repro.core.scenario import ScenarioSpec
+from repro.core.study import Study, Sweep, register_study
 from repro.experiments.base import ExperimentContext, ExperimentResult
 from repro.serving.deployment import PlatformKind
 
@@ -21,33 +23,31 @@ PLATFORMS = (PlatformKind.SERVERLESS, PlatformKind.MANAGED_ML,
              PlatformKind.CPU_SERVER, PlatformKind.GPU_SERVER)
 RUNTIME = "tf1.15"
 
+STUDY = register_study(Study(
+    name="fig05",
+    title=TITLE,
+    sweeps=Sweep(
+        name="fig05",
+        base=ScenarioSpec(name="fig05", provider="aws", model="mobilenet",
+                          runtime=RUNTIME),
+        axes={
+            "provider": ("aws", "gcp"),
+            "model": MODELS,
+            "workload": WORKLOADS,
+            "platform": PLATFORMS,
+        },
+    ),
+))
+
 
 def run(context: ExperimentContext) -> ExperimentResult:
     """Run the full system-comparison matrix."""
-    context.prefetch((provider, model, RUNTIME, platform, workload)
-                     for provider in context.providers
-                     for model in MODELS
-                     for workload in WORKLOADS
-                     for platform in PLATFORMS)
-    rows = []
-    for provider in context.providers:
-        for model in MODELS:
-            for workload in WORKLOADS:
-                for platform in PLATFORMS:
-                    result = context.run_cell(provider, model, RUNTIME,
-                                              platform, workload)
-                    rows.append({
-                        "provider": provider,
-                        "model": model,
-                        "workload": workload,
-                        "platform": platform,
-                        "avg_latency_s": round(result.average_latency, 4),
-                        "success_ratio": round(result.success_ratio, 4),
-                        "cost_usd": round(result.cost, 4),
-                    })
-    return ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
-        rows=rows,
+    frame = STUDY.run(context)
+    rows = frame.to_rows(
+        columns=("provider", "model", "workload", "platform",
+                 "avg_latency_s", "success_ratio", "cost_usd"),
+        round_floats=4)
+    return ExperimentResult.from_frame(
+        EXPERIMENT_ID, TITLE, frame, rows=rows,
         notes={"runtime": RUNTIME, "scale": context.scale},
     )

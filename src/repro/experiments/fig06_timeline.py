@@ -8,7 +8,14 @@ demand surge arrives while serverless stays flat after warming up.
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentContext, ExperimentResult
+from repro.core.scenario import ScenarioSpec
+from repro.core.study import Study, Sweep, register_study
+from repro.experiments.base import (
+    ExperimentContext,
+    ExperimentResult,
+    latency_series,
+    panel_rows,
+)
 from repro.serving.deployment import PlatformKind
 
 EXPERIMENT_ID = "fig06"
@@ -21,39 +28,27 @@ PANELS = (
 RUNTIME = "tf1.15"
 BIN_S = 20.0
 
+STUDY = register_study(Study(
+    name="fig06",
+    title=TITLE,
+    sweeps=Sweep(
+        name="fig06",
+        base=ScenarioSpec(name="fig06", provider="aws", model="mobilenet",
+                          runtime=RUNTIME),
+        axes={
+            "provider,model,workload": PANELS,
+            "platform": (PlatformKind.SERVERLESS, PlatformKind.MANAGED_ML),
+        },
+    ),
+    series={"{model}-{workload}-{provider}/{platform}":
+            latency_series(BIN_S)},
+))
+
 
 def run(context: ExperimentContext) -> ExperimentResult:
     """Produce the two latency-over-time panels."""
-    context.prefetch(
-        (provider, model, RUNTIME, platform, workload)
-        for provider, model, workload in PANELS
-        for platform in (PlatformKind.SERVERLESS, PlatformKind.MANAGED_ML))
-    rows = []
-    series = {}
-    for provider, model, workload in PANELS:
-        if provider not in context.providers:
-            continue
-        panel = f"{model}-{workload}-{provider}"
-        for platform in (PlatformKind.SERVERLESS, PlatformKind.MANAGED_ML):
-            result = context.run_cell(provider, model, RUNTIME, platform,
-                                      workload)
-            timeline = context.analyzer.latency_timeline(result, BIN_S)
-            series[f"{panel}/{platform}"] = [
-                {"time_s": point.time,
-                 "avg_latency_s": round(point.average_latency, 4),
-                 "success_ratio": round(point.success_ratio, 4)}
-                for point in timeline
-            ]
-            rows.append({
-                "panel": panel,
-                "platform": platform,
-                "avg_latency_s": round(result.average_latency, 4),
-                "success_ratio": round(result.success_ratio, 4),
-            })
-    return ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
-        rows=rows,
-        series=series,
+    frame = STUDY.run(context)
+    return ExperimentResult.from_frame(
+        EXPERIMENT_ID, TITLE, frame, rows=panel_rows(frame),
         notes={"bin_s": BIN_S, "scale": context.scale},
     )

@@ -9,7 +9,13 @@ instances one at a time.
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentContext, ExperimentResult
+from repro.core.scenario import ScenarioSpec
+from repro.core.study import Study, Sweep, register_study
+from repro.experiments.base import (
+    ExperimentContext,
+    ExperimentResult,
+    instance_series,
+)
 from repro.serving.deployment import PlatformKind
 
 EXPERIMENT_ID = "fig07"
@@ -20,35 +26,32 @@ WORKLOAD = "w-40"
 RUNTIME = "tf1.15"
 BIN_S = 60.0
 
+STUDY = register_study(Study(
+    name="fig07",
+    title=TITLE,
+    sweeps=Sweep(
+        name="fig07",
+        base=ScenarioSpec(name="fig07", provider="aws", model="mobilenet",
+                          runtime=RUNTIME, platform=PlatformKind.MANAGED_ML,
+                          workload=WORKLOAD),
+        axes={"provider": ("aws", "gcp"), "model": MODELS},
+    ),
+    series={"{provider}/{model}": instance_series(BIN_S)},
+))
+
 
 def run(context: ExperimentContext) -> ExperimentResult:
     """Track managed-ML instance counts over time per model."""
-    context.prefetch((provider, model, RUNTIME, PlatformKind.MANAGED_ML,
-                      WORKLOAD)
-                     for provider in context.providers
-                     for model in MODELS)
-    rows = []
-    series = {}
-    for provider in context.providers:
-        for model in MODELS:
-            result = context.run_cell(provider, model, RUNTIME,
-                                      PlatformKind.MANAGED_ML, WORKLOAD)
-            timeline = context.analyzer.instance_timeline(result, BIN_S)
-            series[f"{provider}/{model}"] = [
-                {"time_s": round(t, 1), "instances": int(count)}
-                for t, count in timeline
-            ]
-            rows.append({
-                "provider": provider,
-                "model": model,
-                "peak_instances": result.usage.peak_instances,
-                "instances_created": result.usage.instances_created,
-                "success_ratio": round(result.success_ratio, 4),
-            })
-    return ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
-        rows=rows,
-        series=series,
+    frame = STUDY.run(context)
+    rows = [
+        {"provider": row["provider"],
+         "model": row["model"],
+         "peak_instances": row["peak_instances"],
+         "instances_created": row["instances_created"],
+         "success_ratio": round(row["success_ratio"], 4)}
+        for row in frame.iter_rows()
+    ]
+    return ExperimentResult.from_frame(
+        EXPERIMENT_ID, TITLE, frame, rows=rows,
         notes={"workload": WORKLOAD, "bin_s": BIN_S, "scale": context.scale},
     )

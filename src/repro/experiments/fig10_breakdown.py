@@ -8,7 +8,13 @@ warm requests — end-to-end latency and predict time.
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentContext, ExperimentResult
+from repro.core.scenario import ScenarioSpec
+from repro.core.study import Study, Sweep, register_study
+from repro.experiments.base import (
+    ExperimentContext,
+    ExperimentResult,
+    breakdown_metrics,
+)
 from repro.serving.deployment import PlatformKind
 
 EXPERIMENT_ID = "fig10"
@@ -26,29 +32,36 @@ PAPER_COLD_E2E = {
     ("gcp", "albert"): 14.19,
 }
 
+BREAKDOWN_COLUMNS = ("E2E (cs)", "import", "download", "load",
+                     "predict (cs)", "E2E (wu)", "predict (wu)")
+
+STUDY = register_study(Study(
+    name="fig10",
+    title=TITLE,
+    sweeps=Sweep(
+        name="fig10",
+        base=ScenarioSpec(name="fig10", provider="aws", model="mobilenet",
+                          runtime=RUNTIME, platform=PlatformKind.SERVERLESS,
+                          workload=WORKLOAD),
+        axes={"provider": ("aws", "gcp"), "model": MODELS},
+    ),
+    metrics={"breakdown": breakdown_metrics},
+))
+
 
 def run(context: ExperimentContext) -> ExperimentResult:
     """Measure the serverless sub-stage breakdown per provider and model."""
-    context.prefetch((provider, model, RUNTIME, PlatformKind.SERVERLESS,
-                      WORKLOAD)
-                     for provider in context.providers
-                     for model in MODELS)
+    frame = STUDY.run(context)
     rows = []
-    for provider in context.providers:
-        for model in MODELS:
-            result = context.run_cell(provider, model, RUNTIME,
-                                      PlatformKind.SERVERLESS, WORKLOAD)
-            breakdown = context.analyzer.coldstart_breakdown(result)
-            row = {"provider": provider, "model": model}
-            row.update({key: round(value, 3)
-                        for key, value in breakdown.as_dict().items()})
-            row["cold_requests"] = breakdown.cold_requests
-            row["paper_E2E_cs"] = PAPER_COLD_E2E.get((provider, model))
-            rows.append(row)
-    return ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
-        rows=rows,
+    for row in frame.iter_rows():
+        out = {"provider": row["provider"], "model": row["model"]}
+        out.update({key: row[key] for key in BREAKDOWN_COLUMNS})
+        out["cold_requests"] = row["cold_requests"]
+        out["paper_E2E_cs"] = PAPER_COLD_E2E.get(
+            (row["provider"], row["model"]))
+        rows.append(out)
+    return ExperimentResult.from_frame(
+        EXPERIMENT_ID, TITLE, frame, rows=rows,
         notes={"workload": WORKLOAD, "runtime": RUNTIME,
                "scale": context.scale},
     )

@@ -15,8 +15,8 @@ Four sweeps, all under w-120 with TensorFlow 1.15:
 
 from __future__ import annotations
 
-from typing import Dict, List
-
+from repro.core.scenario import ScenarioSpec
+from repro.core.study import Study, Sweep, register_study
 from repro.experiments.base import ExperimentContext, ExperimentResult
 from repro.serving.deployment import PlatformKind
 
@@ -38,6 +38,18 @@ PANEL_MODELS = {
     "12d-inferences": ("mobilenet", "vgg"),
 }
 
+#: (panel, swept knob, values, picked metric column, metric label)
+PANEL_SWEEPS = (
+    ("12a-container-size", "extra_container_mb", CONTAINER_EXTRA_MB,
+     "cold_e2e_s", "cold-start E2E"),
+    ("12b-download-size", "extra_download_mb", DOWNLOAD_EXTRA_MB,
+     "cold_e2e_s", "cold-start E2E"),
+    ("12c-input-samples", "samples_per_request", SAMPLES_PER_REQUEST,
+     "warm_e2e_s", "warm E2E"),
+    ("12d-inferences", "inferences_per_request", INFERENCES_PER_REQUEST,
+     "avg_latency_s", "overall latency"),
+)
+
 
 def _cold_e2e(result) -> float:
     table = result.table
@@ -51,77 +63,56 @@ def _warm_e2e(result) -> float:
     return float(table.latency[mask].mean()) if mask.any() else 0.0
 
 
+def _base_spec() -> ScenarioSpec:
+    return ScenarioSpec(name="fig12", provider="aws", model="mobilenet",
+                        runtime=RUNTIME, platform=PlatformKind.SERVERLESS,
+                        workload=WORKLOAD)
+
+
+STUDY = register_study(Study(
+    name="fig12",
+    title=TITLE,
+    sweeps=tuple(
+        Sweep(
+            name=f"fig12/{panel}",
+            base=_base_spec(),
+            axes={
+                "provider": ("aws", "gcp"),
+                "model": PANEL_MODELS[panel],
+                knob: values,
+            },
+            constants={"panel": panel},
+        )
+        for panel, knob, values, _metric, _label in PANEL_SWEEPS
+    ),
+    metrics={"cold_e2e_s": _cold_e2e, "warm_e2e_s": _warm_e2e},
+))
+
+
 def run(context: ExperimentContext) -> ExperimentResult:
     """Run the four micro-benchmark sweeps."""
-    sweeps = (
-        ("12a-container-size", "extra_container_mb", CONTAINER_EXTRA_MB),
-        ("12b-download-size", "extra_download_mb", DOWNLOAD_EXTRA_MB),
-        ("12c-input-samples", "samples_per_request", SAMPLES_PER_REQUEST),
-        ("12d-inferences", "inferences_per_request", INFERENCES_PER_REQUEST),
-    )
-    context.prefetch(
-        (provider, model, RUNTIME, PlatformKind.SERVERLESS, WORKLOAD,
-         {option: value})
-        for provider in context.providers
-        for panel, option, values in sweeps
-        for model in PANEL_MODELS[panel]
-        for value in values)
-    rows: List[Dict[str, object]] = []
-
-    for provider in context.providers:
-        # 12a: container size has little effect on the cold start.
-        for model in PANEL_MODELS["12a-container-size"]:
-            for extra in CONTAINER_EXTRA_MB:
-                result = context.run_cell(
-                    provider, model, RUNTIME, PlatformKind.SERVERLESS,
-                    WORKLOAD, extra_container_mb=extra)
-                rows.append({
-                    "panel": "12a-container-size", "provider": provider,
-                    "model": model, "value": f"base+{int(extra)}MB",
-                    "metric_s": round(_cold_e2e(result), 3),
-                    "metric": "cold-start E2E",
-                })
-        # 12b: extra download size increases the cold start.
-        for model in PANEL_MODELS["12b-download-size"]:
-            for extra in DOWNLOAD_EXTRA_MB:
-                result = context.run_cell(
-                    provider, model, RUNTIME, PlatformKind.SERVERLESS,
-                    WORKLOAD, extra_download_mb=extra)
-                rows.append({
-                    "panel": "12b-download-size", "provider": provider,
-                    "model": model, "value": f"base+{int(extra)}MB",
-                    "metric_s": round(_cold_e2e(result), 3),
-                    "metric": "cold-start E2E",
-                })
-        # 12c: request payload size has a minor effect on warm latency.
-        for model in PANEL_MODELS["12c-input-samples"]:
-            for samples in SAMPLES_PER_REQUEST:
-                result = context.run_cell(
-                    provider, model, RUNTIME, PlatformKind.SERVERLESS,
-                    WORKLOAD, samples_per_request=samples)
-                rows.append({
-                    "panel": "12c-input-samples", "provider": provider,
-                    "model": model, "value": samples,
-                    "metric_s": round(_warm_e2e(result), 3),
-                    "metric": "warm E2E",
-                })
-        # 12d: the number of inferences dominates the overall latency.
-        for model in PANEL_MODELS["12d-inferences"]:
-            for inferences in INFERENCES_PER_REQUEST:
-                result = context.run_cell(
-                    provider, model, RUNTIME, PlatformKind.SERVERLESS,
-                    WORKLOAD, inferences_per_request=inferences)
-                rows.append({
-                    "panel": "12d-inferences", "provider": provider,
-                    "model": model, "value": inferences,
-                    "metric_s": round(result.average_latency, 3),
-                    "metric": "overall latency",
-                })
-
-    return ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
-        rows=rows,
+    frame = STUDY.run(context)
+    value_formats = {
+        "12a-container-size": lambda v: f"base+{int(v)}MB",
+        "12b-download-size": lambda v: f"base+{int(v)}MB",
+    }
+    picked = {panel: (knob, metric, label)
+              for panel, knob, _values, metric, label in PANEL_SWEEPS}
+    rows = []
+    for row in frame.iter_rows():
+        panel = row["panel"]
+        knob, metric, label = picked[panel]
+        value = row[knob]
+        fmt = value_formats.get(panel)
+        rows.append({
+            "panel": panel, "provider": row["provider"],
+            "model": row["model"],
+            "value": fmt(value) if fmt else value,
+            "metric_s": round(row[metric], 3),
+            "metric": label,
+        })
+    return ExperimentResult.from_frame(
+        EXPERIMENT_ID, TITLE, frame, rows=rows,
         notes={"workload": WORKLOAD, "runtime": RUNTIME,
                "scale": context.scale},
     )

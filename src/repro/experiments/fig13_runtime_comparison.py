@@ -9,6 +9,8 @@ for MobileNet (whose latency is dominated by the cold start) than for VGG
 
 from __future__ import annotations
 
+from repro.core.scenario import ScenarioSpec
+from repro.core.study import Study, Sweep, register_study
 from repro.experiments.base import ExperimentContext, ExperimentResult
 from repro.serving.deployment import PlatformKind
 
@@ -19,41 +21,46 @@ MODELS = ("mobilenet", "vgg")
 WORKLOADS = ("w-40", "w-120", "w-200")
 RUNTIMES = ("tf1.15", "ort1.4")
 
+STUDY = register_study(Study(
+    name="fig13",
+    title=TITLE,
+    sweeps=Sweep(
+        name="fig13",
+        base=ScenarioSpec(name="fig13", provider="aws", model="mobilenet",
+                          platform=PlatformKind.SERVERLESS),
+        axes={
+            "provider": ("aws", "gcp"),
+            "model": MODELS,
+            "workload": WORKLOADS,
+            "runtime": RUNTIMES,
+        },
+    ),
+))
+
 
 def run(context: ExperimentContext) -> ExperimentResult:
     """Compare the two serving runtimes on serverless."""
-    context.prefetch((provider, model, runtime, PlatformKind.SERVERLESS,
-                      workload)
-                     for provider in context.providers
-                     for model in MODELS
-                     for workload in WORKLOADS
-                     for runtime in RUNTIMES)
+    frame = STUDY.run(context)
+    wide = frame.pivot(
+        index=("provider", "model", "workload"),
+        columns="runtime",
+        values={"avg_latency_s": "{}_latency_s", "std_latency_s": "{}_std_s"})
     rows = []
-    for provider in context.providers:
-        for model in MODELS:
-            for workload in WORKLOADS:
-                cell = {}
-                for runtime in RUNTIMES:
-                    result = context.run_cell(provider, model, runtime,
-                                              PlatformKind.SERVERLESS,
-                                              workload)
-                    stats = result.latency_stats()
-                    cell[runtime] = (result.average_latency, stats.std)
-                speedup = (cell["tf1.15"][0] / cell["ort1.4"][0]
-                           if cell["ort1.4"][0] else 0.0)
-                rows.append({
-                    "provider": provider,
-                    "model": model,
-                    "workload": workload,
-                    "tf1.15_latency_s": round(cell["tf1.15"][0], 4),
-                    "tf1.15_std_s": round(cell["tf1.15"][1], 4),
-                    "ort1.4_latency_s": round(cell["ort1.4"][0], 4),
-                    "ort1.4_std_s": round(cell["ort1.4"][1], 4),
-                    "ort_speedup": round(speedup, 2),
-                })
-    return ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
-        rows=rows,
+    for row in wide.iter_rows():
+        tf_latency = row["tf1.15_latency_s"]
+        ort_latency = row["ort1.4_latency_s"]
+        rows.append({
+            "provider": row["provider"],
+            "model": row["model"],
+            "workload": row["workload"],
+            "tf1.15_latency_s": round(tf_latency, 4),
+            "tf1.15_std_s": round(row["tf1.15_std_s"], 4),
+            "ort1.4_latency_s": round(ort_latency, 4),
+            "ort1.4_std_s": round(row["ort1.4_std_s"], 4),
+            "ort_speedup": round(tf_latency / ort_latency
+                                 if ort_latency else 0.0, 2),
+        })
+    return ExperimentResult.from_frame(
+        EXPERIMENT_ID, TITLE, frame, rows=rows,
         notes={"scale": context.scale},
     )

@@ -8,7 +8,14 @@ import and load stages, dropping the cold-start end-to-end latency from
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentContext, ExperimentResult
+from repro.core.scenario import ScenarioSpec
+from repro.core.study import Study, Sweep, register_study
+from repro.experiments.base import (
+    ExperimentContext,
+    ExperimentResult,
+    breakdown_metrics,
+)
+from repro.experiments.fig10_breakdown import BREAKDOWN_COLUMNS
 from repro.serving.deployment import PlatformKind
 
 EXPERIMENT_ID = "fig14"
@@ -26,27 +33,31 @@ PAPER_COLD_E2E = {
     ("gcp", "ort1.4"): 2.917,
 }
 
+STUDY = register_study(Study(
+    name="fig14",
+    title=TITLE,
+    sweeps=Sweep(
+        name="fig14",
+        base=ScenarioSpec(name="fig14", provider="aws", model=MODEL,
+                          platform=PlatformKind.SERVERLESS,
+                          workload=WORKLOAD),
+        axes={"provider": ("aws", "gcp"), "runtime": RUNTIMES},
+    ),
+    metrics={"breakdown": breakdown_metrics},
+))
+
 
 def run(context: ExperimentContext) -> ExperimentResult:
     """Measure the per-runtime sub-stage breakdown."""
-    context.prefetch((provider, MODEL, runtime, PlatformKind.SERVERLESS,
-                      WORKLOAD)
-                     for provider in context.providers
-                     for runtime in RUNTIMES)
+    frame = STUDY.run(context)
     rows = []
-    for provider in context.providers:
-        for runtime in RUNTIMES:
-            result = context.run_cell(provider, MODEL, runtime,
-                                      PlatformKind.SERVERLESS, WORKLOAD)
-            breakdown = context.analyzer.coldstart_breakdown(result)
-            row = {"provider": provider, "runtime": runtime}
-            row.update({key: round(value, 3)
-                        for key, value in breakdown.as_dict().items()})
-            row["paper_E2E_cs"] = PAPER_COLD_E2E.get((provider, runtime))
-            rows.append(row)
-    return ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
-        rows=rows,
+    for row in frame.iter_rows():
+        out = {"provider": row["provider"], "runtime": row["runtime"]}
+        out.update({key: row[key] for key in BREAKDOWN_COLUMNS})
+        out["paper_E2E_cs"] = PAPER_COLD_E2E.get(
+            (row["provider"], row["runtime"]))
+        rows.append(out)
+    return ExperimentResult.from_frame(
+        EXPERIMENT_ID, TITLE, frame, rows=rows,
         notes={"model": MODEL, "workload": WORKLOAD, "scale": context.scale},
     )

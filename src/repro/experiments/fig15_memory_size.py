@@ -10,6 +10,8 @@ the higher per-GB-second price dominates.
 
 from __future__ import annotations
 
+from repro.core.scenario import ScenarioSpec
+from repro.core.study import Study, Sweep, register_study
 from repro.experiments.base import ExperimentContext, ExperimentResult
 from repro.serving.deployment import PlatformKind
 
@@ -22,36 +24,35 @@ WORKLOAD = "w-120"
 RUNTIMES = ("tf1.15", "ort1.4")
 MEMORY_SIZES_GB = (2.0, 4.0, 6.0, 8.0)
 
+STUDY = register_study(Study(
+    name="fig15",
+    title=TITLE,
+    sweeps=Sweep(
+        name="fig15",
+        base=ScenarioSpec(name="fig15", provider=PROVIDER, model="mobilenet",
+                          platform=PlatformKind.SERVERLESS,
+                          workload=WORKLOAD),
+        axes={
+            "model": MODELS,
+            "runtime": RUNTIMES,
+            "memory_gb": MEMORY_SIZES_GB,
+        },
+    ),
+))
+
 
 def run(context: ExperimentContext) -> ExperimentResult:
     """Sweep the serverless memory size."""
-    rows = []
     if PROVIDER not in context.providers:
-        return ExperimentResult(EXPERIMENT_ID, TITLE, rows,
+        return ExperimentResult(EXPERIMENT_ID, TITLE, [],
                                 notes={"skipped": "aws not in providers"})
-    context.prefetch((PROVIDER, model, runtime, PlatformKind.SERVERLESS,
-                      WORKLOAD, {"memory_gb": memory_gb})
-                     for model in MODELS
-                     for runtime in RUNTIMES
-                     for memory_gb in MEMORY_SIZES_GB)
-    for model in MODELS:
-        for runtime in RUNTIMES:
-            for memory_gb in MEMORY_SIZES_GB:
-                result = context.run_cell(PROVIDER, model, runtime,
-                                          PlatformKind.SERVERLESS, WORKLOAD,
-                                          memory_gb=memory_gb)
-                rows.append({
-                    "model": model,
-                    "runtime": runtime,
-                    "memory_gb": memory_gb,
-                    "avg_latency_s": round(result.average_latency, 4),
-                    "cost_usd": round(result.cost, 4),
-                    "cold_starts": result.usage.cold_starts,
-                })
-    return ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
-        rows=rows,
+    frame = STUDY.run(context)
+    rows = frame.to_rows(
+        columns=("model", "runtime", "memory_gb", "avg_latency_s",
+                 "cost_usd", "cold_starts"),
+        round_floats=4)
+    return ExperimentResult.from_frame(
+        EXPERIMENT_ID, TITLE, frame, rows=rows,
         notes={"workload": WORKLOAD, "provider": PROVIDER,
                "scale": context.scale},
     )

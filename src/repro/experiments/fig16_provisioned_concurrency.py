@@ -9,6 +9,8 @@ starts can even increase — while the reservation fee adds to the cost.
 
 from __future__ import annotations
 
+from repro.core.scenario import ScenarioSpec
+from repro.core.study import Study, Sweep, register_study
 from repro.experiments.base import ExperimentContext, ExperimentResult
 from repro.serving.deployment import PlatformKind
 
@@ -23,36 +25,43 @@ CONCURRENCY_LEVELS = {
     "vgg": (0, 8, 16, 32),
 }
 
+STUDY = register_study(Study(
+    name="fig16",
+    title=TITLE,
+    sweeps=tuple(
+        Sweep(
+            name=f"fig16/{model}",
+            base=ScenarioSpec(name="fig16", provider=PROVIDER, model=model,
+                              platform=PlatformKind.SERVERLESS,
+                              workload=WORKLOAD),
+            axes={
+                "runtime": RUNTIMES,
+                "provisioned_concurrency": levels,
+            },
+            constants={"model": model},
+        )
+        for model, levels in CONCURRENCY_LEVELS.items()
+    ),
+))
+
 
 def run(context: ExperimentContext) -> ExperimentResult:
     """Sweep the provisioned-concurrency setting."""
-    rows = []
     if PROVIDER not in context.providers:
-        return ExperimentResult(EXPERIMENT_ID, TITLE, rows,
+        return ExperimentResult(EXPERIMENT_ID, TITLE, [],
                                 notes={"skipped": "aws not in providers"})
-    context.prefetch((PROVIDER, model, runtime, PlatformKind.SERVERLESS,
-                      WORKLOAD, {"provisioned_concurrency": level})
-                     for model, levels in CONCURRENCY_LEVELS.items()
-                     for runtime in RUNTIMES
-                     for level in levels)
-    for model, levels in CONCURRENCY_LEVELS.items():
-        for runtime in RUNTIMES:
-            for level in levels:
-                result = context.run_cell(PROVIDER, model, runtime,
-                                          PlatformKind.SERVERLESS, WORKLOAD,
-                                          provisioned_concurrency=level)
-                rows.append({
-                    "model": model,
-                    "runtime": runtime,
-                    "provisioned": level if level else "None",
-                    "avg_latency_s": round(result.average_latency, 4),
-                    "cost_usd": round(result.cost, 4),
-                    "cold_starts": result.usage.cold_starts,
-                })
-    return ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
-        rows=rows,
+    frame = STUDY.run(context)
+    rows = [
+        {"model": row["model"],
+         "runtime": row["runtime"],
+         "provisioned": row["provisioned_concurrency"] or "None",
+         "avg_latency_s": round(row["avg_latency_s"], 4),
+         "cost_usd": round(row["cost_usd"], 4),
+         "cold_starts": row["cold_starts"]}
+        for row in frame.iter_rows()
+    ]
+    return ExperimentResult.from_frame(
+        EXPERIMENT_ID, TITLE, frame, rows=rows,
         notes={"workload": WORKLOAD, "provider": PROVIDER,
                "scale": context.scale},
     )

@@ -9,6 +9,8 @@ invocations and fewer cold-started instances.
 
 from __future__ import annotations
 
+from repro.core.scenario import ScenarioSpec
+from repro.core.study import Study, Sweep, register_study
 from repro.experiments.base import ExperimentContext, ExperimentResult
 from repro.serving.deployment import PlatformKind
 
@@ -21,36 +23,35 @@ WORKLOAD = "w-120"
 RUNTIMES = ("tf1.15", "ort1.4")
 BATCH_SIZES = (1, 2, 4, 8)
 
+STUDY = register_study(Study(
+    name="fig17",
+    title=TITLE,
+    sweeps=Sweep(
+        name="fig17",
+        base=ScenarioSpec(name="fig17", provider=PROVIDER, model="mobilenet",
+                          platform=PlatformKind.SERVERLESS,
+                          workload=WORKLOAD),
+        axes={
+            "model": MODELS,
+            "runtime": RUNTIMES,
+            "batch_size": BATCH_SIZES,
+        },
+    ),
+))
+
 
 def run(context: ExperimentContext) -> ExperimentResult:
     """Sweep the client-side batch size."""
-    rows = []
     if PROVIDER not in context.providers:
-        return ExperimentResult(EXPERIMENT_ID, TITLE, rows,
+        return ExperimentResult(EXPERIMENT_ID, TITLE, [],
                                 notes={"skipped": "aws not in providers"})
-    context.prefetch((PROVIDER, model, runtime, PlatformKind.SERVERLESS,
-                      WORKLOAD, {"batch_size": batch_size})
-                     for model in MODELS
-                     for runtime in RUNTIMES
-                     for batch_size in BATCH_SIZES)
-    for model in MODELS:
-        for runtime in RUNTIMES:
-            for batch_size in BATCH_SIZES:
-                result = context.run_cell(PROVIDER, model, runtime,
-                                          PlatformKind.SERVERLESS, WORKLOAD,
-                                          batch_size=batch_size)
-                rows.append({
-                    "model": model,
-                    "runtime": runtime,
-                    "batch_size": batch_size,
-                    "avg_latency_s": round(result.average_latency, 4),
-                    "cost_usd": round(result.cost, 4),
-                    "cold_starts": result.usage.cold_starts,
-                })
-    return ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
-        rows=rows,
+    frame = STUDY.run(context)
+    rows = frame.to_rows(
+        columns=("model", "runtime", "batch_size", "avg_latency_s",
+                 "cost_usd", "cold_starts"),
+        round_floats=4)
+    return ExperimentResult.from_frame(
+        EXPERIMENT_ID, TITLE, frame, rows=rows,
         notes={"workload": WORKLOAD, "provider": PROVIDER,
                "scale": context.scale},
     )

@@ -1,26 +1,34 @@
-"""Command-line runner for the paper's experiments.
+"""Command-line runner for the paper's experiments and studies.
 
 Examples::
 
     repro-experiments --list
+    repro-experiments --scenarios
     repro-experiments fig05 --scale 0.2
     repro-experiments table1 fig10 --scale 1.0 --output results.txt
     repro-experiments all --scale 0.1 --providers aws
+    repro-experiments sweep fig15 --scale 0.1 --csv fig15.csv
+    repro-experiments sweep burst-storm --scale 0.2
 """
 
 from __future__ import annotations
 
 import argparse
+import difflib
 import sys
 import time
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
+from repro.core.scenario import get_scenario, list_scenarios, scenario_library
+from repro.core.study import ResultFrame, Study, Sweep, get_study, list_studies
 from repro.experiments.base import (
     ExperimentContext,
     ExperimentResult,
     list_experiments,
+    load_registered_studies,
     run_experiment,
 )
+from repro.workload.generator import known_workloads, workload_spec
 
 __all__ = ["main", "build_parser", "run_selected"]
 
@@ -30,11 +38,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Reproduce the paper's figures and tables on the "
-                    "simulated cloud.")
+                    "simulated cloud, or run registered studies and "
+                    "scenarios as sweeps.")
     parser.add_argument("experiments", nargs="*",
-                        help="experiment ids (e.g. fig05 table1) or 'all'")
+                        help="experiment ids (e.g. fig05 table1), 'all', or "
+                             "'sweep <study-or-scenario> [...]' to run "
+                             "named sweeps and print their result frame")
     parser.add_argument("--list", action="store_true",
-                        help="list available experiments and exit")
+                        help="list available experiments, studies, "
+                             "scenarios, and workloads, then exit")
+    parser.add_argument("--scenarios", action="store_true",
+                        help="list the registered scenario library (with "
+                             "descriptions) and workloads, then exit")
     parser.add_argument("--scale", type=float, default=0.2,
                         help="time-compression factor for the workloads "
                              "(1.0 = the paper's full 15-minute workloads)")
@@ -49,7 +64,18 @@ def build_parser() -> argparse.ArgumentParser:
                              "to serial mode")
     parser.add_argument("--output", default="",
                         help="write the report to this file as well as stdout")
+    parser.add_argument("--csv", default="",
+                        help="write the result table as CSV to this file "
+                             "(one experiment or sweep at a time)")
     return parser
+
+
+def _suggest(name: str, known: Sequence[str]) -> str:
+    """Append near-misses to an unknown-name error message."""
+    close = difflib.get_close_matches(name, known, n=3, cutoff=0.4)
+    if close:
+        return f"{name!r} (did you mean: {', '.join(close)}?)"
+    return repr(name)
 
 
 def run_selected(ids: List[str], context: ExperimentContext) -> List[ExperimentResult]:
@@ -63,34 +89,128 @@ def run_selected(ids: List[str], context: ExperimentContext) -> List[ExperimentR
     return results
 
 
+def _print_listing() -> None:
+    """The --list report: every runnable name, grouped by kind."""
+    load_registered_studies()
+    print("Available experiments:")
+    for experiment_id in list_experiments():
+        print(f"  {experiment_id}")
+    studies = list_studies()
+    if studies:
+        print("\nRegistered studies (run with: sweep <name>):")
+        for name in studies:
+            print(f"  {name}")
+    scenarios = list_scenarios()
+    if scenarios:
+        print("\nRegistered scenarios (run with: sweep <name>):")
+        for name in scenarios:
+            print(f"  {name}")
+    print("\nKnown workloads:")
+    for name in known_workloads():
+        print(f"  {name}")
+
+
+def _print_scenarios() -> None:
+    """The --scenarios report: the scenario library with descriptions."""
+    print("Registered scenarios:")
+    for spec in scenario_library():
+        print(f"  {spec.name}")
+        print(f"    cell: {spec.cell_key}")
+        if spec.description:
+            print(f"    {spec.description}")
+    print("\nKnown workloads:")
+    for name in known_workloads():
+        spec = workload_spec(name)
+        print(f"  {name}: high {spec.high_rate:g} req/s, "
+              f"low {spec.low_rate:g} req/s, "
+              f"{spec.target_requests} requests over {spec.duration_s:g} s")
+
+
+def _resolve_study(name: str,
+                   parser: argparse.ArgumentParser) -> Study:
+    """A named study, or a registered scenario wrapped as one."""
+    load_registered_studies()
+    if name in list_studies():
+        return get_study(name)
+    if name in list_scenarios():
+        return Study(name=name,
+                     sweeps=Sweep.from_specs(name, [get_scenario(name)]))
+    known = sorted(set(list_studies()) | set(list_scenarios()))
+    parser.error(f"unknown study or scenario {_suggest(name, known)}; "
+                 f"known: {known}")
+
+
+def _run_sweeps(names: List[str], args,
+                parser: argparse.ArgumentParser) -> int:
+    """The `sweep` subcommand: run named studies, print their frames."""
+    if not names:
+        parser.error("sweep requires at least one study or scenario name "
+                     "(see --list)")
+    if args.csv and len(names) > 1:
+        parser.error("--csv supports one sweep at a time")
+    context = _build_context(args)
+    reports = []
+    for name in names:
+        study = _resolve_study(name, parser)
+        frame = study.run(context)
+        title = study.title or study.name
+        lines = [f"== sweep {study.name}: {title} ==",
+                 f"  cells: {len(frame)}  scale: {context.scale}",
+                 frame.to_text()]
+        reports.append("\n".join(lines))
+        if args.csv:
+            frame.to_csv(args.csv)
+    _emit_report("\n\n".join(reports), args.output)
+    return 0
+
+
+def _emit_report(report: str, output: str) -> None:
+    """Print the report, mirroring it to ``output`` when given."""
+    print(report)
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+
+
+def _build_context(args) -> ExperimentContext:
+    return ExperimentContext(
+        seed=args.seed,
+        scale=args.scale,
+        providers=tuple(p.strip() for p in args.providers.split(",")
+                        if p.strip()),
+        workers=args.workers,
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
 
-    if args.list or not args.experiments:
-        print("Available experiments:")
-        for experiment_id in list_experiments():
-            print(f"  {experiment_id}")
+    if args.scenarios:
+        _print_scenarios()
         return 0
+    if args.list or not args.experiments:
+        _print_listing()
+        return 0
+    if args.experiments[0] == "sweep":
+        return _run_sweeps(args.experiments[1:], args, parser)
 
     ids = list_experiments() if args.experiments == ["all"] else args.experiments
     unknown = [i for i in ids if i not in list_experiments()]
     if unknown:
-        parser.error(f"unknown experiments: {unknown}")
+        suggestions = ", ".join(_suggest(name, list_experiments())
+                                for name in unknown)
+        parser.error(f"unknown experiments: {suggestions}")
+    if args.csv and len(ids) > 1:
+        parser.error("--csv supports one experiment at a time")
 
-    context = ExperimentContext(
-        seed=args.seed,
-        scale=args.scale,
-        providers=tuple(p.strip() for p in args.providers.split(",") if p.strip()),
-        workers=args.workers,
-    )
+    context = _build_context(args)
     results = run_selected(ids, context)
-    report = "\n\n".join(result.to_text() for result in results)
-    print(report)
-    if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(report + "\n")
+    _emit_report("\n\n".join(result.to_text() for result in results),
+                 args.output)
+    if args.csv:
+        ResultFrame.from_rows(results[0].rows).to_csv(args.csv)
     return 0
 
 

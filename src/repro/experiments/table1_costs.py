@@ -8,6 +8,8 @@ GPU servers are charged per hour, so one row covers all models.
 
 from __future__ import annotations
 
+from repro.core.scenario import ScenarioSpec
+from repro.core.study import Study, Sweep, register_study
 from repro.experiments.base import ExperimentContext, ExperimentResult
 from repro.serving.deployment import PlatformKind
 
@@ -17,6 +19,10 @@ TITLE = "Costs for evaluated model serving systems (Table 1)"
 MODELS = ("mobilenet", "albert", "vgg")
 WORKLOADS = ("w-40", "w-120", "w-200")
 RUNTIME = "tf1.15"
+
+#: Platforms billed per model (a VM serves any model at the same price).
+PER_MODEL_PLATFORMS = (PlatformKind.SERVERLESS, PlatformKind.MANAGED_ML)
+SHARED_PLATFORMS = (PlatformKind.CPU_SERVER, PlatformKind.GPU_SERVER)
 
 #: Paper-reported costs, for side-by-side comparison in EXPERIMENTS.md.
 PAPER_COSTS = {
@@ -38,48 +44,61 @@ PAPER_COSTS = {
     ("gcp", PlatformKind.GPU_SERVER, None): (0.176, 0.177, 0.182),
 }
 
+STUDY = register_study(Study(
+    name="table1",
+    title=TITLE,
+    sweeps=(
+        Sweep(
+            name="table1/per-model",
+            base=ScenarioSpec(name="table1", provider="aws",
+                              model="mobilenet", runtime=RUNTIME),
+            axes={
+                "provider": ("aws", "gcp"),
+                "platform": PER_MODEL_PLATFORMS,
+                "model": MODELS,
+                "workload": WORKLOADS,
+            },
+        ),
+        Sweep(
+            name="table1/shared",
+            base=ScenarioSpec(name="table1", provider="aws",
+                              model="mobilenet", runtime=RUNTIME),
+            axes={
+                "provider": ("aws", "gcp"),
+                "platform": SHARED_PLATFORMS,
+                "workload": WORKLOADS,
+            },
+            constants={"model": "mobilenet"},
+        ),
+    ),
+))
+
 
 def run(context: ExperimentContext) -> ExperimentResult:
     """Measure the cost of every system / model / workload combination."""
-    context.prefetch(
-        (provider, model, RUNTIME, platform, workload)
-        for provider in context.providers
-        for platform in (PlatformKind.SERVERLESS, PlatformKind.MANAGED_ML,
-                         PlatformKind.CPU_SERVER, PlatformKind.GPU_SERVER)
-        for model in (MODELS if platform in (PlatformKind.SERVERLESS,
-                                             PlatformKind.MANAGED_ML)
-                      else ("mobilenet",))
-        for workload in WORKLOADS)
+    frame = STUDY.run(context)
+    wide = frame.pivot(index=("provider", "platform", "model"),
+                       columns="workload",
+                       values={"cost_usd": "{}_usd"})
     rows = []
-    for provider in context.providers:
-        for platform in (PlatformKind.SERVERLESS, PlatformKind.MANAGED_ML,
-                         PlatformKind.CPU_SERVER, PlatformKind.GPU_SERVER):
-            per_model = platform in (PlatformKind.SERVERLESS,
-                                     PlatformKind.MANAGED_ML)
-            models = MODELS if per_model else ("mobilenet",)
-            for model in models:
-                costs = {}
-                for workload in WORKLOADS:
-                    result = context.run_cell(provider, model, RUNTIME,
-                                              platform, workload)
-                    costs[workload] = round(result.cost, 4)
-                paper_key = (provider, platform, model if per_model else None)
-                paper = PAPER_COSTS.get(paper_key, (None, None, None))
-                rows.append({
-                    "provider": provider,
-                    "platform": platform,
-                    "model": model if per_model else "(any)",
-                    "w-40_usd": costs["w-40"],
-                    "w-120_usd": costs["w-120"],
-                    "w-200_usd": costs["w-200"],
-                    "paper_w-40": paper[0],
-                    "paper_w-120": paper[1],
-                    "paper_w-200": paper[2],
-                })
-    return ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
-        rows=rows,
+    for row in wide.iter_rows():
+        per_model = row["platform"] in PER_MODEL_PLATFORMS
+        paper_key = (row["provider"], row["platform"],
+                     row["model"] if per_model else None)
+        paper = PAPER_COSTS.get(paper_key, (None, None, None))
+        rows.append({
+            "provider": row["provider"],
+            "platform": row["platform"],
+            "model": row["model"] if per_model else "(any)",
+            "w-40_usd": round(row["w-40_usd"], 4),
+            "w-120_usd": round(row["w-120_usd"], 4),
+            "w-200_usd": round(row["w-200_usd"], 4),
+            "paper_w-40": paper[0],
+            "paper_w-120": paper[1],
+            "paper_w-200": paper[2],
+        })
+    return ExperimentResult.from_frame(
+        EXPERIMENT_ID, TITLE, frame, rows=rows,
         notes={"runtime": RUNTIME, "scale": context.scale,
                "paper_costs_are_full_scale": True},
     )

@@ -7,6 +7,8 @@ the larger relative saving on MobileNet.
 
 from __future__ import annotations
 
+from repro.core.scenario import ScenarioSpec
+from repro.core.study import Study, Sweep, register_study
 from repro.experiments.base import ExperimentContext, ExperimentResult
 from repro.serving.deployment import PlatformKind
 
@@ -25,37 +27,44 @@ PAPER_COSTS = {
     ("gcp", "vgg"): (0.383, 1.108, 2.455),
 }
 
+STUDY = register_study(Study(
+    name="table2",
+    title=TITLE,
+    sweeps=Sweep(
+        name="table2",
+        base=ScenarioSpec(name="table2", provider="aws", model="mobilenet",
+                          runtime=RUNTIME,
+                          platform=PlatformKind.SERVERLESS),
+        axes={
+            "provider": ("aws", "gcp"),
+            "model": MODELS,
+            "workload": WORKLOADS,
+        },
+    ),
+))
+
 
 def run(context: ExperimentContext) -> ExperimentResult:
     """Measure serverless costs with the ORT1.4 runtime."""
-    context.prefetch((provider, model, RUNTIME, PlatformKind.SERVERLESS,
-                      workload)
-                     for provider in context.providers
-                     for model in MODELS
-                     for workload in WORKLOADS)
+    frame = STUDY.run(context)
+    wide = frame.pivot(index=("provider", "model"), columns="workload",
+                       values={"cost_usd": "{}_usd"})
     rows = []
-    for provider in context.providers:
-        for model in MODELS:
-            costs = {}
-            for workload in WORKLOADS:
-                result = context.run_cell(provider, model, RUNTIME,
-                                          PlatformKind.SERVERLESS, workload)
-                costs[workload] = round(result.cost, 4)
-            paper = PAPER_COSTS.get((provider, model), (None, None, None))
-            rows.append({
-                "provider": provider,
-                "model": model,
-                "w-40_usd": costs["w-40"],
-                "w-120_usd": costs["w-120"],
-                "w-200_usd": costs["w-200"],
-                "paper_w-40": paper[0],
-                "paper_w-120": paper[1],
-                "paper_w-200": paper[2],
-            })
-    return ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
-        rows=rows,
+    for row in wide.iter_rows():
+        paper = PAPER_COSTS.get((row["provider"], row["model"]),
+                                (None, None, None))
+        rows.append({
+            "provider": row["provider"],
+            "model": row["model"],
+            "w-40_usd": round(row["w-40_usd"], 4),
+            "w-120_usd": round(row["w-120_usd"], 4),
+            "w-200_usd": round(row["w-200_usd"], 4),
+            "paper_w-40": paper[0],
+            "paper_w-120": paper[1],
+            "paper_w-200": paper[2],
+        })
+    return ExperimentResult.from_frame(
+        EXPERIMENT_ID, TITLE, frame, rows=rows,
         notes={"runtime": RUNTIME, "scale": context.scale,
                "paper_costs_are_full_scale": True},
     )

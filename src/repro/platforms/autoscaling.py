@@ -29,9 +29,12 @@ class TargetTrackingScaler:
 
     Every ``evaluation_period_s`` the scaler reads the current demand
     (in-flight plus queued requests), asks the policy how many launches
-    that demand calls for, and hands the count to the platform.
-    Scale-in is intentionally not modelled: the paper's experiments are
-    too short for it to matter.
+    that demand calls for, and hands the count to the platform.  When
+    the policy enables scale-in (``scale_in_cooldown_s``) and the
+    platform supplies the ``retire`` / ``idle`` hooks, an evaluation
+    with nothing to launch may instead retire surplus idle instances —
+    the policy's ``plan_retires`` decides, gated on the cooldown since
+    the last scaling action in either direction.
 
     Construct it either with an explicit ``policy`` or with the scalar
     fields (``target_per_instance`` / ``min_instances`` /
@@ -47,6 +50,10 @@ class TargetTrackingScaler:
     provisioned_total: Callable[[], int]
     #: Launches ``n`` additional instances (platform handles the delay).
     launch: Callable[[int], None]
+    #: Retires ``n`` idle instances (optional; enables scale-in).
+    retire: Optional[Callable[[int], None]] = None
+    #: Returns the number of idle instances (required for scale-in).
+    idle: Optional[Callable[[], int]] = None
     #: The decision rule; built from the scalar fields when omitted.
     policy: Optional[TargetUtilisationPolicy] = None
     target_per_instance: Optional[float] = None
@@ -77,18 +84,32 @@ class TargetTrackingScaler:
             # applies), so reject the mix outright.
             raise ValueError("pass either an explicit policy or the "
                              "scalar fields, not both")
+        self._last_scale_time = self.env.now
 
     def desired_instances(self) -> int:
         """Number of instances the current demand calls for."""
         return self.policy.desired_instances(self.demand())
 
     def evaluate_once(self) -> int:
-        """Run one evaluation; returns how many launches were requested."""
-        missing = self.policy.launches(self.demand(),
-                                       self.provisioned_total())
+        """Run one evaluation; returns the fleet delta it requested.
+
+        Positive = launches, negative = retirements, 0 = no action.
+        """
+        demand = self.demand()
+        missing = self.policy.launches(demand, self.provisioned_total())
         if missing > 0:
             self.launch(missing)
-        return missing
+            self._last_scale_time = self.env.now
+            return missing
+        if self.retire is not None and self.idle is not None:
+            surplus = self.policy.plan_retires(
+                demand, self.provisioned_total(), self.idle(),
+                self.env.now - self._last_scale_time)
+            if surplus > 0:
+                self.retire(surplus)
+                self._last_scale_time = self.env.now
+                return -surplus
+        return 0
 
     def run(self):
         """The scaler's periodic process (register with ``env.process``)."""

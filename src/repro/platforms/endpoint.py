@@ -27,7 +27,7 @@ from repro.platforms.autoscaling import TargetTrackingScaler
 from repro.platforms.base import PlatformUsage, ServingPlatform
 from repro.platforms.billing import InstanceHourMeter
 from repro.platforms.policies import TargetUtilisationPolicy
-from repro.platforms.pool import InstancePool, PoolInstance
+from repro.platforms.pool import InstancePool, InstanceState, PoolInstance
 from repro.serving.records import RequestOutcome, Stage
 
 __all__ = ["PooledEndpointPlatform"]
@@ -76,6 +76,7 @@ class PooledEndpointPlatform(ServingPlatform):
             min_instances=self.config.initial_instances,
             max_instances=self._max_instances(),
             max_scale_step=self._max_scale_step(),
+            scale_in_cooldown_s=self.config.scale_in_cooldown_s,
         )
         self._scaler = TargetTrackingScaler(
             env=env,
@@ -85,6 +86,8 @@ class PooledEndpointPlatform(ServingPlatform):
             demand=lambda: self.queue.demand,
             provisioned_total=lambda: self.pool.ready + self.pool.warming,
             launch=self._launch_instances,
+            retire=self._retire_instances,
+            idle=self._retirable_idle,
         )
         self.meter = InstanceHourMeter(instance_type=self._instance_type.name,
                                        pricing=self._pricing())
@@ -156,6 +159,30 @@ class PooledEndpointPlatform(ServingPlatform):
         for _ in range(count):
             record = self.pool.launch(warm=False)
             self.env.process(self._bring_up(record))
+
+    def _retirable_idle(self) -> int:
+        """Idle instances the scaler may retire right now.
+
+        Zero while a scale-out is still actuating: `provisioned_total`
+        counts warming instances, so retiring ready ones against that
+        total could leave the endpoint with no ready instance until the
+        warming ones arrive minutes later.  No scale-in during an
+        in-flight scale-out, like the cloud autoscalers modelled here.
+        """
+        return 0 if self.pool.warming else self.pool.idle
+
+    def _retire_instances(self, count: int) -> None:
+        """Scale-in: reclaim the newest idle instances (billing stops).
+
+        Newest-first keeps the longest-billed instances serving (the
+        instance-hour meter accrues launch -> retire), and never touches
+        a busy instance — the policy capped ``count`` by the idle pool.
+        """
+        idle = [record for record in self.pool.records
+                if record.state == InstanceState.IDLE]
+        for record in idle[-count:]:
+            self.pool.retire(record)
+        self._resize_workers()
 
     def _bring_up(self, record: PoolInstance):
         delay = self.rng.lognormal_around(

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 __all__ = [
     "ConcurrencyScalingPolicy",
@@ -74,13 +74,26 @@ class ConcurrencyScalingPolicy:
 
 @dataclass(frozen=True)
 class TargetUtilisationPolicy:
-    """Target-tracking: hold demand per instance at a fixed target."""
+    """Target-tracking: hold demand per instance at a fixed target.
+
+    Scale-out (``launches``) is always on; scale-in (``plan_retires``)
+    only activates when ``scale_in_cooldown_s`` is set — the paper's
+    runs are too short for scale-in to matter, but long-horizon
+    scenarios (the ``diurnal-scalein`` scenario) need idle fleets to
+    shrink back to the demand.  The cooldown rule matches the cloud
+    autoscalers the policy models: no retirement within the cooldown of
+    the last scaling action, so the fleet never flaps around a bursty
+    signal.
+    """
 
     target_per_instance: float
     min_instances: int
     max_instances: int
     #: Maximum number of instances added per evaluation.
     max_scale_step: int = 1_000_000
+    #: Seconds since the last scaling action before a scale-in may fire;
+    #: ``None`` disables scale-in (the pre-scale-in behaviour).
+    scale_in_cooldown_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.target_per_instance <= 0:
@@ -89,6 +102,9 @@ class TargetUtilisationPolicy:
             raise ValueError("need 1 <= min_instances <= max_instances")
         if self.max_scale_step < 1:
             raise ValueError("max_scale_step must be >= 1")
+        if (self.scale_in_cooldown_s is not None
+                and self.scale_in_cooldown_s < 0):
+            raise ValueError("scale_in_cooldown_s must be non-negative")
 
     def desired_instances(self, demand: float) -> int:
         """Fleet size the current demand calls for."""
@@ -100,6 +116,23 @@ class TargetUtilisationPolicy:
         missing = min(self.desired_instances(demand) - provisioned,
                       self.max_scale_step)
         return missing if missing > 0 else 0
+
+    def plan_retires(self, demand: float, provisioned: int, idle: int,
+                     since_last_scale_s: float) -> int:
+        """How many idle instances to retire now (0 = keep the fleet).
+
+        Retires the surplus above the demand's desired fleet — never
+        below ``min_instances`` (``desired_instances`` floors there) and
+        never a busy instance (capped by ``idle``) — one
+        ``max_scale_step`` at a time, and only once the cooldown since
+        the last scaling action has elapsed.
+        """
+        if self.scale_in_cooldown_s is None:
+            return 0
+        if since_last_scale_s < self.scale_in_cooldown_s:
+            return 0
+        surplus = provisioned - self.desired_instances(demand)
+        return max(0, min(surplus, idle, self.max_scale_step))
 
 
 @dataclass(frozen=True)

@@ -50,8 +50,8 @@ class PoolInstance:
     """One pooled serving instance (slotted: hot allocation site)."""
 
     __slots__ = ("instance_id", "state", "provisioned", "launch_time",
-                 "ready_time", "served_requests", "cold_stages",
-                 "first_predict_pending")
+                 "ready_time", "retire_time", "served_requests",
+                 "cold_stages", "first_predict_pending")
 
     def __init__(self, instance_id: int, state: str, launch_time: float,
                  provisioned: bool = False,
@@ -61,6 +61,8 @@ class PoolInstance:
         self.provisioned = provisioned
         self.launch_time = launch_time
         self.ready_time = ready_time
+        #: Set when the instance is reclaimed; billing stops here.
+        self.retire_time: Optional[float] = None
         self.served_requests = 0
         #: Realised cold-start stage durations (platform-specific object).
         self.cold_stages = None
@@ -113,13 +115,17 @@ class InstancePool:
     def instance_seconds(self, end_time: float) -> float:
         """Cumulative billed instance-seconds from launch to ``end_time``.
 
-        Requires ``keep_records=True`` (billed fleets never retire, so
-        every record accrues from its launch to the end of the run).
+        Requires ``keep_records=True``.  A record accrues from its
+        launch to the end of the run, or to its retirement when a
+        scale-in policy reclaimed it earlier.
         """
         if self.records is None:
             raise ValueError("instance_seconds requires keep_records=True")
-        return sum(max(end_time - record.launch_time, 0.0)
-                   for record in self.records)
+        return sum(
+            max((end_time if record.retire_time is None
+                 else min(record.retire_time, end_time))
+                - record.launch_time, 0.0)
+            for record in self.records)
 
     # -- lifecycle ---------------------------------------------------------
     def launch(self, warm: bool = False,
@@ -168,8 +174,9 @@ class InstancePool:
         self.idle += 1
 
     def retire(self, instance: PoolInstance) -> None:
-        """Reclaim an idle instance (keep-alive expiry)."""
+        """Reclaim an idle instance (keep-alive expiry or scale-in)."""
         instance.state = InstanceState.RETIRED
+        instance.retire_time = self.env.now
         self.idle -= 1
         self.alive -= 1
         self.retired += 1

@@ -52,6 +52,9 @@ class ServiceConfig:
     scale_interval_s: Optional[float] = None
     #: Target demand per instance for target-utilisation scaling.
     target_per_instance: Optional[float] = None
+    #: Cooldown before the autoscaler may retire surplus idle instances;
+    #: ``None`` (the default, and the paper's behaviour) disables scale-in.
+    scale_in_cooldown_s: Optional[float] = None
     # -- client behaviour ---------------------------------------------------
     batch_size: int = 1
     # -- Figure 12 micro-benchmark knobs -------------------------------------
@@ -82,6 +85,9 @@ class ServiceConfig:
         if (self.target_per_instance is not None
                 and self.target_per_instance <= 0):
             raise ValueError("target_per_instance must be positive")
+        if (self.scale_in_cooldown_s is not None
+                and self.scale_in_cooldown_s < 0):
+            raise ValueError("scale_in_cooldown_s must be non-negative")
 
     def replace(self, **changes) -> "ServiceConfig":
         """A copy of the config with the given fields changed."""

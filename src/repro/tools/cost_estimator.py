@@ -9,7 +9,7 @@ cost over the same period?
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.cloud.providers import CloudProvider
 from repro.models.profiles import LatencyProfiles
@@ -79,6 +79,41 @@ class CostEstimator:
         """Estimate for one of the standard workload specs."""
         return self.serverless(model, runtime, spec.target_requests,
                                memory_gb=memory_gb)
+
+    @classmethod
+    def annotate_frame(cls, frame, profiles: Optional[LatencyProfiles] = None,
+                       cold_start_fraction: float = 0.01,
+                       column: str = "est_cost_usd"):
+        """Append closed-form serverless cost estimates to a study frame.
+
+        For every row whose spec is a serverless cell, the analytical
+        what-if (priced at the workload spec's *full-scale* request
+        count) lands in ``column``; server-based rows get ``None``.
+        Comparing the column against the measured ``cost_usd`` shows
+        where queueing / cold-start dynamics beat the closed form —
+        remember the measured column reflects the run's workload scale.
+        """
+        if frame.specs is None:
+            raise ValueError("frame carries no scenario specs; build it "
+                             "through Study.run or from_results(specs=...)")
+        estimators: Dict[str, "CostEstimator"] = {}
+        values = []
+        for spec in frame.specs:
+            deployment = spec.deployment()
+            if deployment.config.platform != "serverless":
+                values.append(None)
+                continue
+            estimator = estimators.get(deployment.provider.name)
+            if estimator is None:
+                estimator = cls(provider=deployment.provider,
+                                profiles=profiles or LatencyProfiles())
+                estimators[deployment.provider.name] = estimator
+            values.append(estimator.serverless(
+                deployment.model, deployment.runtime,
+                spec.workload_spec().target_requests,
+                memory_gb=deployment.config.memory_gb,
+                cold_start_fraction=cold_start_fraction).total)
+        return frame.with_column(column, values)
 
     @classmethod
     def for_scenario(cls, scenario,

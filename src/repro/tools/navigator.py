@@ -3,12 +3,15 @@
 "A potential direction is to build a navigation tool that automatically
 searches the design space for serverless deployment, and finds the best
 configuration under pre-defined constraints."  The navigator does exactly
-that on the simulated cloud: it enumerates candidate configurations as
-declarative :class:`~repro.core.scenario.ScenarioSpec` cells (runtime,
-memory size, batch size, optionally alternative platforms), measures
-each on a time-compressed copy of the target workload through the same
-``run_scenario`` path the experiments use, filters by the user's
-latency / success-ratio / cost constraints, and ranks the survivors.
+that on the simulated cloud: its candidate grid *is* a
+:class:`~repro.core.study.Sweep` (runtime x memory x batch, plus
+optional server platforms), each candidate is measured on a
+time-compressed copy of the target workload through the same
+``run_scenario`` path the experiments use, and the evaluation comes back
+as a :class:`~repro.core.study.ResultFrame` — one row per candidate with
+the standard reductions plus a ``feasible`` column — from which the
+feasible set is ranked under the user's latency / success-ratio / cost
+constraints.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.benchmark import ServingBenchmark
 from repro.core.planner import Planner
 from repro.core.scenario import ScenarioSpec
+from repro.core.study import ResultFrame, Sweep, SweepCell
 from repro.serving.deployment import PlatformKind
 from repro.workload.generator import Workload
 
@@ -60,6 +64,9 @@ class NavigationResult:
     best: Optional[Dict[str, object]]
     feasible: List[Dict[str, object]] = field(default_factory=list)
     evaluated: List[Dict[str, object]] = field(default_factory=list)
+    #: The full evaluation as a tidy frame (axes + reductions +
+    #: ``feasible``), for further slicing / pivoting / CSV export.
+    frame: Optional[ResultFrame] = None
 
     @property
     def found(self) -> bool:
@@ -80,50 +87,69 @@ class DesignSpaceNavigator:
     batch_sizes: Sequence[int] = (1, 2, 4)
     include_servers: bool = False
 
-    def candidates(self) -> List[ScenarioSpec]:
-        """The candidate scenarios the navigator will evaluate."""
-        grid: List[ScenarioSpec] = []
-        for runtime in self.runtimes:
-            for memory_gb in self.memory_sizes_gb:
-                for batch_size in self.batch_sizes:
-                    grid.append(ScenarioSpec(
-                        name=(f"nav/{self.provider}/{self.model}/{runtime}"
-                              f"/m{memory_gb:g}/b{batch_size}"),
-                        provider=self.provider, model=self.model,
-                        runtime=runtime, platform=PlatformKind.SERVERLESS,
-                        config={"memory_gb": memory_gb,
-                                "batch_size": batch_size}))
+    def sweep(self) -> Sweep:
+        """The serverless candidate grid as a declarative sweep."""
+        return Sweep(
+            name=f"nav/{self.provider}/{self.model}",
+            base=ScenarioSpec(name=f"nav/{self.provider}/{self.model}",
+                              provider=self.provider, model=self.model,
+                              platform=PlatformKind.SERVERLESS),
+            axes={
+                "runtime": tuple(self.runtimes),
+                "memory_gb": tuple(self.memory_sizes_gb),
+                "batch_size": tuple(self.batch_sizes),
+            },
+        )
+
+    def cells(self) -> List[SweepCell]:
+        """Sweep cells plus (optionally) the server-platform candidates."""
+        cells = self.sweep().cells()
         if self.include_servers:
             for platform in (PlatformKind.CPU_SERVER,
                              PlatformKind.GPU_SERVER):
-                grid.append(ScenarioSpec(
+                spec = ScenarioSpec(
                     name=f"nav/{self.provider}/{self.model}/{platform}",
                     provider=self.provider, model=self.model,
-                    runtime="tf1.15", platform=platform))
-        return grid
+                    runtime="tf1.15", platform=platform)
+                cells.append(SweepCell(sweep=spec.name,
+                                       labels={"runtime": "tf1.15",
+                                               "platform": platform},
+                                       spec=spec))
+        return cells
+
+    def candidates(self) -> List[ScenarioSpec]:
+        """The candidate scenarios the navigator will evaluate."""
+        return [cell.spec for cell in self.cells()]
+
+    def evaluate(self, workload: Workload,
+                 constraints: NavigationConstraints) -> ResultFrame:
+        """Measure every candidate; returns the frame with feasibility."""
+        cells = self.cells()
+        results = [
+            ({**cell.spec.as_row(), **cell.labels},
+             self.benchmark.run_scenario(cell.spec, workload=workload,
+                                         planner=self.planner))
+            for cell in cells
+        ]
+        frame = ResultFrame.from_results(
+            results, name=f"nav/{self.provider}/{self.model}",
+            specs=[cell.spec for cell in cells])
+        return frame.with_column("feasible", [
+            constraints.is_satisfied(row["avg_latency_s"],
+                                     row["success_ratio"],
+                                     row["cost_usd"])
+            for row in frame.iter_rows()
+        ])
 
     def search(self, workload: Workload,
                constraints: NavigationConstraints) -> NavigationResult:
         """Evaluate every candidate and rank the feasible ones."""
-        evaluated = []
-        for candidate in self.candidates():
-            result = self.benchmark.run_scenario(candidate,
-                                                 workload=workload,
-                                                 planner=self.planner)
-            row = candidate.as_row()
-            row.update({
-                "avg_latency_s": result.average_latency,
-                "success_ratio": result.success_ratio,
-                "cost_usd": result.cost,
-                "feasible": constraints.is_satisfied(
-                    result.average_latency, result.success_ratio, result.cost),
-            })
-            evaluated.append(row)
-
+        frame = self.evaluate(workload, constraints)
+        evaluated = frame.to_rows()
         feasible = [row for row in evaluated if row["feasible"]]
         key = ("cost_usd" if constraints.objective == "cost"
                else "avg_latency_s")
         feasible.sort(key=lambda row: row[key])
         best = feasible[0] if feasible else None
         return NavigationResult(best=best, feasible=feasible,
-                                evaluated=evaluated)
+                                evaluated=evaluated, frame=frame)

@@ -147,6 +147,64 @@ class TestTargetUtilisationPolicy:
             self._policy(min_instances=5, max_instances=1)
         with pytest.raises(ValueError):
             self._policy(max_scale_step=0)
+        with pytest.raises(ValueError):
+            self._policy(scale_in_cooldown_s=-1.0)
+
+    # -- scale-in ----------------------------------------------------------
+    def test_scale_in_disabled_by_default(self):
+        policy = self._policy()
+        assert policy.plan_retires(demand=0.0, provisioned=10, idle=10,
+                                   since_last_scale_s=1e9) == 0
+
+    def test_scale_in_retires_the_surplus(self):
+        policy = self._policy(scale_in_cooldown_s=120.0)
+        # demand 4 -> desired 1; 5 provisioned, all idle -> retire 4.
+        assert policy.plan_retires(demand=4.0, provisioned=5, idle=5,
+                                   since_last_scale_s=300.0) == 4
+
+    def test_scale_in_waits_for_the_cooldown(self):
+        policy = self._policy(scale_in_cooldown_s=120.0)
+        assert policy.plan_retires(demand=0.0, provisioned=5, idle=5,
+                                   since_last_scale_s=119.9) == 0
+        assert policy.plan_retires(demand=0.0, provisioned=5, idle=5,
+                                   since_last_scale_s=120.0) == 4
+
+    def test_scale_in_never_goes_below_min_instances(self):
+        policy = self._policy(min_instances=2, scale_in_cooldown_s=0.0)
+        assert policy.plan_retires(demand=0.0, provisioned=5, idle=5,
+                                   since_last_scale_s=1.0) == 3
+
+    def test_scale_in_never_retires_busy_instances(self):
+        policy = self._policy(scale_in_cooldown_s=0.0)
+        assert policy.plan_retires(demand=0.0, provisioned=5, idle=2,
+                                   since_last_scale_s=1.0) == 2
+
+    def test_scale_in_respects_max_scale_step(self):
+        policy = self._policy(max_scale_step=1, scale_in_cooldown_s=0.0)
+        assert policy.plan_retires(demand=0.0, provisioned=9, idle=9,
+                                   since_last_scale_s=1.0) == 1
+
+    def test_scale_in_scripted_diurnal_trace(self):
+        """Out on the peak, in (only after the cooldown) on the valley."""
+        policy = self._policy(scale_in_cooldown_s=180.0)
+        fleet, since = 1, 1e9
+        sizes = []
+        for demand in [4.0, 20.0, 20.0, 4.0, 4.0, 4.0]:
+            launched = policy.launches(demand, fleet)
+            if launched:
+                fleet += launched
+                since = 0.0
+            else:
+                retired = policy.plan_retires(demand, fleet, idle=fleet,
+                                              since_last_scale_s=since)
+                fleet -= retired
+                if retired:
+                    since = 0.0
+            since += 60.0
+            sizes.append(fleet)
+        # The valley starts at step 4, but the 180 s cooldown since the
+        # step-2 launch holds the fleet one more round before it shrinks.
+        assert sizes == [1, 5, 5, 5, 1, 1]
 
 
 class TestFixedFleetPolicy:

@@ -142,6 +142,76 @@ class TestTargetTrackingScaler:
         assert scaler.evaluate_once() == 1
         assert launched == [1]
 
+    def test_scale_in_retires_after_cooldown(self, env):
+        from repro.platforms.policies import TargetUtilisationPolicy
+        state = {"total": 6, "demand": 4.0}
+        retired = []
+
+        def retire(n):
+            retired.append(n)
+            state["total"] -= n
+
+        scaler = TargetTrackingScaler(
+            env=env, evaluation_period_s=60.0,
+            policy=TargetUtilisationPolicy(
+                target_per_instance=4.0, min_instances=1, max_instances=10,
+                scale_in_cooldown_s=120.0),
+            demand=lambda: state["demand"],
+            provisioned_total=lambda: state["total"],
+            launch=lambda n: None,
+            retire=retire,
+            idle=lambda: state["total"])
+        # Inside the cooldown window nothing happens...
+        env.timeout(60.0)
+        env.run()
+        assert scaler.evaluate_once() == 0
+        assert retired == []
+        # ...after it, the surplus above the demand's desired fleet goes.
+        env.timeout(120.0)
+        env.run()
+        assert scaler.evaluate_once() == -5
+        assert retired == [5]
+        assert state["total"] == 1
+        # A retirement is a scaling action: the cooldown restarts.
+        assert scaler.evaluate_once() == 0
+
+    def test_no_scale_in_while_a_scale_out_is_in_flight(self, env):
+        """The endpoint reports zero retirable idle while warming > 0.
+
+        `provisioned_total` counts warming instances, so without this
+        guard the scaler could retire the only *ready* instance against
+        capacity that is still minutes from serving.
+        """
+        from repro.core.planner import Planner
+        from repro.platforms.base import build_platform
+        platform = build_platform(env, Planner().plan(
+            "aws", "mobilenet", "tf1.15", "managed_ml",
+            scale_in_cooldown_s=0.0))
+        # Bring up the initial fleet by hand (platform.start() would also
+        # register the never-ending autoscaler process).
+        platform.pool.launch(warm=True)
+        platform._resize_workers()
+        assert platform._retirable_idle() == platform.pool.idle == 1
+        platform._launch_instances(1)  # warming for the next few minutes
+        assert platform.pool.warming == 1
+        assert platform._retirable_idle() == 0
+        env.run()  # bring-up completes -> warming drains
+        assert platform.pool.warming == 0
+        assert platform._retirable_idle() == 2
+
+    def test_no_scale_in_without_the_hooks(self, env):
+        """A policy with a cooldown but no retire hook never scales in."""
+        from repro.platforms.policies import TargetUtilisationPolicy
+        scaler = TargetTrackingScaler(
+            env=env, evaluation_period_s=60.0,
+            policy=TargetUtilisationPolicy(
+                target_per_instance=4.0, min_instances=1, max_instances=10,
+                scale_in_cooldown_s=0.0),
+            demand=lambda: 0.0,
+            provisioned_total=lambda: 8,
+            launch=lambda n: None)
+        assert scaler.evaluate_once() == 0
+
     def test_validation(self, env):
         with pytest.raises(ValueError):
             TargetTrackingScaler(env=env, evaluation_period_s=0,

@@ -175,6 +175,40 @@ class TestScenarioExecution:
         assert (eager.usage.instances_created
                 > default.usage.instances_created)
 
+    def test_diurnal_scalein_shrinks_the_fleet(self):
+        """The config-only scale-in scenario: valleys stop billing.
+
+        At scale 0.3 the first valley (about 330 s) exceeds the 240 s
+        cooldown, so the fleet retires down between the two plateaus and
+        relaunches for the second one — cheaper than the same cell with
+        scale-in disabled, with a visible retire/relaunch cycle.
+        """
+        bench = ServingBenchmark(seed=7)
+        spec = get_scenario("diurnal-scalein")
+        scaled_in = bench.run_scenario(spec, scale=0.3)
+        static = bench.run_scenario(
+            spec.with_config(scale_in_cooldown_s=None), scale=0.3)
+        # More launches than the no-scale-in run: retire + relaunch.
+        assert (scaled_in.usage.instances_created
+                > static.usage.instances_created)
+        # The gauge comes back down after the peaks...
+        counts = scaled_in.usage.instance_count.values
+        assert counts[-1] < max(counts)
+        # ...and fewer instance-seconds accrue, so the run is cheaper.
+        assert scaled_in.usage.instance_seconds < static.usage.instance_seconds
+        assert scaled_in.cost < static.cost
+        # The conservation ledger still balances under scale-in.
+        notes = scaled_in.usage.notes
+        assert notes["submitted"] == (notes["completed"] + notes["failed"]
+                                      + notes["rejected"])
+
+    def test_diurnal_workload_registered(self):
+        assert "w-diurnal" in known_workloads()
+        spec = workload_spec("w-diurnal")
+        assert spec.duration_s == 3600.0
+        workload = standard_workload("w-diurnal", seed=3, scale=0.05)
+        assert workload.count == workload.spec.target_requests
+
     def test_experiment_context_runs_scenarios_with_cache(self):
         context = ExperimentContext(seed=7, scale=0.04)
         first = context.run_scenario("burst-storm")
