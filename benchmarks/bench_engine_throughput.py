@@ -171,6 +171,40 @@ def run_frame_probe(result, cells: int = 64) -> dict:
     }
 
 
+def run_replicated_frame_probe(result, cells: int = 16,
+                               replicates: int = 8) -> dict:
+    """Smoke the replication path: frame build + grouped reductions.
+
+    Builds a ``cells x replicates``-row frame (each row carries
+    ``replicate`` / ``seed`` labels the way a replicated sweep emits
+    them) and times ``replicate_summary`` — the ``group_by`` collapse
+    into per-cell mean/std/ci95 columns that every error-bar report
+    runs.  Reported as collapsed cells/s for the ``--check`` gate.
+    """
+    from repro.core.study import ResultFrame  # noqa: E402
+
+    pairs = [({"provider": "aws", "model": "mobilenet",
+               "memory_gb": float(index), "replicate": replicate,
+               "seed": 7 + replicate}, result)
+             for index in range(cells) for replicate in range(replicates)]
+    frame = ResultFrame.from_results(pairs)
+    collapse_s = None
+    for _ in range(3):
+        started = time.perf_counter()
+        for _ in range(10):
+            summary = frame.replicate_summary()
+        elapsed = (time.perf_counter() - started) / 10
+        collapse_s = elapsed if collapse_s is None else min(collapse_s,
+                                                            elapsed)
+    assert len(summary) == cells
+    return {
+        "rows": len(frame),
+        "cells": cells,
+        "replicates": replicates,
+        "collapse_cells_per_s": round(cells / collapse_s, 1),
+    }
+
+
 def run_control_probe(iterations: int = 50_000) -> dict:
     """Smoke the control-plane hot paths in isolation.
 
@@ -242,6 +276,7 @@ def run_sweep(scale: float, repeats: int) -> dict:
     columnar = run_columnar_probe(keep[0])
     control = run_control_probe()
     frame = run_frame_probe(keep[0])
+    replicated = run_replicated_frame_probe(keep[0])
     print(f" probe x{CHECK_SCALE:<5g} {probe['wall_s']:>8.3f}s "
           f"{probe['requests_per_s']:>10,.0f} req/s")
     print(f" columnar build {columnar['build_rows_per_s']:>12,.0f} rows/s "
@@ -249,6 +284,8 @@ def run_sweep(scale: float, repeats: int) -> dict:
     print(f" control plane {control['cycles_per_s']:>13,.0f} cycles/s")
     print(f" result frame  {frame['build_cells_per_s']:>10,.0f} cells/s "
           f"query {frame['query_ops_per_s']:>10,.0f} ops/s")
+    print(f" replicated    {replicated['collapse_cells_per_s']:>10,.0f} "
+          f"cells/s (group_by collapse)")
     return {
         "bench": "engine-throughput",
         "cell": "aws/mobilenet/tf1.15/serverless",
@@ -259,6 +296,7 @@ def run_sweep(scale: float, repeats: int) -> dict:
         "columnar_probe": columnar,
         "control_probe": control,
         "frame_probe": frame,
+        "replicated_frame_probe": replicated,
     }
 
 
@@ -318,6 +356,15 @@ def run_check(path: str) -> int:
     else:
         print("note: no frame_probe recorded; rerun the full sweep "
               "to extend the gate")
+    replicated_reference = recorded.get("replicated_frame_probe")
+    if replicated_reference:
+        replicated = run_replicated_frame_probe(keep[0])
+        checks.append(("replicated collapse cells/s",
+                       replicated["collapse_cells_per_s"],
+                       replicated_reference["collapse_cells_per_s"]))
+    else:
+        print("note: no replicated_frame_probe recorded; rerun the full "
+              "sweep to extend the gate")
     failed = False
     for label, measured, baseline in checks:
         floor = baseline * (1.0 - CHECK_TOLERANCE)

@@ -1,16 +1,24 @@
 #!/usr/bin/env bash
 # One-stop CI / pre-commit gate:
 #
-#   scripts/check.sh          tier-1 tests + all perf probes
-#   scripts/check.sh --fast   tests only (skip the perf gate)
+#   scripts/check.sh          tier-1 tests + docstring gate + perf probes
+#   scripts/check.sh --fast   tests only (skip docstring + perf gates)
+#   scripts/check.sh --docs   the above plus the docs build/validation
 #
 # The perf gate is benchmarks/bench_engine_throughput.py --check: the
 # fixed simulation probe cell, the columnar build/reduce probes, the
-# control-plane (pool / policy / queue) probe, and the study-layer
-# (ResultFrame build/query) probe, each compared against
-# BENCH_engine.json with a 30% regression tolerance.  Regenerate the
-# baseline with `python benchmarks/bench_engine_throughput.py` on the
-# machine that runs the gate.
+# control-plane (pool / policy / queue) probe, the study-layer
+# (ResultFrame build/query) probe, and the replicated-frame (group_by
+# collapse) probe, each compared against BENCH_engine.json with a 30%
+# regression tolerance.  Regenerate the baseline with
+# `python benchmarks/bench_engine_throughput.py` on the machine that
+# runs the gate.
+#
+# The docstring gate (scripts/check_docstrings.py) requires every
+# public repro.api name documented; the docs gate
+# (scripts/build_docs.py) validates the mkdocs nav, internal links,
+# and the generated API reference, and builds the site when mkdocs is
+# installed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,8 +28,16 @@ echo "== tier-1 tests =="
 python -m pytest -q
 
 if [[ "${1:-}" != "--fast" ]]; then
-    echo "== perf gate (engine + columnar + control-plane probes) =="
+    echo "== docstring coverage (repro.api surface) =="
+    python scripts/check_docstrings.py
+
+    echo "== perf gate (engine + columnar + control-plane + frame probes) =="
     python benchmarks/bench_engine_throughput.py --check
+fi
+
+if [[ "${1:-}" == "--docs" ]]; then
+    echo "== docs build =="
+    python scripts/build_docs.py
 fi
 
 echo "check.sh: OK"

@@ -78,7 +78,24 @@ def run(scenario: Union[str, ScenarioSpec], *, seed: int = 7,
 
     The one-call entry point: resolves the spec's deployment and
     workload, simulates the cell, and returns its
-    :class:`~repro.core.results.RunResult`.
+    :class:`~repro.core.results.RunResult`::
+
+        from repro.api import run
+
+        result = run("burst-storm", scale=0.2)
+        print(result.success_ratio, result.cost)
+
+    Args:
+        scenario: A :class:`ScenarioSpec`, or the name of a scenario
+            registered with :func:`register_scenario`.
+        seed: Random seed for the run (a spec with a pinned
+            ``ScenarioSpec.seed`` wins over this).
+        scale: Time-compression factor in ``(0, 1]``; 1.0 replays the
+            paper's full workloads.
+        planner: Optional :class:`~repro.core.planner.Planner` override.
+
+    Returns:
+        The cell's :class:`~repro.core.results.RunResult`.
     """
     from repro.core.benchmark import ServingBenchmark
     return ServingBenchmark(seed=seed).run_scenario(scenario, scale=scale,
@@ -92,8 +109,29 @@ def run_study(study: Union[str, Study, Sweep], *, seed: int = 7,
 
     Builds a fresh :class:`~repro.experiments.base.ExperimentContext`
     at the given seed / scale / worker count and returns the study's
-    :class:`ResultFrame`.  ``providers`` defaults to every provider the
-    study's cells reference.
+    :class:`ResultFrame`::
+
+        from repro.api import run_study
+
+        frame = run_study("fig05-replicated", scale=0.1, workers=-1)
+        print(frame.replicate_summary().to_text())
+
+    Args:
+        study: A :class:`Study`, a bare :class:`Sweep` (wrapped into a
+            single-sweep study), or a registered study name.
+        seed: Context seed; replicated sweeps derive replicate ``r``'s
+            seed as ``seed + r``.
+        scale: Time-compression factor in ``(0, 1]``.
+        workers: Fan independent cells over this many worker processes
+            (0 = serial, -1 = one per core); results are bit-identical
+            to serial at any worker count.
+        providers: Providers to evaluate; defaults to every provider
+            the study's cells reference.
+
+    Returns:
+        The study's tidy :class:`ResultFrame` (replicated studies carry
+        ``replicate`` / ``seed`` columns — collapse them with
+        :meth:`ResultFrame.replicate_summary`).
     """
     from repro.experiments.base import ExperimentContext, load_registered_studies
     if isinstance(study, str):

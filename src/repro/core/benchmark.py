@@ -45,15 +45,24 @@ class ServingBenchmark:
     rng_block_size: Optional[int] = None
 
     def run(self, deployment: Deployment, workload: Workload,
-            workload_scale: float = 1.0) -> RunResult:
-        """Run one experiment and return its result."""
+            workload_scale: float = 1.0,
+            seed: Optional[int] = None) -> RunResult:
+        """Run one experiment and return its result.
+
+        ``seed`` overrides the benchmark's own seed for this cell only —
+        the replication path: a replicate cell carries its seed through
+        the run cache and the worker pool, and ``seed=self.seed`` is
+        bit-identical to passing nothing.
+        """
+        if seed is None:
+            seed = self.seed
         env = Environment()
-        rng = RandomStreams(self.seed, block_size=self.rng_block_size)
+        rng = RandomStreams(seed, block_size=self.rng_block_size)
         platform = build_platform(env, deployment, self.profiles, rng)
         pool = RequestPool(
             sample_payload_mb=deployment.model.input_payload_mb,
             pool_size=workload.spec.request_pool_size,
-            seed=self.seed,
+            seed=seed,
         )
         executor = Executor(env=env, platform=platform, workload=workload,
                             request_pool=pool, rng=rng)
@@ -88,7 +97,8 @@ class ServingBenchmark:
         deployment = spec.deployment(planner)
         if workload is None:
             workload = spec.build_workload(seed=self.seed, scale=scale)
-        return self.run(deployment, workload, workload_scale=scale)
+        return self.run(deployment, workload, workload_scale=scale,
+                        seed=spec.seed)
 
     def run_scenarios(self, scenarios: Iterable[Union[str, ScenarioSpec]],
                       scale: float = 1.0, workers: int = 0,
@@ -107,20 +117,22 @@ class ServingBenchmark:
                                  if names.count(name) > 1})
             raise ValueError(f"scenario names must be distinct, got "
                              f"duplicates: {duplicates}")
-        workloads: Dict[str, Workload] = {}
+        workloads: Dict[tuple, Workload] = {}
         cells = []
         for spec in specs:
-            if spec.workload not in workloads:
-                workloads[spec.workload] = spec.build_workload(
-                    seed=self.seed, scale=scale)
-            cells.append((spec.deployment(planner),
-                          workloads[spec.workload], scale))
+            key = (spec.workload,
+                   self.seed if spec.seed is None else spec.seed)
+            if key not in workloads:
+                workloads[key] = spec.build_workload(seed=self.seed,
+                                                     scale=scale)
+            cells.append((spec.deployment(planner), workloads[key], scale,
+                          spec.seed))
         if workers and workers != 1 and len(cells) > 1:
             from repro.core.parallel import run_cells
             results = run_cells(self, cells, workers)
         else:
-            results = [self.run(deployment, workload, cell_scale)
-                       for deployment, workload, cell_scale in cells]
+            results = [self.run(deployment, workload, cell_scale, seed=seed)
+                       for deployment, workload, cell_scale, seed in cells]
         return {spec.name: result for spec, result in zip(specs, results)}
 
     def run_many(self, deployments: Iterable[Deployment],

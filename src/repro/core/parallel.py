@@ -71,23 +71,29 @@ def _init_worker(benchmark: "ServingBenchmark",
     _WORKER_STATE["workloads"] = workloads
 
 
-def _run_cell_pooled(payload: Tuple["Deployment", int, float]) -> tuple:
+def _run_cell_pooled(payload: Tuple["Deployment", int, float, object]
+                     ) -> tuple:
     """Worker entry point: run one cell against the initializer state."""
-    deployment, workload_index, scale = payload
+    deployment, workload_index, scale, seed = payload
     benchmark: "ServingBenchmark" = _WORKER_STATE["benchmark"]
     workload: "Workload" = _WORKER_STATE["workloads"][workload_index]
-    return benchmark.run(deployment, workload, scale).to_transport()
+    return benchmark.run(deployment, workload, scale,
+                         seed=seed).to_transport()
 
 
 def run_cells(benchmark: "ServingBenchmark",
-              cells: Sequence[Tuple["Deployment", "Workload", float]],
+              cells: Sequence[tuple],
               workers: int) -> List["RunResult"]:
     """Run every cell, fanning out over ``workers`` processes.
 
-    Results come back in the order of ``cells``.  With ``workers <= 1``
-    (or a single cell) everything runs in-process.
+    Each cell is ``(deployment, workload, scale)`` with an optional
+    trailing per-cell ``seed`` (``None`` = the benchmark's seed — the
+    replicated-sweep path pins one seed per replicate cell).  Results
+    come back in the order of ``cells`` and are bit-identical to serial
+    execution at any worker count.  With ``workers <= 1`` (or a single
+    cell) everything runs in-process.
     """
-    cells = list(cells)
+    cells = [(cell if len(cell) == 4 else (*cell, None)) for cell in cells]
     workers = min(resolve_workers(workers), len(cells))
     if workers <= 1:
         return _run_serial(benchmark, cells)
@@ -101,14 +107,14 @@ def run_cells(benchmark: "ServingBenchmark",
     # caches and reuses Workload objects) so each ships once per worker.
     workloads: List["Workload"] = []
     indices: Dict[int, int] = {}
-    payloads: List[Tuple["Deployment", int, float]] = []
-    for deployment, workload, scale in cells:
+    payloads: List[Tuple["Deployment", int, float, object]] = []
+    for deployment, workload, scale, seed in cells:
         index = indices.get(id(workload))
         if index is None:
             index = len(workloads)
             indices[id(workload)] = index
             workloads.append(workload)
-        payloads.append((deployment, index, scale))
+        payloads.append((deployment, index, scale, seed))
 
     from repro.core.results import RunResult
     try:
@@ -128,12 +134,11 @@ def run_cells(benchmark: "ServingBenchmark",
                       RuntimeWarning, stacklevel=2)
         return _run_serial(benchmark, cells)
     return [RunResult.from_transport(transport, deployment)
-            for transport, (deployment, _workload, _scale)
+            for transport, (deployment, _workload, _scale, _seed)
             in zip(transports, cells)]
 
 
 def _run_serial(benchmark: "ServingBenchmark",
-                cells: Sequence[Tuple["Deployment", "Workload", float]],
-                ) -> List["RunResult"]:
-    return [benchmark.run(deployment, workload, scale)
-            for deployment, workload, scale in cells]
+                cells: Sequence[tuple]) -> List["RunResult"]:
+    return [benchmark.run(deployment, workload, scale, seed=seed)
+            for deployment, workload, scale, seed in cells]

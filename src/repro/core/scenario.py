@@ -31,7 +31,7 @@ per-instance target — policy as data).
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Dict, Iterator, List, Mapping, Tuple, Union
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
 
 from repro.serving.deployment import Deployment, PlatformKind
 from repro.workload.generator import (
@@ -53,7 +53,32 @@ __all__ = [
 
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """One experiment cell — deployment x workload x policy — as data."""
+    """One experiment cell — deployment x workload x policy — as data.
+
+    A spec is hashable, serialisable, and cheap: nothing simulates until
+    it is run.  The minimal spec names a provider and a model; runtime,
+    platform, workload, config overrides, and a pinned per-cell ``seed``
+    all default sensibly::
+
+        from repro.api import ScenarioSpec, run
+
+        spec = ScenarioSpec(name="demo", provider="aws", model="mobilenet",
+                            platform="serverless", workload="w-120",
+                            config={"memory_gb": 4.0})
+        result = run(spec, scale=0.2)
+        print(result.average_latency, result.cost)
+
+    Args (dataclass fields):
+        name: Free-form identifier used in reports and registries.
+        provider: Cloud provider key (``"aws"`` / ``"gcp"``).
+        model: Model-zoo name (``"mobilenet"``, ``"albert"``, ``"vgg"``).
+        runtime: Serving runtime key (default ``"tf1.15"``).
+        platform: Platform kind (default serverless).
+        workload: Standard or registered workload name (default ``"w-40"``).
+        config: :class:`~repro.serving.deployment.ServiceConfig` overrides.
+        description: Optional human-readable note.
+        seed: Optional pinned random seed (see :meth:`with_seed`).
+    """
 
     name: str
     provider: str
@@ -67,6 +92,14 @@ class ScenarioSpec:
     #: item tuple so specs stay hashable.
     config: Union[Mapping[str, object], Tuple[Tuple[str, object], ...]] = ()
     description: str = ""
+    #: Per-cell random seed.  ``None`` (the default) means "use the
+    #: runner's seed" — the :class:`~repro.core.benchmark.ServingBenchmark`
+    #: / :class:`~repro.experiments.base.ExperimentContext` seed — which
+    #: keeps every existing spec bit-identical to before this field
+    #: existed.  A replicated sweep sets it explicitly per replicate, so
+    #: the seed travels with the cell through the run cache and the
+    #: worker fan-out.
+    seed: Optional[int] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.config, Mapping):
@@ -97,15 +130,33 @@ class ScenarioSpec:
         return ScenarioSpec(name=self.name, provider=self.provider,
                             model=self.model, runtime=self.runtime,
                             platform=self.platform, workload=self.workload,
-                            config=merged, description=self.description)
+                            config=merged, description=self.description,
+                            seed=self.seed)
+
+    def with_seed(self, seed: Optional[int],
+                  name: str = "") -> "ScenarioSpec":
+        """A copy pinned to ``seed`` (``None`` unpins it again).
+
+        The replicated-sweep expansion uses this to mint one seeded cell
+        per replicate; ``name`` optionally renames the copy so replicate
+        rows stay identifiable in reports.
+        """
+        return ScenarioSpec(name=name or self.name, provider=self.provider,
+                            model=self.model, runtime=self.runtime,
+                            platform=self.platform, workload=self.workload,
+                            config=self.overrides,
+                            description=self.description, seed=seed)
 
     @property
     def cell_key(self) -> str:
         """Stable identifier for run caching and result labelling."""
         overrides = ",".join(f"{key}={value}" for key, value in self.config)
-        return (f"{self.provider}/{self.model}/{self.runtime}/"
-                f"{self.platform}/{self.workload}"
-                + (f"/{overrides}" if overrides else ""))
+        key = (f"{self.provider}/{self.model}/{self.runtime}/"
+               f"{self.platform}/{self.workload}"
+               + (f"/{overrides}" if overrides else ""))
+        if self.seed is not None:
+            key += f"/seed={self.seed}"
+        return key
 
     def as_row(self) -> Dict[str, object]:
         """The spec's dimensions as a flat result-table row."""
@@ -117,6 +168,8 @@ class ScenarioSpec:
             "platform": self.platform,
             "workload": self.workload,
         }
+        if self.seed is not None:
+            row["seed"] = self.seed
         row.update(self.overrides)
         return row
 
@@ -133,9 +186,19 @@ class ScenarioSpec:
         """The referenced workload's spec (standard or registered)."""
         return workload_spec(self.workload)
 
-    def build_workload(self, seed: int = 7, scale: float = 1.0) -> Workload:
-        """Generate the referenced workload at the given seed / scale."""
-        return standard_workload(self.workload, seed=seed, scale=scale)
+    def build_workload(self, seed: Optional[int] = None,
+                       scale: float = 1.0) -> Workload:
+        """Generate the referenced workload at the given seed / scale.
+
+        The spec's own :attr:`seed` wins over the caller's ``seed``
+        argument (a pinned cell *is* its seed); with neither set, the
+        project-wide default seed 7 applies.
+        """
+        if self.seed is not None:
+            seed = self.seed
+        return standard_workload(self.workload,
+                                 seed=7 if seed is None else seed,
+                                 scale=scale)
 
 
 # ---------------------------------------------------------------------------

@@ -128,7 +128,7 @@ class ExperimentContext:
     benchmark: ServingBenchmark = field(default_factory=lambda: ServingBenchmark(seed=7))
     planner: Planner = field(default_factory=Planner)
     analyzer: Analyzer = field(default_factory=Analyzer)
-    _workloads: Dict[str, Workload] = field(default_factory=dict)
+    _workloads: Dict[tuple, Workload] = field(default_factory=dict)
     _runs: Dict[str, RunResult] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -137,12 +137,19 @@ class ExperimentContext:
         self.benchmark.seed = self.seed
 
     # -- workloads -------------------------------------------------------------
-    def workload(self, name: str) -> Workload:
-        """The named standard workload at this context's scale (cached)."""
-        if name not in self._workloads:
-            self._workloads[name] = standard_workload(name, seed=self.seed,
-                                                      scale=self.scale)
-        return self._workloads[name]
+    def workload(self, name: str, seed: Optional[int] = None) -> Workload:
+        """The named standard workload at this context's scale (cached).
+
+        ``seed`` overrides the context seed for one replicate cell; the
+        cache is keyed by ``(name, effective seed)`` so replicates of
+        the same workload coexist without regenerating each other.
+        """
+        effective = self.seed if seed is None else seed
+        key = (name, effective)
+        if key not in self._workloads:
+            self._workloads[key] = standard_workload(name, seed=effective,
+                                                     scale=self.scale)
+        return self._workloads[key]
 
     # -- runs -------------------------------------------------------------------
     @staticmethod
@@ -176,8 +183,9 @@ class ExperimentContext:
         if key not in self._runs:
             self._runs[key] = self.benchmark.run(
                 spec.deployment(self.planner),
-                self.workload(spec.workload),
-                workload_scale=self.scale)
+                self.workload(spec.workload, seed=spec.seed),
+                workload_scale=self.scale,
+                seed=spec.seed)
         return self._runs[key]
 
     def run_cell(self, provider: str, model: str, runtime: str, platform: str,
@@ -230,8 +238,9 @@ class ExperimentContext:
         from repro.core.parallel import run_cells
         results = run_cells(
             self.benchmark,
-            [(spec.deployment(self.planner), self.workload(spec.workload),
-              self.scale) for _key, spec in pending],
+            [(spec.deployment(self.planner),
+              self.workload(spec.workload, seed=spec.seed),
+              self.scale, spec.seed) for _key, spec in pending],
             self.workers)
         for (key, _spec), result in zip(pending, results):
             self._runs[key] = result

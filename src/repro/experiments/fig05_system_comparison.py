@@ -9,6 +9,8 @@ reported with its measured success ratio instead.
 
 from __future__ import annotations
 
+import dataclasses
+
 from repro.core.scenario import ScenarioSpec
 from repro.core.study import Study, Sweep, register_study
 from repro.experiments.base import ExperimentContext, ExperimentResult
@@ -37,6 +39,22 @@ STUDY = register_study(Study(
             "platform": PLATFORMS,
         },
     ),
+))
+
+#: Replicate count of the replicated headline panel.
+REPLICATES = 5
+
+#: The same system-comparison panel, replicated: every cell runs
+#: ``REPLICATES`` times at derived seeds (context seed + r), and the
+#: report collapses the K x cells rows into per-cell ``mean/std/ci95``
+#: columns — the paper's point estimates with 95 % confidence
+#: intervals.  Run it with ``repro-experiments sweep fig05-replicated``
+#: (the CLI collapses replicated frames automatically) or collapse the
+#: raw frame yourself with :meth:`ResultFrame.replicate_summary`.
+REPLICATED_STUDY = register_study(dataclasses.replace(
+    STUDY.with_replicates(REPLICATES),
+    name="fig05-replicated",
+    title=TITLE + f" — K={REPLICATES} replicates, 95% CI",
 ))
 
 

@@ -67,6 +67,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--csv", default="",
                         help="write the result table as CSV to this file "
                              "(one experiment or sweep at a time)")
+    parser.add_argument("--replicates", type=int, default=1,
+                        help="run every sweep cell this many times at "
+                             "derived seeds (seed, seed+1, ...) and report "
+                             "per-cell mean/std/ci95 columns (sweep "
+                             "subcommand only)")
     return parser
 
 
@@ -142,24 +147,48 @@ def _resolve_study(name: str,
 
 def _run_sweeps(names: List[str], args,
                 parser: argparse.ArgumentParser) -> int:
-    """The `sweep` subcommand: run named studies, print their frames."""
+    """The `sweep` subcommand: run named studies, print their frames.
+
+    A replicated study (declared ``replicates=K`` or forced with
+    ``--replicates K``) is reported collapsed — one row per cell with
+    ``mean/std/ci95`` columns — after stating the raw replicate-row
+    count; the CSV export carries the same stat columns.  Cells removed
+    by a sweep's constraint or subsampling hooks are counted in the
+    report header, never dropped silently.
+    """
     if not names:
         parser.error("sweep requires at least one study or scenario name "
                      "(see --list)")
     if args.csv and len(names) > 1:
         parser.error("--csv supports one sweep at a time")
+    if args.replicates < 1:
+        parser.error("--replicates must be >= 1")
     context = _build_context(args)
     reports = []
     for name in names:
         study = _resolve_study(name, parser)
+        if args.replicates > 1:
+            study = study.with_replicates(args.replicates)
         frame = study.run(context)
         title = study.title or study.name
         lines = [f"== sweep {study.name}: {title} ==",
-                 f"  cells: {len(frame)}  scale: {context.scale}",
-                 frame.to_text()]
+                 f"  cells: {len(frame)}  scale: {context.scale}"]
+        for key, label in (("constrained_out", "constraint dropped"),
+                           ("sampled_out", "subsampling removed")):
+            counts = frame.meta.get(key)
+            if counts:
+                lines.append(f"  {label}: "
+                             + ", ".join(f"{sweep}: {count}"
+                                         for sweep, count in counts.items()))
+        output_frame = frame
+        if "replicate" in frame:
+            output_frame = frame.replicate_summary()
+            lines.append(f"  replicated: {len(frame)} runs collapsed to "
+                         f"{len(output_frame)} cells (mean/std/ci95)")
+        lines.append(output_frame.to_text())
         reports.append("\n".join(lines))
         if args.csv:
-            frame.to_csv(args.csv)
+            output_frame.to_csv(args.csv)
     _emit_report("\n\n".join(reports), args.output)
     return 0
 

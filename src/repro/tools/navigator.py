@@ -17,7 +17,7 @@ constraints.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.benchmark import ServingBenchmark
 from repro.core.planner import Planner
@@ -86,6 +86,13 @@ class DesignSpaceNavigator:
     memory_sizes_gb: Sequence[float] = (2.0, 4.0, 8.0)
     batch_sizes: Sequence[int] = (1, 2, 4)
     include_servers: bool = False
+    #: A-priori feasibility predicate over each candidate's label dict
+    #: (``runtime`` / ``memory_gb`` / ``batch_size``).  Wired into the
+    #: candidate sweep's declarative ``where`` hook: combos it rejects
+    #: (say, large batches in small memory) are dropped *before any
+    #: simulation runs*, and the evaluation frame's metadata reports how
+    #: many — a cheap complement to the measured ``feasible`` column.
+    prefilter: Optional[Callable[[Dict[str, object]], bool]] = None
 
     def sweep(self) -> Sweep:
         """The serverless candidate grid as a declarative sweep."""
@@ -99,11 +106,16 @@ class DesignSpaceNavigator:
                 "memory_gb": tuple(self.memory_sizes_gb),
                 "batch_size": tuple(self.batch_sizes),
             },
+            where=self.prefilter,
+            # The server candidates live outside this sweep, so a
+            # prefilter that empties the serverless grid is legitimate
+            # when servers are still in play.
+            allow_empty=self.include_servers,
         )
 
-    def cells(self) -> List[SweepCell]:
-        """Sweep cells plus (optionally) the server-platform candidates."""
-        cells = self.sweep().cells()
+    def _server_cells(self) -> List[SweepCell]:
+        """The optional CPU/GPU server candidates (outside the sweep)."""
+        cells: List[SweepCell] = []
         if self.include_servers:
             for platform in (PlatformKind.CPU_SERVER,
                              PlatformKind.GPU_SERVER):
@@ -117,14 +129,25 @@ class DesignSpaceNavigator:
                                        spec=spec))
         return cells
 
+    def cells(self) -> List[SweepCell]:
+        """Sweep cells plus (optionally) the server-platform candidates."""
+        return self.sweep().cells() + self._server_cells()
+
     def candidates(self) -> List[ScenarioSpec]:
         """The candidate scenarios the navigator will evaluate."""
         return [cell.spec for cell in self.cells()]
 
     def evaluate(self, workload: Workload,
                  constraints: NavigationConstraints) -> ResultFrame:
-        """Measure every candidate; returns the frame with feasibility."""
-        cells = self.cells()
+        """Measure every candidate; returns the frame with feasibility.
+
+        Candidates the :attr:`prefilter` hook rejected never run; their
+        count lands in the frame's ``meta["constrained_out"]`` so the
+        pruning stays visible next to the measured ``feasible`` column.
+        """
+        sweep = self.sweep()
+        expansion = sweep.expand()
+        cells = list(expansion.cells) + self._server_cells()
         results = [
             ({**cell.spec.as_row(), **cell.labels},
              self.benchmark.run_scenario(cell.spec, workload=workload,
@@ -134,6 +157,9 @@ class DesignSpaceNavigator:
         frame = ResultFrame.from_results(
             results, name=f"nav/{self.provider}/{self.model}",
             specs=[cell.spec for cell in cells])
+        if expansion.dropped:
+            frame.meta["constrained_out"] = {
+                sweep.name: len(expansion.dropped)}
         return frame.with_column("feasible", [
             constraints.is_satisfied(row["avg_latency_s"],
                                      row["success_ratio"],

@@ -87,6 +87,83 @@ class TestSerialParallelEquality:
             assert left.usage.cold_starts == right.usage.cold_starts
 
 
+class TestSeedAxisDeterminism:
+    """The replication layer's exact-equivalence guarantees.
+
+    A replicated sweep pins one seed per cell (``ScenarioSpec.seed``)
+    and routes it through the run cache and the worker pool; these tests
+    assert, via the same column hashes as above, that (a) pinning the
+    runner's own seed changes nothing — replicate 0 of a K-replicate
+    sweep is bit-identical to the unreplicated cell — and (b) fanning
+    replicate cells over workers is bit-identical to running them
+    serially.
+    """
+
+    def test_pinned_seed_matches_benchmark_seed_run(self, w40_cell):
+        """seed=SEED override == the plain run at benchmark seed SEED."""
+        deployment, workload = w40_cell
+        bench = ServingBenchmark(seed=SEED)
+        plain = bench.run(deployment, workload)
+        pinned = bench.run(deployment, workload, seed=SEED)
+        assert pinned.table.column_hash() == plain.table.column_hash()
+        assert pinned.cost == plain.cost
+
+    def test_replicate_zero_is_bit_identical_to_unreplicated_cell(self):
+        """Sweep(seeds=(context seed,)) reproduces the plain study cell."""
+        from repro.api import ScenarioSpec, Study, Sweep, run_study
+
+        base = ScenarioSpec(name="det", provider="aws", model="mobilenet")
+        plain = run_study(Study(name="plain", sweeps=Sweep(
+            name="plain", base=base)), seed=SEED, scale=0.05)
+        single = run_study(Study(name="single", sweeps=Sweep(
+            name="single", base=base, seeds=(SEED,))), seed=SEED, scale=0.05)
+        replicated = run_study(Study(name="rep", sweeps=Sweep(
+            name="rep", base=base, replicates=3)), seed=SEED, scale=0.05)
+        reference = plain.row(0)
+        for frame in (single, replicated.where(replicate=0)):
+            row = frame.row(0)
+            assert row["seed"] == SEED
+            for metric in ("requests", "success_ratio", "avg_latency_s",
+                           "p99_latency_s", "cost_usd", "cold_starts",
+                           "duration_s"):
+                assert row[metric] == reference[metric], metric
+
+    def test_replicated_worker_fanout_matches_serial(self):
+        """workers=4 replicate cells: same golden hashes as serial."""
+        from repro.core.scenario import ScenarioSpec
+        from repro.experiments.base import ExperimentContext
+
+        spec = ScenarioSpec(name="det", provider="aws", model="mobilenet")
+        specs = [spec.with_seed(SEED + r, name=f"det/r{r}")
+                 for r in range(4)]
+
+        def run_all(workers):
+            context = ExperimentContext(seed=SEED, scale=0.05,
+                                        workers=workers)
+            context.prefetch_specs(specs)
+            return [context.run_scenario(s) for s in specs]
+
+        serial = run_all(workers=0)
+        parallel = run_all(workers=4)
+        hashes = set()
+        for left, right in zip(serial, parallel):
+            assert left.table.column_hash() == right.table.column_hash()
+            assert left.cost == right.cost
+            hashes.add(left.table.column_hash())
+        # The seeds genuinely vary the runs: all four hashes distinct.
+        assert len(hashes) == len(specs)
+
+    def test_seed_travels_in_cell_key(self):
+        from repro.core.scenario import ScenarioSpec
+
+        spec = ScenarioSpec(name="det", provider="aws", model="mobilenet")
+        assert "seed=" not in spec.cell_key
+        pinned = spec.with_seed(11)
+        assert pinned.cell_key == spec.cell_key + "/seed=11"
+        assert pinned.with_seed(None).cell_key == spec.cell_key
+        assert pinned.as_row()["seed"] == 11
+
+
 class TestPackedTransport:
     def test_packed_round_trip_is_lossless(self, w40_cell):
         deployment, workload = w40_cell

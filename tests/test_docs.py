@@ -1,0 +1,54 @@
+"""The docs subsystem stays healthy under tier-1.
+
+``scripts/check.sh`` runs the docstring and docs gates explicitly, but
+these are cheap enough to assert from the test suite too — so a PR that
+only runs pytest still cannot land an undocumented public name, a stale
+generated API reference, or a broken internal docs link.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _run(script, *args):
+    return subprocess.run(
+        [sys.executable, os.path.join(ROOT, "scripts", script), *args],
+        cwd=ROOT, capture_output=True, text=True)
+
+
+class TestDocsGates:
+    def test_public_api_surface_is_fully_documented(self):
+        completed = _run("check_docstrings.py")
+        assert completed.returncode == 0, completed.stdout
+        assert "100.0%" in completed.stdout
+
+    def test_docs_tree_validates_and_reference_is_current(self):
+        completed = _run("build_docs.py")
+        assert completed.returncode == 0, \
+            completed.stdout + completed.stderr
+
+    def test_generated_reference_covers_every_export(self):
+        reference = os.path.join(ROOT, "docs", "reference", "api.md")
+        with open(reference, "r", encoding="utf-8") as handle:
+            body = handle.read()
+        sys.path.insert(0, os.path.join(ROOT, "src"))
+        try:
+            import repro.api as api
+        finally:
+            sys.path.pop(0)
+        for export in api.__all__:
+            assert f"## `{export}`" in body, export
+
+    @pytest.mark.parametrize("page", ["index.md", "tutorial.md",
+                                      "replication.md"])
+    def test_guide_pages_exist_and_are_nontrivial(self, page):
+        path = os.path.join(ROOT, "docs", page)
+        with open(path, "r", encoding="utf-8") as handle:
+            body = handle.read()
+        assert len(body) > 1000, page
+        assert body.startswith("#"), page

@@ -506,3 +506,419 @@ class TestCliStudySurface:
         from repro.experiments.runner import main
         with pytest.raises(SystemExit):
             main(["fig04", "fig05", "--csv", "/tmp/x.csv"])
+
+
+# ---------------------------------------------------------------------------
+# Replication: Sweep(replicates=K) / seeds / the seed axis
+# ---------------------------------------------------------------------------
+
+class TestSweepReplication:
+    def test_replicates_expand_each_cell_k_times(self):
+        sweep = Sweep(name="r", base=_base(),
+                      axes={"runtime": ("tf1.15", "ort1.4")}, replicates=3)
+        cells = sweep.cells(base_seed=11)
+        assert len(sweep) == len(cells) == 6
+        assert sweep.axis_names == ("runtime", "replicate", "seed")
+        assert [c.labels["replicate"] for c in cells] == [0, 1, 2, 0, 1, 2]
+        assert [c.labels["seed"] for c in cells] == [11, 12, 13, 11, 12, 13]
+        assert [c.spec.seed for c in cells] == [11, 12, 13, 11, 12, 13]
+        # Replicate cells stay distinct (and identifiable) by name + key.
+        assert len({c.spec.cell_key for c in cells}) == 6
+        assert cells[0].spec.name.endswith("/r0")
+
+    def test_default_base_seed_is_the_project_seed(self):
+        sweep = Sweep(name="r", base=_base(), replicates=2)
+        assert [c.spec.seed for c in sweep.cells()] == [7, 8]
+
+    def test_explicit_seeds_override_derivation(self):
+        sweep = Sweep(name="r", base=_base(), seeds=(101, 205))
+        assert sweep.replicates == 2
+        assert [c.labels["seed"] for c in sweep.cells(base_seed=11)] \
+            == [101, 205]
+
+    def test_seed_axis_pins_spec_seeds(self):
+        sweep = Sweep(name="r", base=_base(), axes={"seed": (3, 5, 8)})
+        cells = sweep.cells()
+        assert [c.spec.seed for c in cells] == [3, 5, 8]
+        # The seed is a replication knob, never a ServiceConfig override.
+        assert all(c.spec.overrides == {} for c in cells)
+        assert sweep.axis_names == ("seed",)
+
+    def test_seed_axis_conflicts_with_replicates(self):
+        with pytest.raises(ValueError, match="replication style"):
+            Sweep(name="r", base=_base(), axes={"seed": (1, 2)},
+                  replicates=2)
+
+    def test_invalid_replication_rejected(self):
+        with pytest.raises(ValueError, match="positive integer"):
+            Sweep(name="r", base=_base(), replicates=0)
+        with pytest.raises(ValueError, match="distinct"):
+            Sweep(name="r", base=_base(), seeds=(4, 4))
+        with pytest.raises(ValueError, match="disagrees"):
+            Sweep(name="r", base=_base(), replicates=3, seeds=(1, 2))
+
+    def test_with_replicates_makes_an_independent_copy(self):
+        sweep = Sweep(name="r", base=_base(),
+                      axes={"runtime": ("tf1.15",)})
+        replicated = sweep.with_replicates(4)
+        assert len(sweep) == 1 and len(replicated) == 4
+        assert replicated.axes == sweep.axes
+
+    def test_explicit_cells_replicate_too(self):
+        sweep = Sweep.from_specs(
+            "lib", [get_scenario("burst-storm")]).with_replicates(2)
+        cells = sweep.cells(base_seed=5)
+        assert len(cells) == 2
+        assert [c.labels["seed"] for c in cells] == [5, 6]
+        assert cells[0].labels["scenario"] == "burst-storm"
+
+    def test_study_with_replicates_and_run_meta(self):
+        context = ExperimentContext(seed=3, scale=0.04, providers=("aws",))
+        study = Study(name="rep-exec", sweeps=Sweep(
+            name="rep-exec", base=_base(workload="w-40")))
+        frame = study.with_replicates(2).run(context)
+        assert len(frame) == 2
+        assert frame.meta["replicates"] == {"rep-exec": 2}
+        assert list(frame["seed"]) == [3, 4]
+        # Replicate 0 runs at the context seed: same cell as unreplicated.
+        plain = study.run(context)
+        assert frame.where(replicate=0).row(0)["cost_usd"] == \
+            plain.row(0)["cost_usd"]
+
+
+# ---------------------------------------------------------------------------
+# Constraint hook and deterministic subsampling
+# ---------------------------------------------------------------------------
+
+class TestSweepConstraint:
+    def test_where_drops_and_reports(self):
+        sweep = Sweep(
+            name="c", base=_base(),
+            axes={"memory_gb": (2.0, 4.0), "batch_size": (1, 4)},
+            where=lambda labels: not (labels["memory_gb"] == 2.0
+                                      and labels["batch_size"] == 4))
+        expansion = sweep.expand()
+        assert len(expansion.cells) == 3
+        assert len(expansion.dropped) == 1
+        assert expansion.dropped[0] == {"memory_gb": 2.0, "batch_size": 4}
+        assert len(sweep) == 3
+
+    def test_all_infeasible_raises_instead_of_empty_grid(self):
+        sweep = Sweep(name="c", base=_base(),
+                      axes={"memory_gb": (2.0, 4.0)},
+                      where=lambda labels: False)
+        with pytest.raises(ValueError, match="dropped all"):
+            sweep.expand()
+
+    def test_predicate_errors_carry_cell_context(self):
+        sweep = Sweep(name="c", base=_base(),
+                      axes={"memory_gb": (2.0,)},
+                      where=lambda labels: labels["no_such_label"])
+        with pytest.raises(ValueError, match="constraint on sweep 'c'"):
+            sweep.expand()
+
+    def test_non_callable_where_rejected(self):
+        with pytest.raises(ValueError, match="callable"):
+            Sweep(name="c", base=_base(), where=True)
+
+    def test_constraint_applies_before_replication(self):
+        sweep = Sweep(
+            name="c", base=_base(), axes={"memory_gb": (2.0, 4.0)},
+            where=lambda labels: labels["memory_gb"] > 2.0, replicates=2)
+        expansion = sweep.expand()
+        assert len(expansion.cells) == 2      # 1 feasible cell x 2 seeds
+        assert len(expansion.dropped) == 1    # grid points, not runs
+
+    def test_study_run_reports_constrained_out(self):
+        context = ExperimentContext(seed=3, scale=0.04, providers=("aws",))
+        study = Study(name="con-exec", sweeps=Sweep(
+            name="con-exec", base=_base(workload="w-40"),
+            axes={"memory_gb": (2.0, 4.0)},
+            where=lambda labels: labels["memory_gb"] < 4.0))
+        frame = study.run(context)
+        assert len(frame) == 1
+        assert frame.meta["constrained_out"] == {"con-exec": 1}
+
+
+class TestSweepSampling:
+    def _grid(self, **kwargs):
+        return Sweep(name="s", base=_base(),
+                     axes={"memory_gb": (2.0, 4.0, 8.0),
+                           "batch_size": (1, 2, 4)}, **kwargs)
+
+    def test_random_sample_is_deterministic(self):
+        first = self._grid(sample=4, sample_seed=9).expand()
+        second = self._grid(sample=4, sample_seed=9).expand()
+        assert [c.spec.cell_key for c in first.cells] == \
+            [c.spec.cell_key for c in second.cells]
+        assert len(first.cells) == 4
+        assert first.sampled_out == 5
+
+    def test_different_sample_seed_changes_the_draw(self):
+        draws = {tuple(c.spec.cell_key
+                       for c in self._grid(sample=4,
+                                           sample_seed=seed).expand().cells)
+                 for seed in range(6)}
+        assert len(draws) > 1
+
+    def test_sample_larger_than_grid_is_a_noop(self):
+        expansion = self._grid(sample=50).expand()
+        assert len(expansion.cells) == 9
+        assert expansion.sampled_out == 0
+
+    def test_lhs_stratifies_every_axis(self):
+        expansion = self._grid(sample=3, sample_method="lhs",
+                               sample_seed=2).expand()
+        assert len(expansion.cells) == 3
+        # 3 samples over 3-value axes: LHS hits each axis value once.
+        assert sorted(c.labels["memory_gb"] for c in expansion.cells) == \
+            [2.0, 4.0, 8.0]
+        assert sorted(c.labels["batch_size"] for c in expansion.cells) == \
+            [1, 2, 4]
+
+    def test_lhs_tops_up_after_constraint_holes(self):
+        sweep = self._grid(sample=5, sample_method="lhs", sample_seed=2,
+                           where=lambda labels: labels["batch_size"] < 4)
+        expansion = sweep.expand()
+        assert len(expansion.cells) == 5
+        assert all(c.labels["batch_size"] < 4 for c in expansion.cells)
+
+    def test_lhs_requires_axes(self):
+        explicit = Sweep.from_specs("lib", [get_scenario("burst-storm")])
+        with pytest.raises(ValueError, match="lhs"):
+            Sweep(name="s", base=_base(),
+                  explicit_cells=explicit.explicit_cells,
+                  sample=1, sample_method="lhs")
+
+    def test_invalid_sampling_rejected(self):
+        with pytest.raises(ValueError, match="sample must be"):
+            self._grid(sample=0)
+        with pytest.raises(ValueError, match="sample_method"):
+            self._grid(sample=2, sample_method="halton")
+
+
+# ---------------------------------------------------------------------------
+# Grouped reductions: group_by / replicate_summary / concat
+# ---------------------------------------------------------------------------
+
+class TestGroupedReductions:
+    @pytest.fixture()
+    def replicated_frame(self):
+        rows = []
+        for platform, values in (("serverless", (1.0, 2.0, 3.0)),
+                                 ("cpu_server", (5.0, 5.0, 5.0))):
+            for replicate, value in enumerate(values):
+                rows.append({"platform": platform, "replicate": replicate,
+                             "seed": 7 + replicate, "latency": value,
+                             "note": f"{platform}-{replicate}"})
+        return ResultFrame.from_rows(
+            rows, name="g", meta={"labels": ["platform", "replicate",
+                                             "seed"]})
+
+    def test_group_by_stats_are_exact(self, replicated_frame):
+        grouped = replicated_frame.group_by("platform")
+        assert list(grouped["platform"]) == ["serverless", "cpu_server"]
+        assert list(grouped["replicates"]) == [3, 3]
+        assert grouped.row(0)["latency_mean"] == pytest.approx(2.0)
+        assert grouped.row(0)["latency_std"] == pytest.approx(1.0)
+        assert grouped.row(0)["latency_ci95"] == \
+            pytest.approx(1.96 / 3 ** 0.5)
+        assert grouped.row(1)["latency_std"] == 0.0
+        assert grouped.row(1)["latency_ci95"] == 0.0
+
+    def test_group_by_drops_varying_extras_keeps_constant_ones(self):
+        frame = ResultFrame.from_rows([
+            {"cell": "a", "runtime": "tf1.15", "x": 1.0, "label": "one"},
+            {"cell": "a", "runtime": "tf1.15", "x": 3.0, "label": "two"},
+        ])
+        grouped = frame.group_by("cell")
+        assert "runtime" in grouped.columns      # constant within group
+        assert "label" not in grouped.columns    # varies within group
+        assert grouped.row(0)["x_mean"] == 2.0
+
+    def test_group_by_singleton_groups_have_zero_spread(self):
+        frame = ResultFrame.from_rows([{"cell": "a", "x": 4.5}])
+        grouped = frame.group_by("cell")
+        assert grouped.row(0) == {"cell": "a", "replicates": 1,
+                                  "x_mean": 4.5, "x_std": 0.0,
+                                  "x_ci95": 0.0}
+
+    def test_group_by_validates_columns(self, replicated_frame):
+        with pytest.raises(KeyError):
+            replicated_frame.group_by("no_such")
+        with pytest.raises(KeyError):
+            replicated_frame.group_by("platform", metrics=("no_such",))
+        with pytest.raises(ValueError):
+            replicated_frame.group_by()
+
+    def test_replicate_summary_uses_label_metadata(self, replicated_frame):
+        summary = replicated_frame.replicate_summary()
+        assert len(summary) == 2
+        assert "latency_ci95" in summary.columns
+        assert "replicate" not in summary.columns
+        assert "seed" not in summary.columns
+
+    def test_replicate_summary_is_identity_without_replicates(self):
+        frame = ResultFrame.from_rows([{"cell": "a", "x": 1.0}])
+        assert frame.replicate_summary() is frame
+
+    def test_concat_unions_columns_and_labels(self):
+        left = ResultFrame.from_rows([{"a": 1, "x": 1.0}], name="l",
+                                     meta={"labels": ["a"]})
+        right = ResultFrame.from_rows([{"a": 2, "y": 3.0}], name="r",
+                                      meta={"labels": ["a"]})
+        both = ResultFrame.concat([left, right])
+        assert both.columns == ["a", "x", "y"]
+        assert len(both) == 2
+        assert both.row(0)["y"] is None and both.row(1)["x"] is None
+        assert both.meta["labels"] == ["a"]
+        assert both.name == "l+r"
+
+    def test_concat_of_replicated_frames_still_summarises(self):
+        rows = [{"cell": "a", "replicate": r, "seed": 7 + r, "x": float(r)}
+                for r in range(2)]
+        meta = {"labels": ["cell", "replicate", "seed"]}
+        one = ResultFrame.from_rows(rows, meta=meta)
+        rows_b = [dict(row, cell="b") for row in rows]
+        two = ResultFrame.from_rows(rows_b, meta=meta)
+        summary = ResultFrame.concat([one, two]).replicate_summary()
+        assert list(summary["cell"]) == ["a", "b"]
+        assert list(summary["replicates"]) == [2, 2]
+
+    def test_concat_empty_input(self):
+        assert len(ResultFrame.concat([])) == 0
+
+
+# ---------------------------------------------------------------------------
+# Stable CSV column order under differing derived-metric mappings
+# ---------------------------------------------------------------------------
+
+class TestStableColumnOrder:
+    class _FakeResult:
+        """Bare-minimum RunResult stand-in for from_results."""
+
+        def __init__(self, source):
+            self.table = source.table
+            self.usage = source.usage
+            self.duration_s = source.duration_s
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run(_base(workload="w-40"), seed=3, scale=0.04)
+
+    def test_agreeing_mappings_keep_declaration_order(self, result):
+        frame = ResultFrame.from_results(
+            [({"cell": "a"}, result), ({"cell": "b"}, result)],
+            metrics={"m": lambda r: {"zeta": 1.0, "alpha": 2.0}})
+        assert frame.columns[-2:] == ["zeta", "alpha"]
+
+    def test_differing_mappings_emit_sorted_union(self, result):
+        def per_cell(values):
+            iterator = iter(values)
+            return lambda r: next(iterator)
+
+        metric = per_cell([{"zeta": 1.0, "mid": 2.0},
+                           {"alpha": 3.0, "mid": 4.0}])
+        frame = ResultFrame.from_results(
+            [({"cell": "a"}, result), ({"cell": "b"}, result)],
+            metrics={"m": metric})
+        assert frame.columns[-3:] == ["alpha", "mid", "zeta"]
+        # Order no longer depends on which cell came first.
+        metric = per_cell([{"alpha": 3.0, "mid": 4.0},
+                           {"zeta": 1.0, "mid": 2.0}])
+        flipped = ResultFrame.from_results(
+            [({"cell": "b"}, result), ({"cell": "a"}, result)],
+            metrics={"m": metric})
+        assert flipped.columns == frame.columns
+        header = frame.to_csv().splitlines()[0]
+        assert header == ",".join(frame.columns)
+        assert frame.row(0)["alpha"] is None
+
+    def test_labels_recorded_in_meta(self, result):
+        frame = ResultFrame.from_results([({"cell": "a"}, result)])
+        assert frame.meta["labels"] == ["cell"]
+
+
+# ---------------------------------------------------------------------------
+# CLI replication surface
+# ---------------------------------------------------------------------------
+
+class TestCliReplication:
+    def test_sweep_replicates_collapse_and_csv_stats(self, capsys, tmp_path):
+        from repro.experiments.runner import main
+        csv_path = tmp_path / "rep.csv"
+        code = main(["sweep", "provisioned-serverless", "--scale", "0.04",
+                     "--replicates", "2", "--csv", str(csv_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 runs collapsed to 1 cells" in out
+        header = csv_path.read_text().splitlines()[0].split(",")
+        for column in ("replicates", "cost_usd_mean", "cost_usd_std",
+                       "cost_usd_ci95"):
+            assert column in header
+
+    def test_sweep_rejects_bad_replicates(self, capsys):
+        from repro.experiments.runner import main
+        with pytest.raises(SystemExit):
+            main(["sweep", "burst-storm", "--replicates", "0"])
+
+    def test_fig05_replicated_study_is_registered(self):
+        load_registered_studies()
+        study = get_study("fig05-replicated")
+        assert all(sweep.replicates == 5 for sweep in study.sweeps)
+        assert len(study) == 5 * len(get_study("fig05"))
+
+
+# ---------------------------------------------------------------------------
+# Post-review hardening
+# ---------------------------------------------------------------------------
+
+class TestReviewHardening:
+    def test_allow_empty_permits_all_dropped_grids(self):
+        sweep = Sweep(name="e", base=_base(),
+                      axes={"memory_gb": (2.0, 4.0)},
+                      where=lambda labels: False, allow_empty=True)
+        expansion = sweep.expand()
+        assert expansion.cells == ()
+        assert len(expansion.dropped) == 2
+
+    def test_navigator_prefilter_may_empty_grid_when_servers_remain(self):
+        from repro.tools.navigator import (
+            DesignSpaceNavigator,
+            NavigationConstraints,
+        )
+        nav = DesignSpaceNavigator(
+            provider="aws", model="mobilenet",
+            runtimes=("tf1.15",), memory_sizes_gb=(2.0,), batch_sizes=(1,),
+            include_servers=True, prefilter=lambda labels: False)
+        cells = nav.cells()
+        assert [c.labels["platform"] for c in cells] == \
+            ["cpu_server", "gpu_server"]
+        workload = standard_workload("w-40", seed=3, scale=0.04)
+        result = nav.search(workload,
+                            NavigationConstraints(min_success_ratio=0.5))
+        assert len(result.evaluated) == 2
+        assert result.frame.meta["constrained_out"] == \
+            {"nav/aws/mobilenet": 1}
+        # Without servers the all-dropped grid still raises.
+        solo = DesignSpaceNavigator(
+            provider="aws", model="mobilenet",
+            prefilter=lambda labels: False)
+        with pytest.raises(ValueError, match="dropped all"):
+            solo.cells()
+
+    def test_replicate_summary_without_label_metadata_raises(self):
+        frame = ResultFrame.from_rows(
+            [{"cell": "a", "replicate": 0, "x": 1.0},
+             {"cell": "a", "replicate": 1, "x": 2.0}])
+        with pytest.raises(ValueError, match="label metadata"):
+            frame.replicate_summary()
+
+    def test_fig05_replicated_inherits_the_base_study_shape(self):
+        load_registered_studies()
+        base = get_study("fig05")
+        replicated = get_study("fig05-replicated")
+        assert replicated.metrics == base.metrics
+        assert replicated.series == base.series
+        assert [s.axes for s in replicated.sweeps] == \
+            [s.axes for s in base.sweeps]
