@@ -205,6 +205,51 @@ def run_replicated_frame_probe(result, cells: int = 16,
     }
 
 
+#: Fault schedule for the fault-injection probe: crashes, transient
+#: errors, and client retries all active on the probe cell, so the
+#: injector, the kill/requeue path, and the retry loop are all timed.
+FAULT_PROBE_CONFIG = {
+    "crash_mtbf_s": 60.0,
+    "request_error_rate": 0.02,
+    "retry_attempts": 3,
+    "retry_base_delay_s": 0.05,
+}
+
+
+def run_fault_probe(repeats: int = 1) -> dict:
+    """Smoke the fault-injection subsystem on the probe cell.
+
+    Runs the same fixed probe cell as ``check_probe`` but with an
+    active fault schedule (``FAULT_PROBE_CONFIG``), so the injector's
+    crash timers, the pull-queue requeue path, and the executor's retry
+    loop are all on the clock.  Reported as requests/s for the
+    ``--check`` gate; the *no-fault* path's zero overhead is guarded
+    separately by the golden-hash tests and the unchanged
+    ``check_probe``.
+    """
+    deployment = Planner().plan("aws", "mobilenet", "tf1.15", "serverless",
+                                **FAULT_PROBE_CONFIG)
+    workload = standard_workload(CHECK_WORKLOAD, seed=SEED,
+                                 scale=CHECK_SCALE)
+    best = None
+    result = None
+    for _ in range(max(repeats, 1)):
+        bench = ServingBenchmark(seed=SEED)
+        started = time.perf_counter()
+        result = bench.run(deployment, workload)
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return {
+        "workload": CHECK_WORKLOAD,
+        "scale": CHECK_SCALE,
+        "faults": dict(FAULT_PROBE_CONFIG),
+        "requests": result.total_requests,
+        "wall_s": round(best, 3),
+        "requests_per_s": round(result.total_requests / best, 1),
+        "success_ratio": round(result.success_ratio, 4),
+    }
+
+
 def run_control_probe(iterations: int = 50_000) -> dict:
     """Smoke the control-plane hot paths in isolation.
 
@@ -277,8 +322,11 @@ def run_sweep(scale: float, repeats: int) -> dict:
     control = run_control_probe()
     frame = run_frame_probe(keep[0])
     replicated = run_replicated_frame_probe(keep[0])
+    fault = run_fault_probe(repeats)
     print(f" probe x{CHECK_SCALE:<5g} {probe['wall_s']:>8.3f}s "
           f"{probe['requests_per_s']:>10,.0f} req/s")
+    print(f" faults x{CHECK_SCALE:<5g} {fault['wall_s']:>8.3f}s "
+          f"{fault['requests_per_s']:>10,.0f} req/s (chaos schedule on)")
     print(f" columnar build {columnar['build_rows_per_s']:>12,.0f} rows/s "
           f"reduce {columnar['reduce_rows_per_s']:>14,.0f} rows/s")
     print(f" control plane {control['cycles_per_s']:>13,.0f} cycles/s")
@@ -297,6 +345,7 @@ def run_sweep(scale: float, repeats: int) -> dict:
         "control_probe": control,
         "frame_probe": frame,
         "replicated_frame_probe": replicated,
+        "fault_injection_probe": fault,
     }
 
 
@@ -364,6 +413,15 @@ def run_check(path: str) -> int:
                        replicated_reference["collapse_cells_per_s"]))
     else:
         print("note: no replicated_frame_probe recorded; rerun the full "
+              "sweep to extend the gate")
+    fault_reference = recorded.get("fault_injection_probe")
+    if fault_reference:
+        fault = run_fault_probe(repeats=2)
+        checks.append(("fault-injection req/s",
+                       fault["requests_per_s"],
+                       fault_reference["requests_per_s"]))
+    else:
+        print("note: no fault_injection_probe recorded; rerun the full "
               "sweep to extend the gate")
     failed = False
     for label, measured, baseline in checks:

@@ -8,9 +8,11 @@
 # The perf gate is benchmarks/bench_engine_throughput.py --check: the
 # fixed simulation probe cell, the columnar build/reduce probes, the
 # control-plane (pool / policy / queue) probe, the study-layer
-# (ResultFrame build/query) probe, and the replicated-frame (group_by
-# collapse) probe, each compared against BENCH_engine.json with a 30%
-# regression tolerance.  Regenerate the baseline with
+# (ResultFrame build/query) probe, the replicated-frame (group_by
+# collapse) probe, and the fault-injection probe (the probe cell under
+# an active chaos schedule), each compared against BENCH_engine.json
+# with a 30% regression tolerance.  The chaos smoke then runs one
+# registered chaos scenario end to end through the CLI sweep path.  Regenerate the baseline with
 # `python benchmarks/bench_engine_throughput.py` on the machine that
 # runs the gate.
 #
@@ -33,6 +35,9 @@ if [[ "${1:-}" != "--fast" ]]; then
 
     echo "== perf gate (engine + columnar + control-plane + frame probes) =="
     python benchmarks/bench_engine_throughput.py --check
+
+    echo "== chaos-scenario smoke (fault injection via the CLI) =="
+    python -m repro.experiments.runner sweep chaos-outage --scale 0.3
 fi
 
 if [[ "${1:-}" == "--docs" ]]; then

@@ -33,6 +33,12 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Union
 
+from repro.core.faults import (
+    FaultInjector,
+    FaultSpec,
+    OutageWindow,
+    RetryPolicy,
+)
 from repro.core.results import RunResult
 from repro.core.scenario import (
     ScenarioSpec,
@@ -53,7 +59,11 @@ from repro.core.study import (
 from repro.workload.generator import known_workloads, register_workload_spec
 
 __all__ = [
+    "FaultInjector",
+    "FaultSpec",
+    "OutageWindow",
     "ResultFrame",
+    "RetryPolicy",
     "ScenarioSpec",
     "Study",
     "Sweep",

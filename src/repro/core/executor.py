@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.core.faults import RetryPolicy
 from repro.platforms.base import ServingPlatform
 from repro.platforms.batching import BatchAccumulator
 from repro.serving.outcome_table import OutcomeRecorder, OutcomeTable
@@ -45,6 +46,8 @@ class Executor:
     _next_request_id: int = 0
     _last_completion: float = 0.0
     _commit = None  # bound recorder.commit, cached for the hot callback
+    #: Client-side retry policy (None unless the config enables retries).
+    _retry: Optional[RetryPolicy] = None
 
     # -- public ---------------------------------------------------------------
     def run(self, until: Optional[float] = None) -> OutcomeTable:
@@ -53,6 +56,7 @@ class Executor:
             capacity = sum(len(trace) for trace in self.workload.client_traces)
             self.recorder = OutcomeRecorder(capacity)
         self._commit = self.recorder.commit
+        self._retry = RetryPolicy.from_config(self.platform.config)
         self.platform.outcome_sink = self._late_commit
         self.platform.start()
         for client_id, trace in enumerate(self.workload.client_traces):
@@ -81,6 +85,10 @@ class Executor:
         timeout = self.env.timeout
         register = self.recorder.register
         single = config.batch_size == 1
+        # The resilient path is chosen once per client, not per request:
+        # with retries off the hot path is byte-for-byte the old one.
+        send = (self._send_single if self._retry is None
+                else self._send_resilient)
         for index, arrival in enumerate(trace):
             gap = arrival - previous
             previous = arrival
@@ -89,7 +97,7 @@ class Executor:
             outcome = self._new_outcome(client_id)
             register(outcome)
             if single:
-                self._send_single(outcome)
+                send(outcome)
             else:
                 batch = batcher.add(outcome)
                 if batch is None and index == last_index:
@@ -126,6 +134,45 @@ class Executor:
         process = self.platform.submit(outcome, payload, response)
         process.callbacks.append(
             lambda _event, outcome=outcome: self._note_completion(outcome))
+
+    def _send_resilient(self, outcome: RequestOutcome) -> None:
+        """Submit with retry/backoff (one wrapper process per request).
+
+        Only used when the config enables retries — the wrapper process
+        costs a few calendar entries per request, which the no-retry
+        fast path avoids.
+        """
+        self.env.process(self._resilient_request(outcome))
+
+    def _resilient_request(self, outcome: RequestOutcome):
+        """Retry loop: capped exponential backoff under a timeout budget.
+
+        Each attempt is a full platform submission (the conservation
+        ledger counts every attempt).  After a failed attempt the next
+        try is delayed by the policy's jittered backoff; retrying stops
+        when the attempts are exhausted or when the next backoff would
+        overrun the per-request timeout budget.  The budget is enforced
+        *between* attempts — an attempt already in flight runs to its
+        platform-side deadline (which ``request_timeout_s`` tightens).
+        """
+        policy = self._retry
+        payload = self._payload_mb()
+        response = self.platform.model.output_payload_mb
+        budget = self.platform.config.request_timeout_s
+        deadline = (outcome.send_time + budget
+                    if budget is not None else None)
+        attempt = 1
+        while True:
+            yield self.platform.submit(outcome, payload, response)
+            if outcome.success or attempt >= policy.attempts:
+                break
+            delay = policy.backoff(self.rng, attempt)
+            if deadline is not None and self.env.now + delay > deadline:
+                break
+            yield self.env.timeout(delay)
+            outcome.reopen()
+            attempt += 1
+        self._note_completion(outcome)
 
     def _send_batch(self, client_id: int, batch: List[RequestOutcome]):
         """Send one invocation carrying a whole client-side batch."""

@@ -312,6 +312,58 @@ register_scenario(ScenarioSpec(
                 "stop billing for the peaks.",
 ))
 
+# -- chaos library: declarative fault schedules as scenarios ---------------
+# The fault knobs are plain ServiceConfig data, so a chaos scenario is a
+# registration, not code (see docs/chaos.md).  Fault times are absolute
+# simulation seconds and are *not* compressed by the workload scale, so
+# these schedules sit in the first ~100 s where they fit any scale the
+# test and CLI smoke runs use.
+
+register_scenario(ScenarioSpec(
+    name="chaos-crash",
+    provider="aws", model="mobilenet", runtime="tf1.15",
+    platform=PlatformKind.SERVERLESS, workload="w-storm",
+    config={"crash_mtbf_s": 120.0, "retry_attempts": 3,
+            "retry_base_delay_s": 0.1, "request_timeout_s": 60.0},
+    description="Serverless under the burst storm with seeded random "
+                "instance crashes (120 s mean lifetime); clients retry "
+                "up to 3 times with jittered backoff.",
+))
+
+register_scenario(ScenarioSpec(
+    name="chaos-outage",
+    provider="aws", model="mobilenet", runtime="tf1.15",
+    platform=PlatformKind.MANAGED_ML, workload="w-40",
+    config={"outage_start_s": 40.0, "outage_duration_s": 30.0,
+            "outage_fraction": 1.0, "shed_watermark": 1,
+            "retry_attempts": 3, "retry_base_delay_s": 0.1,
+            "request_timeout_s": 30.0},
+    description="Managed endpoint hit by a full-fleet failure-domain "
+                "outage 40 s in: load is shed while no instance is "
+                "ready, then the autoscaler relaunches the fleet.",
+))
+
+register_scenario(ScenarioSpec(
+    name="chaos-cold-storm",
+    provider="aws", model="mobilenet", runtime="tf1.15",
+    platform=PlatformKind.SERVERLESS, workload="w-40",
+    config={"storm_times_s": (45.0, 90.0)},
+    description="Serverless with two keep-alive flushes: every idle "
+                "warm sandbox is evicted at t=45 s and t=90 s, forcing "
+                "cold-start storms on the traffic that follows.",
+))
+
+register_scenario(ScenarioSpec(
+    name="chaos-transient",
+    provider="aws", model="mobilenet", runtime="tf1.15",
+    platform=PlatformKind.SERVERLESS, workload="w-40",
+    config={"request_error_rate": 0.05, "retry_attempts": 4,
+            "retry_base_delay_s": 0.05, "retry_max_delay_s": 0.5},
+    description="Serverless with a 5 % transient per-request error "
+                "rate; 4 retry attempts push the delivered success "
+                "ratio back toward one.",
+))
+
 register_scenario(ScenarioSpec(
     name="eager-managed",
     provider="aws", model="mobilenet", runtime="tf1.15",

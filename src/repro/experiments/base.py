@@ -55,6 +55,7 @@ EXPERIMENTS: Dict[str, str] = {
     "fig15": "repro.experiments.fig15_memory_size",
     "fig16": "repro.experiments.fig16_provisioned_concurrency",
     "fig17": "repro.experiments.fig17_batch_size",
+    "chaos": "repro.experiments.chaos_recovery",
 }
 
 

@@ -105,6 +105,18 @@ class WorkQueue:
         """Withdraw a pending pull (keep-alive expiry)."""
         self.store.cancel_get(event)
 
+    def requeue(self, pending: PendingRequest) -> None:
+        """Return a crashed instance's ticket to the backlog.
+
+        The pull model's re-dispatch path: when fault injection kills an
+        instance mid-request, its in-flight ticket goes back to the
+        store (waking an idle puller if one is waiting) and keeps its
+        original ``enqueue_time`` — the eventual queue-stage attribution
+        includes the time lost on the dead instance.  The client keeps
+        waiting on the same ``response_event`` under its deadline guard.
+        """
+        self.store.add(pending)
+
     def recycle(self, pending: PendingRequest) -> None:
         """Return a served ticket to the free list for reuse."""
         pending.outcome = None

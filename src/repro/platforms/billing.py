@@ -9,9 +9,11 @@ usage record from the meter's tallies plus the instance pool's gauge —
 so ``peak_instances == max(instance_count)`` holds by construction.
 
 The meters also keep the request conservation ledger: every submitted
-request ends exactly one way (completed, failed, or rejected), and
-``submitted == completed + failed + rejected`` is asserted by the
-cross-platform conservation test in ``tests/test_control_plane.py``.
+request ends exactly one way (completed, failed, rejected, timed out,
+or shed), and ``submitted == completed + failed + rejected + timed_out
++ shed`` is asserted by the cross-platform conservation tests in
+``tests/test_control_plane.py`` and ``tests/test_properties.py`` — the
+latter under active fault schedules.
 """
 
 from __future__ import annotations
@@ -29,12 +31,14 @@ __all__ = ["BillingMeter", "ServerlessMeter", "InstanceHourMeter"]
 class BillingMeter:
     """Base meter: request conservation ledger shared by all platforms."""
 
-    __slots__ = ("submitted", "completed", "failed")
+    __slots__ = ("submitted", "completed", "failed", "timed_out", "shed")
 
     def __init__(self) -> None:
         self.submitted = 0
         self.completed = 0
         self.failed = 0
+        self.timed_out = 0
+        self.shed = 0
 
     # -- conservation ledger (hot path: plain increments) ------------------
     def record_submitted(self) -> None:
@@ -46,25 +50,33 @@ class BillingMeter:
     def record_failed(self) -> None:
         self.failed += 1
 
-    def conservation_notes(self, rejected: int = 0,
-                           timed_out: int = 0) -> Dict[str, float]:
+    def record_timed_out(self) -> None:
+        self.timed_out += 1
+
+    def record_shed(self) -> None:
+        self.shed += 1
+
+    def conservation_notes(self, rejected: int = 0) -> Dict[str, float]:
         """The ledger as ``PlatformUsage.notes`` entries.
 
         Every request the platform finished ends in exactly one bucket:
-        ``submitted == completed + failed + rejected``.  ``failed``
-        covers requests the platform accepted but could not serve in
-        time (``timed_out`` breaks out how many of those were queue
-        timeouts); ``rejected`` covers admission-control spills.
-        Requests still in flight when the simulation horizon cuts the
-        run off are in none of the buckets — the conservation test runs
-        with a full drain.
+        ``submitted == completed + failed + rejected + timed_out +
+        shed``.  ``failed`` covers requests the platform accepted but
+        could not serve (service errors, crashed instances, injected
+        transient errors); ``timed_out`` covers deadline expiries —
+        client-side guard timers and queue deadlines; ``shed`` covers
+        requests dropped by the load-shedding watermark; ``rejected``
+        covers admission-control spills.  Requests still in flight when
+        the simulation horizon cuts the run off are in none of the
+        buckets — the conservation tests run with a full drain.
         """
         return {
             "submitted": float(self.submitted),
             "completed": float(self.completed),
             "failed": float(self.failed),
             "rejected": float(rejected),
-            "timed_out": float(timed_out),
+            "timed_out": float(self.timed_out),
+            "shed": float(self.shed),
         }
 
 
@@ -137,7 +149,6 @@ class InstanceHourMeter(BillingMeter):
         instance_seconds = pool.instance_seconds(end_time)
         cost = self._pricing.cost(self.instance_type, instance_seconds)
         rejected = queue.rejected if queue is not None else 0
-        timed_out = queue.timed_out if queue is not None else 0
         return PlatformUsage(
             cost=cost,
             cost_breakdown={"instance_hours": cost},
@@ -146,6 +157,5 @@ class InstanceHourMeter(BillingMeter):
             peak_instances=pool.peak,
             instance_count=pool.gauge.history,
             instance_seconds=instance_seconds,
-            notes=self.conservation_notes(rejected=rejected,
-                                          timed_out=timed_out),
+            notes=self.conservation_notes(rejected=rejected),
         )

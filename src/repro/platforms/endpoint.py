@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Callable, Optional, Union
 
 from repro.cloud.instances import get_instance_type
+from repro.core.faults import REQUEST_FAULT_STREAM, FaultInjector, FaultSpec
 from repro.platforms.admission import SlotQueue
 from repro.platforms.autoscaling import TargetTrackingScaler
 from repro.platforms.base import PlatformUsage, ServingPlatform
@@ -29,6 +30,7 @@ from repro.platforms.billing import InstanceHourMeter
 from repro.platforms.policies import TargetUtilisationPolicy
 from repro.platforms.pool import InstancePool, InstanceState, PoolInstance
 from repro.serving.records import RequestOutcome, Stage
+from repro.sim import Interrupt
 
 __all__ = ["PooledEndpointPlatform"]
 
@@ -64,9 +66,31 @@ class PooledEndpointPlatform(ServingPlatform):
                                       or self._default_workers())
         self.pool = InstancePool(env, gauge_name=self.gauge_name,
                                  auto_gauge=False, keep_records=True)
+        # The client's per-request timeout budget tightens the
+        # server-side queue deadline when it is the stricter of the two.
+        deadline_s = self._request_timeout_s()
+        if self.config.request_timeout_s is not None:
+            deadline_s = min(deadline_s, self.config.request_timeout_s)
         self.queue = SlotQueue(env, capacity=self._queue_capacity(),
-                               deadline_s=self._request_timeout_s())
+                               deadline_s=deadline_s)
         self._start_time = env.now
+        # Fault injection (spec is None with every knob at its default).
+        spec = FaultSpec.from_config(self.config)
+        self._injector = (FaultInjector(env, spec, self.rng,
+                                        kill=self._kill_instance)
+                          if spec is not None else None)
+        #: In-service request handlers in admission order (oldest first);
+        #: only populated when faults are active — a killed instance
+        #: aborts its share of these.
+        self._in_service = {}
+        self._error_rate = spec.request_error_rate if spec else 0.0
+        self._shed_watermark = self.config.shed_watermark
+        # One falsy check per request on the no-fault path, not two.
+        self._admission_faults = bool(self._error_rate
+                                      or self._shed_watermark)
+        #: Handler-process registry the injector picks kill victims
+        #: from; None (skip the bookkeeping) when faults are off.
+        self._track = self._in_service if self._injector is not None else None
         # Per-run constants hoisted off the per-request path.
         self._handler_s = self._handler_overhead()
         self._predict_s = self._service_time_s()
@@ -137,10 +161,14 @@ class PooledEndpointPlatform(ServingPlatform):
     def start(self) -> None:
         """Bring up the initial fleet and, if requested, the autoscaler."""
         for _ in range(self.config.initial_instances):
-            self.pool.launch(warm=True)
+            record = self.pool.launch(warm=True)
+            if self._injector is not None:
+                self._injector.watch(record)
         self._resize_workers()
         if self.config.autoscaling:
             self.env.process(self._scaler.run())
+        if self._injector is not None:
+            self._injector.start()
 
     def submit(self, outcome: RequestOutcome, payload_mb: float,
                response_mb: float):
@@ -159,6 +187,36 @@ class PooledEndpointPlatform(ServingPlatform):
         for _ in range(count):
             record = self.pool.launch(warm=False)
             self.env.process(self._bring_up(record))
+            if self._injector is not None:
+                self._injector.watch(record)
+
+    def _kill_instance(self, record: PoolInstance) -> None:
+        """Fault-injection kill: drop the instance and abort its requests.
+
+        The slot model does not bind requests to instances, so a kill
+        of a *ready* instance aborts the oldest ``workers_per_instance``
+        in-service requests — the share of the worker pool the dead
+        instance was carrying.  Victims are de-registered before the
+        interrupt so coinciding faults never abort the same handler
+        twice, and the worker pool is resized to the surviving fleet
+        (the autoscaler relaunches toward ``min_instances``, which is
+        what the time-to-recover metric measures).
+        """
+        if not record.alive:
+            return
+        was_ready = record.state != InstanceState.WARMING
+        self.pool.kill(record)
+        if was_ready and self._in_service:
+            victims = []
+            for process in self._in_service:
+                if len(victims) >= self._workers_per_instance:
+                    break
+                victims.append(process)
+            for process in victims:
+                del self._in_service[process]
+                if process.is_alive:
+                    process.interrupt("instance crash")
+        self._resize_workers()
 
     def _retirable_idle(self) -> int:
         """Idle instances the scaler may retire right now.
@@ -188,6 +246,10 @@ class PooledEndpointPlatform(ServingPlatform):
         delay = self.rng.lognormal_around(
             self.scaleout_stream, self._launch_delay_s(), 0.15)
         yield self.env.timeout(delay)
+        if not record.alive:
+            # Fault-injected kill landed while the instance was warming;
+            # the bring-up completes into nothing.
+            return
         self.pool.mark_ready(record)
         self._resize_workers()
 
@@ -200,10 +262,28 @@ class PooledEndpointPlatform(ServingPlatform):
     def _handle(self, outcome: RequestOutcome, payload_mb: float,
                 response_mb: float):
         yield self._network_up(outcome, payload_mb)
+        if self._admission_faults:
+            if (self._shed_watermark
+                    and self.pool.ready < self._shed_watermark):
+                # Graceful degradation: ready capacity fell below the
+                # watermark (e.g. an outage took the fleet down), so
+                # fail fast instead of queueing into a pool that cannot
+                # serve.
+                yield self.env.timeout(self.rejection_latency_s)
+                outcome.finish(self.env.now, success=False, error="shed")
+                self.meter.record_shed()
+                return outcome
+            if self._error_rate and self.rng.uniform(
+                    REQUEST_FAULT_STREAM, 0.0, 1.0) < self._error_rate:
+                outcome.finish(self.env.now, success=False,
+                               error="transient_error")
+                self.meter.record_failed()
+                return outcome
         if not self.queue.try_admit():
             # Spilled at admission: the queue's rejection tally (not the
             # meter's failure count) carries it in the conservation
-            # ledger — submitted == completed + failed + rejected.
+            # ledger — submitted == completed + failed + rejected
+            # + timed_out + shed.
             yield self.env.timeout(self.rejection_latency_s)
             outcome.finish(self.env.now, success=False,
                            error=self.reject_error)
@@ -214,11 +294,15 @@ class PooledEndpointPlatform(ServingPlatform):
         if claim is None:
             outcome.add_stage(Stage.QUEUE, self.env.now - enqueue)
             outcome.finish(self.env.now, success=False, error="timeout")
-            self.meter.record_failed()
+            self.meter.record_timed_out()
             return outcome
 
         outcome.add_stage(Stage.QUEUE, self.env.now - enqueue)
         handler = self._handler_s
+        track = self._track
+        if track is not None:
+            process = self.env.active_process
+            track[process] = outcome
         try:
             predict = self.rng.lognormal_sum(
                 self.predict_stream, self._predict_s, _SERVICE_JITTER_CV,
@@ -231,7 +315,17 @@ class PooledEndpointPlatform(ServingPlatform):
             yield self.env.timeout(held)
             outcome.add_stage(Stage.HANDLER, handler)
             outcome.add_stage(Stage.PREDICT, predict)
+        except Interrupt:
+            # The serving instance was fault-killed mid-request: the
+            # slot model has no ticket to re-queue, so the request fails
+            # back to the client (which may retry it).
+            outcome.finish(self.env.now, success=False,
+                           error="instance_crash")
+            self.meter.record_failed()
+            return outcome
         finally:
+            if track is not None:
+                track.pop(process, None)
             self.queue.release(claim)
         if self.handler_off_worker:
             yield self.env.timeout(handler)

@@ -83,7 +83,8 @@ class InstancePool:
     """O(1) lifecycle accounting for one platform's instance fleet."""
 
     __slots__ = ("env", "gauge", "created", "alive", "warming", "idle",
-                 "busy", "retired", "records", "_next_id", "_auto_gauge")
+                 "busy", "retired", "killed", "records", "_next_id",
+                 "_auto_gauge")
 
     def __init__(self, env: Environment, gauge_name: str = "instances",
                  auto_gauge: bool = True, keep_records: bool = False):
@@ -95,6 +96,7 @@ class InstancePool:
         self.idle = 0
         self.busy = 0
         self.retired = 0
+        self.killed = 0
         #: Per-instance records; only kept for billed (small) fleets.
         self.records: Optional[List[PoolInstance]] = (
             [] if keep_records else None)
@@ -180,6 +182,33 @@ class InstancePool:
         self.idle -= 1
         self.alive -= 1
         self.retired += 1
+        if self._auto_gauge:
+            self.gauge.set(self.env.now, self.alive)
+
+    def kill(self, instance: PoolInstance) -> None:
+        """Forcibly reclaim an instance in *any* live state (fault injection).
+
+        Unlike :meth:`retire`, which only ever sees idle instances, a
+        fault can take down an instance while it is warming, idle, or
+        busy; the matching O(1) counter is decremented so the
+        ``ready``/``busy`` accounting never drifts.  ``retire_time`` is
+        stamped, which stops instance-hour billing at the kill, and a
+        second kill of the same instance is a no-op.
+        """
+        state = instance.state
+        if state == InstanceState.RETIRED:
+            return
+        if state == InstanceState.WARMING:
+            self.warming -= 1
+        elif state == InstanceState.BUSY:
+            self.busy -= 1
+        else:
+            self.idle -= 1
+        instance.state = InstanceState.RETIRED
+        instance.retire_time = self.env.now
+        self.alive -= 1
+        self.retired += 1
+        self.killed += 1
         if self._auto_gauge:
             self.gauge.set(self.env.now, self.alive)
 

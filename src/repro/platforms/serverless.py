@@ -35,12 +35,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.core.faults import REQUEST_FAULT_STREAM, FaultInjector, FaultSpec
 from repro.platforms.admission import PendingRequest, WorkQueue
 from repro.platforms.base import PlatformUsage, ServingPlatform
 from repro.platforms.billing import ServerlessMeter
 from repro.platforms.policies import ConcurrencyScalingPolicy
-from repro.platforms.pool import InstancePool, PoolInstance
+from repro.platforms.pool import InstancePool, InstanceState, PoolInstance
 from repro.serving.records import RequestOutcome, Stage
+from repro.sim import Interrupt
 
 __all__ = ["ServerlessPlatform"]
 
@@ -95,6 +97,24 @@ class ServerlessPlatform(ServingPlatform):
             pricing=self.provider.pricing.serverless)
         self._scaler_started = False
         self._start_time = env.now
+        # Fault injection (all knobs default-off: spec is None and the
+        # per-request guards below reduce to falsy attribute checks).
+        spec = FaultSpec.from_config(self.config)
+        self._injector = (FaultInjector(env, spec, self.rng,
+                                        kill=self._kill_instance,
+                                        flush=self._flush_idle)
+                          if spec is not None else None)
+        #: Live instance registry (id -> (instance, loop process)); only
+        #: populated when faults are active — kill targets come from here.
+        self._live = {}
+        self._error_rate = spec.request_error_rate if spec else 0.0
+        self._shed_watermark = self.config.shed_watermark
+        # One falsy check per request on the no-fault path, not two.
+        self._admission_faults = bool(self._error_rate
+                                      or self._shed_watermark)
+        self._deadline_s = min(
+            _FUNCTION_TIMEOUT_S,
+            self.config.request_timeout_s or _FUNCTION_TIMEOUT_S)
         # Per-run constants, hoisted off the per-request path: the profile
         # lookups are pure functions of the (fixed) deployment, and the
         # method chains cost more than the arithmetic they guard.
@@ -124,6 +144,8 @@ class ServerlessPlatform(ServingPlatform):
         if not self._scaler_started:
             self.env.process(self._scaler_loop())
             self._scaler_started = True
+        if self._injector is not None:
+            self._injector.start()
 
     def submit(self, outcome: RequestOutcome, payload_mb: float,
                response_mb: float):
@@ -144,16 +166,31 @@ class ServerlessPlatform(ServingPlatform):
     def _client_request(self, outcome: RequestOutcome, payload_mb: float,
                         response_mb: float):
         yield self._network_up(outcome, payload_mb)
+        if self._admission_faults:
+            if (self._shed_watermark
+                    and self.pool.ready < self._shed_watermark):
+                # Graceful degradation: ready capacity is below the
+                # watermark, so fail fast instead of piling onto the
+                # backlog.
+                outcome.finish(self.env.now, success=False, error="shed")
+                self.meter.record_shed()
+                return outcome
+            if self._error_rate and self.rng.uniform(
+                    REQUEST_FAULT_STREAM, 0.0, 1.0) < self._error_rate:
+                outcome.finish(self.env.now, success=False,
+                               error="transient_error")
+                self.meter.record_failed()
+                return outcome
         pending = self.queue.enqueue(outcome)
         self._scale_out()
         # The deadline guard is WorkQueue.await_response, inlined: one
         # sub-generator per request costs ~2% end-to-end throughput.
         response_event = pending.response_event
-        deadline = self.env.timeout(_FUNCTION_TIMEOUT_S)
+        deadline = self.env.timeout(self._deadline_s)
         winner = yield self.env.race(response_event, deadline)
         if winner is not response_event:
             outcome.finish(self.env.now, success=False, error="timeout")
-            self.meter.record_failed()
+            self.meter.record_timed_out()
             return outcome
         # The response won the race: withdraw the 300 s guard timer so it
         # does not rot in the calendar until the platform kill deadline.
@@ -196,8 +233,46 @@ class ServerlessPlatform(ServingPlatform):
                          first_request: Optional[PendingRequest] = None
                          ) -> None:
         instance = self.pool.launch(warm=prewarmed, provisioned=prewarmed)
-        self.env.process(self._instance_loop(instance, prewarmed,
-                                             first_request))
+        process = self.env.process(self._instance_loop(instance, prewarmed,
+                                                       first_request))
+        if self._injector is not None:
+            self._live[instance.instance_id] = (instance, process)
+            self._injector.watch(instance)
+
+    # ----------------------------------------------------------- fault hooks
+    def _kill_instance(self, instance: PoolInstance) -> None:
+        """Fault-injection kill: interrupt the instance's serving loop.
+
+        The registry entry is popped *before* the interrupt so two
+        faults landing on the same instance at the same timestamp can
+        never interrupt its (by then finished) loop twice.
+        """
+        entry = self._live.pop(instance.instance_id, None)
+        if entry is not None and entry[1].is_alive:
+            entry[1].interrupt("fault")
+        elif instance.alive:
+            self.pool.kill(instance)
+
+    def _flush_idle(self) -> None:
+        """Cold-start storm: reclaim every idle non-provisioned sandbox."""
+        for instance, _process in list(self._live.values()):
+            if (instance.state == InstanceState.IDLE
+                    and not instance.provisioned):
+                self._kill_instance(instance)
+
+    def _crash(self, instance: PoolInstance,
+               pending: Optional[PendingRequest]) -> None:
+        """The loop's interrupt handler: account the kill, save the work.
+
+        An in-flight ticket goes back to the work queue (the pull
+        model's re-dispatch: another instance will serve it, or the
+        client's deadline guard fires) before the pool counters are
+        fixed up.
+        """
+        self._live.pop(instance.instance_id, None)
+        if pending is not None:
+            self.queue.requeue(pending)
+        self.pool.kill(instance)
 
     # -------------------------------------------------------------- instance
     def _jitter(self, value: float, cv: float, stream: str) -> float:
@@ -229,28 +304,50 @@ class ServerlessPlatform(ServingPlatform):
 
     def _instance_loop(self, instance: PoolInstance, prewarmed: bool,
                        first_request: Optional[PendingRequest] = None):
-        if not prewarmed:
-            yield from self._cold_start_pipeline(instance)
-            self.pool.mark_ready(instance)
-            self.meter.record_cold_start()
-        if first_request is not None:
-            yield from self._serve(instance, first_request,
-                                   is_cold_trigger=True)
+        # Fault injection interrupts this loop to kill the instance; each
+        # yield region has a handler that re-queues any in-flight ticket
+        # and withdraws its pending calendar entries before the loop
+        # exits (a stale service timer resuming a finished generator is
+        # a harmless no-op, but cancelled gets must leave the store).
+        try:
+            if not prewarmed:
+                yield from self._cold_start_pipeline(instance)
+                self.pool.mark_ready(instance)
+                self.meter.record_cold_start()
+            if first_request is not None:
+                yield from self._serve(instance, first_request,
+                                       is_cold_trigger=True)
+                first_request = None
+        except Interrupt:
+            self._crash(instance, first_request)
+            return
         while instance.alive:
             get_event = self.queue.get()
             keep_alive = self.env.timeout(self._traits.keep_alive_s)
-            yield self.env.race(get_event, keep_alive)
+            try:
+                yield self.env.race(get_event, keep_alive)
+            except Interrupt:
+                if not get_event.triggered:
+                    self.queue.cancel_get(get_event)
+                keep_alive.cancel()
+                self._crash(instance, None)
+                return
             if not get_event.triggered:
                 self.queue.cancel_get(get_event)
                 if instance.provisioned:
                     # Provisioned instances stay reserved for the whole run.
                     continue
+                self._live.pop(instance.instance_id, None)
                 self.pool.retire(instance)
                 return
             # A request arrived: withdraw the keep-alive timer that lost
             # the race so it does not sit dead in the calendar.
             keep_alive.cancel()
-            yield from self._serve(instance, get_event.value)
+            try:
+                yield from self._serve(instance, get_event.value)
+            except Interrupt:
+                self._crash(instance, get_event.value)
+                return
 
     def _serve(self, instance: PoolInstance, pending: PendingRequest,
                is_cold_trigger: bool = False):

@@ -57,6 +57,31 @@ class ServiceConfig:
     scale_in_cooldown_s: Optional[float] = None
     # -- client behaviour ---------------------------------------------------
     batch_size: int = 1
+    # -- fault injection (all off by default; see repro.core.faults) --------
+    #: Mean time between per-instance crashes; ``None`` disables.
+    crash_mtbf_s: Optional[float] = None
+    #: Start of a correlated failure-domain outage; ``None`` disables.
+    outage_start_s: Optional[float] = None
+    #: Duration of the outage window (only used with ``outage_start_s``).
+    outage_duration_s: float = 60.0
+    #: Fraction of the fleet living in the failed domain (0..1].
+    outage_fraction: float = 1.0
+    #: Simulated seconds at which cold-start storms flush idle sandboxes.
+    storm_times_s: tuple = ()
+    #: Probability a request fails at admission with a transient error.
+    request_error_rate: float = 0.0
+    # -- resilience policy (client/request path) ----------------------------
+    #: Total attempts per request including the first (1 = no retry).
+    retry_attempts: int = 1
+    #: Backoff base delay for the first retry, seconds.
+    retry_base_delay_s: float = 0.05
+    #: Ceiling on the exponential backoff window, seconds.
+    retry_max_delay_s: float = 1.0
+    #: Per-request total timeout budget; ``None`` keeps platform defaults.
+    request_timeout_s: Optional[float] = None
+    #: Shed (fail fast) when ready instances drop below this watermark;
+    #: 0 disables load shedding.
+    shed_watermark: int = 0
     # -- Figure 12 micro-benchmark knobs -------------------------------------
     extra_container_mb: float = 0.0
     extra_download_mb: float = 0.0
@@ -64,6 +89,8 @@ class ServiceConfig:
     inferences_per_request: int = 1
 
     def __post_init__(self) -> None:
+        # Normalise list-valued schedules so the config stays hashable.
+        object.__setattr__(self, "storm_times_s", tuple(self.storm_times_s))
         if self.platform not in PlatformKind.ALL:
             raise ValueError(
                 f"unknown platform {self.platform!r}; expected one of "
@@ -88,6 +115,26 @@ class ServiceConfig:
         if (self.scale_in_cooldown_s is not None
                 and self.scale_in_cooldown_s < 0):
             raise ValueError("scale_in_cooldown_s must be non-negative")
+        if self.crash_mtbf_s is not None and self.crash_mtbf_s <= 0:
+            raise ValueError("crash_mtbf_s must be positive")
+        if self.outage_start_s is not None and self.outage_start_s < 0:
+            raise ValueError("outage_start_s must be non-negative")
+        if self.outage_duration_s < 0:
+            raise ValueError("outage_duration_s must be non-negative")
+        if not 0.0 <= self.outage_fraction <= 1.0:
+            raise ValueError("outage_fraction must be in [0, 1]")
+        if any(at < 0 for at in self.storm_times_s):
+            raise ValueError("storm_times_s must be non-negative")
+        if not 0.0 <= self.request_error_rate < 1.0:
+            raise ValueError("request_error_rate must be in [0, 1)")
+        if self.retry_attempts < 1:
+            raise ValueError("retry_attempts must be >= 1")
+        if self.retry_base_delay_s < 0 or self.retry_max_delay_s < 0:
+            raise ValueError("retry delays must be non-negative")
+        if self.request_timeout_s is not None and self.request_timeout_s <= 0:
+            raise ValueError("request_timeout_s must be positive")
+        if self.shed_watermark < 0:
+            raise ValueError("shed_watermark must be >= 0")
 
     def replace(self, **changes) -> "ServiceConfig":
         """A copy of the config with the given fields changed."""

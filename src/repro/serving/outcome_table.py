@@ -101,6 +101,82 @@ class OutcomeTable:
         names = self.error_names
         return [names[code] for code in self.error_code.tolist()]
 
+    # -- SLO reductions --------------------------------------------------------
+    def slo_attainment(self, target_s: float) -> float:
+        """Fraction of *all* requests served successfully within ``target_s``.
+
+        The service-level objective of the chaos studies: failed,
+        timed-out, and shed requests all count against attainment, not
+        just slow successes.  An empty table attains vacuously (1.0).
+        """
+        if self.count == 0:
+            return 1.0
+        meeting = self.success & (self.latency <= target_s)
+        return float(meeting.sum()) / self.count
+
+    def success_timeline(self, bin_s: float = 10.0):
+        """Per-time-bin request and success counts (by send time).
+
+        Returns ``(edges, requests, successes)``: bin left edges from 0
+        to the last send time in ``bin_s`` steps, and two aligned count
+        arrays.  The shared binning behind :meth:`availability` and
+        :meth:`time_to_recover`.
+        """
+        if bin_s <= 0:
+            raise ValueError("bin_s must be positive")
+        if self.count == 0:
+            empty = np.zeros(0)
+            return empty, empty.astype(np.int64), empty.astype(np.int64)
+        bins = int(np.floor(self.send_time.max() / bin_s)) + 1
+        index = np.minimum((self.send_time / bin_s).astype(np.int64),
+                           bins - 1)
+        requests = np.bincount(index, minlength=bins)
+        successes = np.bincount(index[self.success], minlength=bins)
+        edges = np.arange(bins) * bin_s
+        return edges, requests, successes
+
+    def availability(self, bin_s: float = 10.0,
+                     min_success_ratio: float = 0.5) -> float:
+        """Fraction of time bins in which the service was *available*.
+
+        A bin is available when the success ratio of the requests sent
+        in it reaches ``min_success_ratio``; bins with no traffic count
+        as available (nothing was refused).  This is the outage-visible
+        metric: a 30 s dark window under 5 s bins costs ~6 bins of
+        availability regardless of how many requests piled into it.
+        """
+        edges, requests, successes = self.success_timeline(bin_s)
+        if len(edges) == 0:
+            return 1.0
+        active = requests > 0
+        if not active.any():
+            return 1.0
+        ratio = successes[active] / requests[active]
+        available = int((ratio >= min_success_ratio).sum())
+        available += int((~active).sum())
+        return available / len(edges)
+
+    def time_to_recover(self, after_s: float, bin_s: float = 10.0,
+                        min_success_ratio: float = 0.5) -> float:
+        """Seconds from ``after_s`` until service is healthy again.
+
+        Scans the :meth:`success_timeline` for the first bin starting at
+        or after ``after_s`` (the end of an outage window) that carries
+        traffic and meets ``min_success_ratio``; returns the gap between
+        ``after_s`` and that bin's left edge — 0.0 when the first bin
+        after the outage is already healthy.  Returns NaN when the
+        service never recovers within the recorded horizon.
+        """
+        edges, requests, successes = self.success_timeline(bin_s)
+        for index in range(len(edges)):
+            if edges[index] + bin_s <= after_s:
+                continue
+            if requests[index] == 0:
+                continue
+            if successes[index] / requests[index] >= min_success_ratio:
+                return float(max(edges[index] - after_s, 0.0))
+        return float("nan")
+
     # -- mutation (benchmark-internal) ----------------------------------------
     def fail_unfinished(self, horizon: float,
                         error: str = "unfinished") -> int:

@@ -79,6 +79,20 @@ class RequestOutcome:
         self.success = success
         self.error = error
 
+    def reopen(self) -> None:
+        """Reset completion state for a client-side retry attempt.
+
+        The retry layer re-submits the *same* outcome object, so the
+        end-to-end latency of the final row spans every attempt plus the
+        backoff in between (``send_time`` is kept).  Breakdown stages
+        are kept too: per-attempt stages are plain-overwritten by the
+        next attempt while accumulate-style stages (network) sum across
+        attempts.
+        """
+        self.completion_time = None
+        self.success = False
+        self.error = ""
+
     def stage(self, name: str) -> float:
         """Seconds spent in one breakdown stage (0 if absent)."""
         return self.breakdown.get(name, 0.0)

@@ -81,6 +81,55 @@ class TestWorkloadProperties:
         assert workload.trace.duration <= 120.0
 
 
+class TestConservationUnderFaults:
+    """The 5-bucket ledger identity survives active fault schedules.
+
+    ``submitted == completed + failed + rejected + timed_out + shed``
+    must hold for every platform family whatever the fault injector
+    does: every submission ends in exactly one bucket, even when
+    instances die mid-request, work is re-queued, load is shed, or the
+    client resubmits attempts through the retry loop.
+    """
+
+    fault_schedules = st.sampled_from([
+        {"crash_mtbf_s": 30.0},
+        {"crash_mtbf_s": 20.0, "retry_attempts": 3,
+         "retry_base_delay_s": 0.05},
+        {"outage_start_s": 10.0, "outage_duration_s": 15.0,
+         "outage_fraction": 1.0, "shed_watermark": 1},
+        {"outage_start_s": 8.0, "outage_duration_s": 10.0,
+         "outage_fraction": 0.5, "retry_attempts": 2},
+        {"request_error_rate": 0.1},
+        {"request_error_rate": 0.05, "retry_attempts": 4,
+         "request_timeout_s": 20.0},
+        {"storm_times_s": (6.0, 14.0), "crash_mtbf_s": 60.0},
+    ])
+
+    cases = st.tuples(
+        st.sampled_from(["serverless", "managed_ml", "cpu_server"]),
+        fault_schedules,
+        st.integers(min_value=1, max_value=4),
+    )
+
+    @given(case=cases)
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_ledger_balances_with_faults(self, case, tiny_w40):
+        platform, faults, seed = case
+        deployment = Planner().plan("aws", "mobilenet", "tf1.15", platform,
+                                    **faults)
+        result = ServingBenchmark(seed=seed).run(deployment, tiny_w40)
+        notes = result.usage.notes
+        assert notes["submitted"] == (
+            notes["completed"] + notes["failed"] + notes["rejected"]
+            + notes["timed_out"] + notes["shed"])
+        # Retries resubmit the same outcome row, so the ledger counts
+        # at least one submission per table row, never fewer.
+        assert notes["submitted"] >= result.table.count
+        for bucket, value in notes.items():
+            assert value >= 0, bucket
+
+
 class TestEndToEndInvariants:
     """Slow-ish sampled end-to-end invariants across the whole stack."""
 

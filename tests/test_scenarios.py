@@ -200,7 +200,8 @@ class TestScenarioExecution:
         # The conservation ledger still balances under scale-in.
         notes = scaled_in.usage.notes
         assert notes["submitted"] == (notes["completed"] + notes["failed"]
-                                      + notes["rejected"])
+                                      + notes["rejected"]
+                                      + notes["timed_out"] + notes["shed"])
 
     def test_diurnal_workload_registered(self):
         assert "w-diurnal" in known_workloads()
