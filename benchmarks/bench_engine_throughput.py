@@ -304,6 +304,74 @@ def run_control_probe(iterations: int = 50_000) -> dict:
     }
 
 
+def run_routing_probe(iterations: int = 50_000) -> dict:
+    """Smoke the multi-region router's decision cycle in isolation.
+
+    Exercises one full routing decision per iteration — snapshot
+    assembly over three backends, both pure policies
+    (:func:`choose_priority` and :func:`choose_weighted`), the EWMA
+    health fold, the streaming latency-quantile update, and the circuit
+    breakers — with a failure pattern that keeps region 0's breaker
+    actively tripping, cooling down, and re-closing through half-open
+    probes.  Reported as cycles/s so the ``--check`` gate catches a
+    router pessimisation without simulating a full failover cell.
+    """
+    from repro.platforms.routing import (  # noqa: E402
+        BackendHealth,
+        BackendSnapshot,
+        CircuitBreaker,
+        LatencyQuantile,
+        choose_priority,
+        choose_weighted,
+    )
+
+    regions = 3
+    best = None
+    for _ in range(3):
+        health = [BackendHealth(alpha=0.2) for _ in range(regions)]
+        breakers = [CircuitBreaker(threshold=5, cooldown_s=2.0)
+                    for _ in range(regions)]
+        quantile = LatencyQuantile(percentile=95.0, min_samples=32)
+        started = time.perf_counter()
+        for index in range(iterations):
+            now = index * 0.01
+            snapshots = [
+                BackendSnapshot(index=region,
+                                region_latency_s=0.01 * region,
+                                admits=breakers[region].admits(now),
+                                success_rate=health[region].success_rate,
+                                latency_s=health[region].latency_s)
+                for region in range(regions)
+            ]
+            chosen = choose_priority(snapshots)
+            if chosen is None:
+                chosen = choose_weighted(snapshots,
+                                         (index % 97) / 97.0) or 0
+            # Region 0 always fails, and every 8th decision retries it
+            # while its breaker admits (hedge/probe-style traffic), so
+            # the breaker keeps tripping, cooling down, and probing
+            # half-open instead of health-based failover hiding it.
+            if (index & 7) == 0 and snapshots[0].admits:
+                chosen = 0
+            breakers[chosen].on_route(now)
+            success = chosen != 0
+            latency = 0.05 + 0.001 * (index & 7)
+            health[chosen].observe(success, latency)
+            if success:
+                breakers[chosen].record_success()
+                quantile.observe(latency)
+            else:
+                breakers[chosen].record_failure(now)
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return {
+        "iterations": iterations,
+        "regions": regions,
+        "breaker_trips": sum(b.trips for b in breakers),
+        "cycles_per_s": round(iterations / best, 1),
+    }
+
+
 def run_sweep(scale: float, repeats: int) -> dict:
     """The full sweep plus the --check probe; returns the report payload."""
     results = []
@@ -323,10 +391,13 @@ def run_sweep(scale: float, repeats: int) -> dict:
     frame = run_frame_probe(keep[0])
     replicated = run_replicated_frame_probe(keep[0])
     fault = run_fault_probe(repeats)
+    routing = run_routing_probe()
     print(f" probe x{CHECK_SCALE:<5g} {probe['wall_s']:>8.3f}s "
           f"{probe['requests_per_s']:>10,.0f} req/s")
     print(f" faults x{CHECK_SCALE:<5g} {fault['wall_s']:>8.3f}s "
           f"{fault['requests_per_s']:>10,.0f} req/s (chaos schedule on)")
+    print(f" routing       {routing['cycles_per_s']:>13,.0f} cycles/s "
+          f"({routing['breaker_trips']} breaker trips)")
     print(f" columnar build {columnar['build_rows_per_s']:>12,.0f} rows/s "
           f"reduce {columnar['reduce_rows_per_s']:>14,.0f} rows/s")
     print(f" control plane {control['cycles_per_s']:>13,.0f} cycles/s")
@@ -346,6 +417,7 @@ def run_sweep(scale: float, repeats: int) -> dict:
         "frame_probe": frame,
         "replicated_frame_probe": replicated,
         "fault_injection_probe": fault,
+        "routing_probe": routing,
     }
 
 
@@ -423,6 +495,15 @@ def run_check(path: str) -> int:
     else:
         print("note: no fault_injection_probe recorded; rerun the full "
               "sweep to extend the gate")
+    routing_reference = recorded.get("routing_probe")
+    if routing_reference:
+        routing = run_routing_probe()
+        checks.append(("routing cycles/s",
+                       routing["cycles_per_s"],
+                       routing_reference["cycles_per_s"]))
+    else:
+        print("note: no routing_probe recorded; rerun the full sweep "
+              "to extend the gate")
     failed = False
     for label, measured, baseline in checks:
         floor = baseline * (1.0 - CHECK_TOLERANCE)

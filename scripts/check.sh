@@ -9,10 +9,13 @@
 # fixed simulation probe cell, the columnar build/reduce probes, the
 # control-plane (pool / policy / queue) probe, the study-layer
 # (ResultFrame build/query) probe, the replicated-frame (group_by
-# collapse) probe, and the fault-injection probe (the probe cell under
-# an active chaos schedule), each compared against BENCH_engine.json
-# with a 30% regression tolerance.  The chaos smoke then runs one
-# registered chaos scenario end to end through the CLI sweep path.  Regenerate the baseline with
+# collapse) probe, the fault-injection probe (the probe cell under
+# an active chaos schedule), and the routing probe (the multi-region
+# router's decision cycle under active breakers), each compared against
+# BENCH_engine.json with a 30% regression tolerance.  The chaos and
+# failover smokes then run one registered chaos scenario and a
+# single-replicate failover-recovery study end to end through the CLI
+# sweep path.  Regenerate the baseline with
 # `python benchmarks/bench_engine_throughput.py` on the machine that
 # runs the gate.
 #
@@ -38,6 +41,10 @@ if [[ "${1:-}" != "--fast" ]]; then
 
     echo "== chaos-scenario smoke (fault injection via the CLI) =="
     python -m repro.experiments.runner sweep chaos-outage --scale 0.3
+
+    echo "== failover smoke (multi-region routing via the CLI) =="
+    python -m repro.experiments.runner sweep failover-recovery \
+        --scale 0.3 --replicates 1
 fi
 
 if [[ "${1:-}" == "--docs" ]]; then

@@ -56,17 +56,35 @@ from repro.core.study import (
     register_study,
     study_library,
 )
+from repro.platforms.routing import (
+    BackendHealth,
+    BackendSnapshot,
+    CircuitBreaker,
+    LatencyQuantile,
+    MultiRegionPlatform,
+    RouterMeter,
+    choose_priority,
+    choose_weighted,
+)
 from repro.workload.generator import known_workloads, register_workload_spec
 
 __all__ = [
+    "BackendHealth",
+    "BackendSnapshot",
+    "CircuitBreaker",
     "FaultInjector",
     "FaultSpec",
+    "LatencyQuantile",
+    "MultiRegionPlatform",
     "OutageWindow",
     "ResultFrame",
     "RetryPolicy",
+    "RouterMeter",
     "ScenarioSpec",
     "Study",
     "Sweep",
+    "choose_priority",
+    "choose_weighted",
     "get_scenario",
     "get_study",
     "known_workloads",

@@ -172,6 +172,7 @@ class Executor:
             yield self.env.timeout(delay)
             outcome.reopen()
             attempt += 1
+        outcome.attempts = attempt
         self._note_completion(outcome)
 
     def _send_batch(self, client_id: int, batch: List[RequestOutcome]):

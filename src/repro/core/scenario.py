@@ -364,6 +364,75 @@ register_scenario(ScenarioSpec(
                 "ratio back toward one.",
 ))
 
+# -- failover library: multi-region resilience as scenarios ----------------
+# Routing knobs (regions, health policy, breakers, hedging, brownout) are
+# ServiceConfig data like the fault knobs above, so a failover scenario is
+# a chaos scenario plus routing overrides.  Correlated fault schedules
+# (outages, keep-alive storms) strike region 0 only — that asymmetry is
+# what gives the front door somewhere to fail over *to* (see
+# docs/failover.md).
+
+register_scenario(ScenarioSpec(
+    name="failover-outage",
+    provider="aws", model="mobilenet", runtime="tf1.15",
+    platform=PlatformKind.MANAGED_ML, workload="w-40",
+    config={"outage_start_s": 40.0, "outage_duration_s": 30.0,
+            "outage_fraction": 1.0, "shed_watermark": 1,
+            "retry_attempts": 3, "retry_base_delay_s": 0.1,
+            "request_timeout_s": 30.0,
+            "region_count": 2, "region_latency_s": (0.0, 0.03),
+            "routing_policy": "priority",
+            "breaker_failure_threshold": 5, "breaker_cooldown_s": 10.0},
+    description="The chaos-outage schedule behind a two-region front "
+                "door: when region 0's fleet dies, breakers trip and "
+                "priority routing fails over to the 30 ms-remote "
+                "replica instead of shedding.",
+))
+
+register_scenario(ScenarioSpec(
+    name="failover-crash",
+    provider="aws", model="mobilenet", runtime="tf1.15",
+    platform=PlatformKind.SERVERLESS, workload="w-storm",
+    config={"crash_mtbf_s": 120.0, "retry_attempts": 3,
+            "retry_base_delay_s": 0.1, "request_timeout_s": 60.0,
+            "region_count": 2, "region_latency_s": (0.0, 0.04),
+            "routing_policy": "weighted",
+            "breaker_failure_threshold": 8, "breaker_cooldown_s": 5.0,
+            "hedge_percentile": 95.0},
+    description="Seeded instance crashes under the burst storm, "
+                "weighted-routed across two serverless regions with "
+                "p95 request hedging on top of client retries.",
+))
+
+register_scenario(ScenarioSpec(
+    name="failover-hedged-transient",
+    provider="aws", model="mobilenet", runtime="tf1.15",
+    platform=PlatformKind.SERVERLESS, workload="w-40",
+    config={"request_error_rate": 0.05, "retry_attempts": 2,
+            "retry_base_delay_s": 0.05, "retry_max_delay_s": 0.5,
+            "region_count": 3, "region_latency_s": (0.0, 0.02, 0.05),
+            "routing_policy": "weighted",
+            "hedge_percentile": 90.0, "hedge_min_samples": 24},
+    description="A 5 % transient error rate across three regions with "
+                "aggressive p90 hedging: the second attempt races the "
+                "slow or failing first one, first completion wins.",
+))
+
+register_scenario(ScenarioSpec(
+    name="failover-brownout",
+    provider="aws", model="albert", runtime="tf1.15",
+    platform=PlatformKind.MANAGED_ML, workload="w-storm",
+    config={"max_instances": 2, "shed_watermark": 4,
+            "request_timeout_s": 30.0,
+            "region_count": 2, "region_latency_s": (0.0, 0.03),
+            "routing_policy": "priority",
+            "brownout_watermark": 0.8, "brownout_model": "mobilenet"},
+    description="An under-provisioned ALBERT endpoint under the storm: "
+                "past 80 % fleet utilisation the front door degrades "
+                "to a MobileNet variant instead of queueing or "
+                "shedding (answers get worse, availability does not).",
+))
+
 register_scenario(ScenarioSpec(
     name="eager-managed",
     provider="aws", model="mobilenet", runtime="tf1.15",

@@ -56,6 +56,7 @@ EXPERIMENTS: Dict[str, str] = {
     "fig16": "repro.experiments.fig16_provisioned_concurrency",
     "fig17": "repro.experiments.fig17_batch_size",
     "chaos": "repro.experiments.chaos_recovery",
+    "failover": "repro.experiments.failover_recovery",
 }
 
 

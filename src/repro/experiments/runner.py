@@ -67,11 +67,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--csv", default="",
                         help="write the result table as CSV to this file "
                              "(one experiment or sweep at a time)")
-    parser.add_argument("--replicates", type=int, default=1,
+    parser.add_argument("--replicates", type=int, default=None,
                         help="run every sweep cell this many times at "
                              "derived seeds (seed, seed+1, ...) and report "
                              "per-cell mean/std/ci95 columns (sweep "
-                             "subcommand only)")
+                             "subcommand only); overrides a study's "
+                             "declared replication in both directions, so "
+                             "--replicates 1 turns a K=5 study into a "
+                             "single-run smoke cell")
     return parser
 
 
@@ -94,8 +97,24 @@ def run_selected(ids: List[str], context: ExperimentContext) -> List[ExperimentR
     return results
 
 
+#: Scenario-name prefixes that form their own --list family; anything
+#: else is a "base" scenario.
+_SCENARIO_FAMILIES = ("chaos", "failover")
+
+
+def _scenario_family(name: str) -> str:
+    """The --list family of a scenario name (``base`` by default)."""
+    prefix = name.split("-", 1)[0]
+    return prefix if prefix in _SCENARIO_FAMILIES else "base"
+
+
 def _print_listing() -> None:
-    """The --list report: every runnable name, grouped by kind."""
+    """The --list report: every runnable name, grouped by kind.
+
+    Scenarios are further grouped by family — ``base`` scenarios, the
+    ``chaos`` fault-schedule library, and the ``failover`` multi-region
+    library — so the resilience libraries read as units.
+    """
     load_registered_studies()
     print("Available experiments:")
     for experiment_id in list_experiments():
@@ -108,8 +127,15 @@ def _print_listing() -> None:
     scenarios = list_scenarios()
     if scenarios:
         print("\nRegistered scenarios (run with: sweep <name>):")
-        for name in scenarios:
-            print(f"  {name}")
+        families = ("base",) + _SCENARIO_FAMILIES
+        grouped = {family: [name for name in scenarios
+                            if _scenario_family(name) == family]
+                   for family in families}
+        for family in families:
+            if grouped[family]:
+                print(f"  [{family}]")
+                for name in grouped[family]:
+                    print(f"    {name}")
     print("\nKnown workloads:")
     for name in known_workloads():
         print(f"  {name}")
@@ -161,13 +187,13 @@ def _run_sweeps(names: List[str], args,
                      "(see --list)")
     if args.csv and len(names) > 1:
         parser.error("--csv supports one sweep at a time")
-    if args.replicates < 1:
+    if args.replicates is not None and args.replicates < 1:
         parser.error("--replicates must be >= 1")
     context = _build_context(args)
     reports = []
     for name in names:
         study = _resolve_study(name, parser)
-        if args.replicates > 1:
+        if args.replicates is not None:
             study = study.with_replicates(args.replicates)
         frame = study.run(context)
         title = study.title or study.name

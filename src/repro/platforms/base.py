@@ -127,6 +127,12 @@ def build_platform(env: Environment, deployment: Deployment,
     from repro.platforms.serverless import ServerlessPlatform
     from repro.platforms.vm import VmPlatform
 
+    if deployment.config.region_count >= 2:
+        # The multi-region front door wraps single-region replicas of
+        # the configured kind (it re-enters build_platform with
+        # region_count=1 per region).
+        from repro.platforms.routing import MultiRegionPlatform
+        return MultiRegionPlatform(env, deployment, profiles, rng)
     kind = deployment.config.platform
     if kind == PlatformKind.SERVERLESS:
         return ServerlessPlatform(env, deployment, profiles, rng)

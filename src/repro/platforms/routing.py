@@ -1,0 +1,761 @@
+"""Multi-region routing front door: failover, breakers, hedging, brownout.
+
+PR 6 added the *injection* half of fault tolerance (crashes, outages,
+cold-start storms); this module adds the *recovery* half.  A
+:class:`MultiRegionPlatform` stands in front of ``region_count``
+regional replicas of an ordinary serving platform — each one a full
+composition of the existing control plane (`InstancePool` /
+`AdmissionQueue` / `BillingMeter`) — and routes every client request
+through the resilience toolkit:
+
+* **health checking** — a :class:`BackendHealth` EWMA success/latency
+  tracker per region, fed from every attempt's completion, drives the
+  routing decision;
+* **routing policies** — :func:`choose_priority` (first healthy region
+  in configured order, deterministic failover) and
+  :func:`choose_weighted` (health/latency-weighted random spread), pure
+  decision functions in the style of :mod:`repro.platforms.policies`;
+* **circuit breakers** — a :class:`CircuitBreaker` per region
+  (closed → open → half-open) stops hammering a dead fleet after
+  ``breaker_failure_threshold`` consecutive failures and re-closes via
+  a single half-open probe request after ``breaker_cooldown_s``;
+* **hedged requests** — once the router's streaming
+  :class:`LatencyQuantile` estimate of the ``hedge_percentile`` latency
+  is exceeded, a second attempt is issued on another region and the
+  first completion wins (the hedge timer is cancelled through the
+  engine's ``Race``/cancellable-timer machinery when the primary wins);
+* **brownout degradation** — past a fleet-utilisation watermark the
+  router serves requests from a cheaper ``brownout_model`` backend
+  instead of shedding; such completions are *successes* labelled
+  ``"degraded"``.
+
+Correlated fault schedules (``outage_start_s``, ``storm_times_s``)
+model a failure *domain* and strike region 0 only — surviving exactly
+those is why the front door exists — while uncorrelated hazards
+(``crash_mtbf_s``, ``request_error_rate``) apply to every region.
+
+Every resilience knob lives on :class:`~repro.serving.deployment.
+ServiceConfig`, so each one is a sweep axis.  All router randomness
+draws from the dedicated ``router-route`` / ``router-breaker`` streams:
+enabling the front door never perturbs the draws of the underlying
+platforms, and runs stay bit-identical serially vs ``workers=N``.
+
+The router keeps its own :class:`RouterMeter` conservation ledger over
+*client* requests; each regional backend keeps its ledger over the
+attempts routed to it.  A hedged request contributes one client-ledger
+entry and two regional-ledger entries, so hedges and degraded
+completions never double-count (property-tested in
+``tests/test_routing.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.platforms.base import PlatformUsage, ServingPlatform, build_platform
+from repro.platforms.billing import BillingMeter
+from repro.serving.deployment import Deployment
+from repro.serving.records import RequestOutcome, Stage
+from repro.sim import TimeSeriesMonitor
+
+__all__ = [
+    "ROUTE_STREAM",
+    "BREAKER_STREAM",
+    "BackendHealth",
+    "CircuitBreaker",
+    "LatencyQuantile",
+    "BackendSnapshot",
+    "choose_priority",
+    "choose_weighted",
+    "RouterMeter",
+    "MultiRegionPlatform",
+]
+
+#: RNG stream feeding the weighted routing policy's choice draws.
+ROUTE_STREAM = "router-route"
+#: RNG stream feeding circuit-breaker cooldown jitter.
+BREAKER_STREAM = "router-breaker"
+
+#: Error label of requests the router sheds because no backend admits.
+CIRCUIT_OPEN_ERROR = "circuit_open"
+#: Reserved error label carried by successful brownout completions.
+DEGRADED_LABEL = "degraded"
+#: Inter-region latency assumed for remote regions with no configured value.
+DEFAULT_REGION_LATENCY_S = 0.03
+#: EWMA success rate below which the priority policy prefers to fail over.
+MIN_HEALTHY_SUCCESS_RATE = 0.5
+
+#: Error strings that classify as admission rejections in the router ledger.
+_REJECT_ERRORS = frozenset({"connection_refused", "throttled"})
+#: Backend index of the brownout (degraded-service) backend.
+_DEGRADED = -1
+
+
+class BackendHealth:
+    """EWMA success-rate and latency tracker for one routed backend.
+
+    Starts optimistic (success rate 1.0) so fresh backends receive
+    traffic; every completed attempt moves both trackers by
+    ``health_alpha``.  Latency only updates on successes — failure
+    latencies (fast sheds, timeouts) say nothing about serving speed.
+    """
+
+    __slots__ = ("alpha", "success_rate", "latency_s", "samples")
+
+    def __init__(self, alpha: float = 0.2):
+        self.alpha = alpha
+        self.success_rate = 1.0
+        self.latency_s = 0.0
+        self.samples = 0
+
+    def observe(self, success: bool, latency_s: float) -> None:
+        """Fold one completed attempt into the trackers."""
+        alpha = self.alpha
+        self.samples += 1
+        self.success_rate += alpha * ((1.0 if success else 0.0)
+                                      - self.success_rate)
+        if success:
+            if self.latency_s == 0.0:
+                self.latency_s = latency_s
+            else:
+                self.latency_s += alpha * (latency_s - self.latency_s)
+
+
+class CircuitBreaker:
+    """Per-backend closed → open → half-open circuit breaker.
+
+    ``breaker_failure_threshold`` consecutive failures trip the breaker
+    open; after a (jittered) ``cooldown_s`` the next routed request is
+    admitted as a single half-open *probe* — its success re-closes the
+    breaker, its failure re-opens it for another cooldown.  A threshold
+    of 0 disables the breaker entirely (it always admits).
+
+    Cooldown jitter draws from the dedicated ``router-breaker`` stream
+    so breaker activity never perturbs other subsystems' draws.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    __slots__ = ("threshold", "cooldown_s", "rng", "state", "failures",
+                 "open_until", "probe_in_flight", "trips")
+
+    def __init__(self, threshold: int, cooldown_s: float, rng=None):
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self.rng = rng
+        self.state = self.CLOSED
+        self.failures = 0
+        self.open_until = 0.0
+        self.probe_in_flight = False
+        #: Number of closed/half-open → open transitions (telemetry).
+        self.trips = 0
+
+    def admits(self, now: float) -> bool:
+        """Whether a request may be routed to this backend right now."""
+        if self.threshold == 0 or self.state == self.CLOSED:
+            return True
+        if self.state == self.OPEN:
+            return now >= self.open_until
+        return not self.probe_in_flight
+
+    def on_route(self, now: float) -> None:
+        """Note that a request was routed here (may start the probe)."""
+        if self.threshold == 0 or self.state == self.CLOSED:
+            return
+        if self.state == self.OPEN and now >= self.open_until:
+            self.state = self.HALF_OPEN
+            self.probe_in_flight = True
+        elif self.state == self.HALF_OPEN:
+            self.probe_in_flight = True
+
+    def record_success(self) -> None:
+        """A routed attempt succeeded: reset (re-close after a probe)."""
+        self.failures = 0
+        if self.state != self.CLOSED:
+            self.state = self.CLOSED
+            self.probe_in_flight = False
+
+    def record_failure(self, now: float) -> None:
+        """A routed attempt failed: count it, trip when over threshold."""
+        if self.threshold == 0:
+            return
+        self.failures += 1
+        if self.state == self.HALF_OPEN or self.failures >= self.threshold:
+            self._trip(now)
+
+    def _trip(self, now: float) -> None:
+        cooldown = self.cooldown_s
+        if self.rng is not None:
+            cooldown *= self.rng.uniform(BREAKER_STREAM, 0.9, 1.1)
+        self.state = self.OPEN
+        self.open_until = now + cooldown
+        self.failures = 0
+        self.probe_in_flight = False
+        self.trips += 1
+
+
+class LatencyQuantile:
+    """Streaming latency-percentile estimate (Robbins–Monro update).
+
+    Tracks the ``percentile``-th latency of successful attempts without
+    storing samples: each observation nudges the estimate up by
+    ``step * p`` when the sample exceeds it and down by ``step * (1-p)``
+    otherwise, with the step sized from the running mean.  The hedge
+    timer arms only once ``min_samples`` observations have been folded
+    in (``ready``), so early cold-start noise cannot trigger hedge
+    storms.
+    """
+
+    __slots__ = ("q", "min_samples", "samples", "mean", "estimate")
+
+    #: Step size as a fraction of the running-mean latency.
+    STEP_FRACTION = 0.05
+
+    def __init__(self, percentile: float, min_samples: int = 32):
+        self.q = percentile / 100.0
+        self.min_samples = min_samples
+        self.samples = 0
+        self.mean = 0.0
+        self.estimate = 0.0
+
+    def observe(self, sample: float) -> None:
+        """Fold one latency observation into the estimate."""
+        self.samples += 1
+        self.mean += (sample - self.mean) / self.samples
+        if self.samples == 1:
+            self.estimate = sample
+            return
+        step = self.STEP_FRACTION * max(self.mean, 1e-9)
+        if sample > self.estimate:
+            self.estimate += step * self.q
+        else:
+            self.estimate -= step * (1.0 - self.q)
+        if self.estimate < 0.0:
+            self.estimate = 0.0
+
+    @property
+    def ready(self) -> bool:
+        """Whether enough samples have accumulated to trust the estimate."""
+        return self.samples >= self.min_samples
+
+    @property
+    def value(self) -> float:
+        """The current percentile estimate in seconds."""
+        return self.estimate
+
+
+@dataclass(frozen=True)
+class BackendSnapshot:
+    """Immutable per-backend state a routing policy decides from."""
+
+    #: Region index of the backend.
+    index: int
+    #: Configured one-way inter-region latency to this backend.
+    region_latency_s: float
+    #: Whether the backend's circuit breaker currently admits traffic.
+    admits: bool
+    #: EWMA success rate from the health tracker.
+    success_rate: float
+    #: EWMA latency of successful attempts, seconds.
+    latency_s: float
+
+
+def choose_priority(snapshots: Sequence[BackendSnapshot],
+                    min_success: float = MIN_HEALTHY_SUCCESS_RATE
+                    ) -> Optional[int]:
+    """First *healthy* admitting backend in region order (pure function).
+
+    Prefers backends whose breaker admits and whose EWMA success rate
+    meets ``min_success``; when none qualify, falls back to the first
+    backend the breaker still admits (traffic keeps flowing while
+    health recovers).  Returns ``None`` only when every breaker is
+    open.
+    """
+    fallback = None
+    for snap in snapshots:
+        if not snap.admits:
+            continue
+        if snap.success_rate >= min_success:
+            return snap.index
+        if fallback is None:
+            fallback = snap.index
+    return fallback
+
+
+def choose_weighted(snapshots: Sequence[BackendSnapshot],
+                    draw: float) -> Optional[int]:
+    """Health/latency-weighted choice among admitting backends.
+
+    Weights each admitting backend by ``success_rate / (region latency
+    + EWMA latency)``, then picks with the caller-supplied uniform
+    ``draw`` in [0, 1) — the draw stays outside the pure function so
+    the decision is unit-testable and the RNG stream stays the
+    router's.  Unhealthy backends keep a small floor weight, so a
+    recovered region is re-discovered without explicit probing.
+    Returns ``None`` when every breaker is open.
+    """
+    candidates = [snap for snap in snapshots if snap.admits]
+    if not candidates:
+        return None
+    weights: List[float] = []
+    for snap in candidates:
+        score = (max(snap.success_rate, 0.01)
+                 / (snap.region_latency_s + max(snap.latency_s, 1e-3)))
+        weights.append(score)
+    target = draw * sum(weights)
+    acc = 0.0
+    for snap, weight in zip(candidates, weights):
+        acc += weight
+        if target < acc:
+            return snap.index
+    return candidates[-1].index
+
+
+class RouterMeter(BillingMeter):
+    """The router's conservation ledger over *client* requests.
+
+    Extends the shared 5-bucket ledger (``submitted == completed +
+    failed + rejected + timed_out + shed``) with router-only tallies:
+    ``rejected`` (admission spills surfaced by a backend), ``hedges``
+    (second attempts issued) and ``degraded`` (brownout completions —
+    a subset of ``completed``, never a sixth bucket, so hedged and
+    degraded requests cannot double-count).
+    """
+
+    __slots__ = ("rejected", "hedges", "degraded")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.rejected = 0
+        self.hedges = 0
+        self.degraded = 0
+
+    def record_hedge(self) -> None:
+        """Count one hedged (duplicate) attempt issued by the router."""
+        self.hedges += 1
+
+    def classify(self, outcome: RequestOutcome, degraded: bool) -> None:
+        """Put one finished client outcome in exactly one ledger bucket."""
+        if outcome.success:
+            self.completed += 1
+            if degraded:
+                self.degraded += 1
+            return
+        error = outcome.error
+        if error == "timeout":
+            self.timed_out += 1
+        elif error == "shed" or error == CIRCUIT_OPEN_ERROR:
+            self.shed += 1
+        elif error in _REJECT_ERRORS:
+            self.rejected += 1
+        else:
+            self.failed += 1
+
+    def notes(self) -> Dict[str, float]:
+        """The extended ledger as ``PlatformUsage.notes`` entries."""
+        notes = self.conservation_notes(rejected=self.rejected)
+        notes["hedges"] = float(self.hedges)
+        notes["degraded"] = float(self.degraded)
+        return notes
+
+
+def _region_latencies(config) -> Tuple[float, ...]:
+    """Resolve the per-region latency tuple to ``region_count`` entries.
+
+    Region 0 defaults to 0 (the local region); remote regions inherit
+    the last configured value, or ``DEFAULT_REGION_LATENCY_S`` when the
+    tuple is empty.
+    """
+    configured = config.region_latency_s
+    latencies = []
+    for region in range(config.region_count):
+        if region < len(configured):
+            latencies.append(configured[region])
+        elif region == 0:
+            latencies.append(0.0)
+        elif configured:
+            latencies.append(configured[-1])
+        else:
+            latencies.append(DEFAULT_REGION_LATENCY_S)
+    return tuple(latencies)
+
+
+def _regional_overrides(config, region: int) -> dict:
+    """Config changes that turn the router's config into one region's.
+
+    Routing knobs reset (a region is a plain single-region platform;
+    retries stay client-side against the router).  Correlated fault
+    schedules — outage windows and cold-start storms model a failure
+    *domain* — strike region 0 only; uncorrelated hazards (crashes,
+    transient request errors) apply everywhere.
+    """
+    overrides = dict(
+        region_count=1, region_latency_s=(), breaker_failure_threshold=0,
+        hedge_percentile=0.0, brownout_watermark=0.0, brownout_model="",
+        retry_attempts=1,
+    )
+    if region > 0:
+        overrides.update(outage_start_s=None, storm_times_s=())
+    return overrides
+
+
+def _degraded_deployment(deployment: Deployment) -> Deployment:
+    """The brownout backend: the cheap emergency pool.
+
+    Serves ``brownout_model`` (the deployment's own model when unset)
+    on an otherwise identical single-region platform, fault-free — it
+    is the pool of last resort, not part of any failure domain.
+    """
+    config = deployment.config
+    overrides = _regional_overrides(config, region=1)
+    overrides.update(crash_mtbf_s=None, request_error_rate=0.0,
+                     shed_watermark=0)
+    model = deployment.model
+    if config.brownout_model:
+        from repro.models.zoo import get_model
+        model = get_model(config.brownout_model)
+    return replace(deployment, model=model,
+                   config=config.replace(**overrides))
+
+
+def _merge_gauges(monitors: Sequence[TimeSeriesMonitor]) -> TimeSeriesMonitor:
+    """Sum regional instance-gauge step functions into one timeline.
+
+    The merged series keeps ``peak_instances == max(instance_count)``
+    true by construction for the router, same as for single platforms.
+    """
+    merged = TimeSeriesMonitor(name="router-instances")
+    times = sorted({time for monitor in monitors for time in monitor.times})
+    for time in times:
+        merged.record(time, sum(monitor.value_at(time)
+                                for monitor in monitors))
+    return merged
+
+
+class MultiRegionPlatform(ServingPlatform):
+    """A resilient routing front door over regional platform replicas.
+
+    Built by :func:`~repro.platforms.base.build_platform` whenever
+    ``config.region_count >= 2``; each region is a full platform of the
+    configured kind (its own pool, queue, meter, and fault injector),
+    and routed requests pay the configured one-way inter-region latency
+    in each direction (recorded in the ``network`` stage).  See the
+    module docstring for the resilience toolkit.
+    """
+
+    def __init__(self, env, deployment, profiles=None, rng=None):
+        super().__init__(env, deployment, profiles, rng)
+        config = self.config
+        self._latencies = _region_latencies(config)
+        #: Regional platform replicas, index = region.
+        self.backends: List[ServingPlatform] = []
+        for region in range(config.region_count):
+            regional = deployment.with_config(
+                **_regional_overrides(config, region))
+            self.backends.append(
+                build_platform(env, regional, self.profiles, self.rng))
+        #: Brownout (degraded-service) backend; ``None`` unless enabled.
+        self.degraded_backend: Optional[ServingPlatform] = None
+        if config.brownout_watermark > 0.0:
+            self.degraded_backend = build_platform(
+                env, _degraded_deployment(deployment), self.profiles,
+                self.rng)
+        self.meter = RouterMeter()
+        #: Per-region EWMA health trackers.
+        self.health = [BackendHealth(config.health_alpha)
+                       for _ in self.backends]
+        #: Per-region circuit breakers.
+        self.breakers = [
+            CircuitBreaker(config.breaker_failure_threshold,
+                           config.breaker_cooldown_s, self.rng)
+            for _ in self.backends]
+        self._weighted = config.routing_policy == "weighted"
+        self._hedge = (config.hedge_percentile > 0.0
+                       and len(self.backends) >= 2)
+        self._quantile = LatencyQuantile(config.hedge_percentile,
+                                         config.hedge_min_samples)
+        self._watermark = config.brownout_watermark
+        #: Timed-out client rows awaiting a backend's late (post-deadline)
+        #: billing re-commit, keyed by the attempt object's identity.
+        self._late_attempts: Dict[int, RequestOutcome] = {}
+
+    # ------------------------------------------------------------------ API
+    def start(self) -> None:
+        """Start every regional backend (and the brownout backend)."""
+        for backend in self._all_backends():
+            backend.outcome_sink = self._late_attempt
+            backend.start()
+
+    def submit(self, outcome: RequestOutcome, payload_mb: float,
+               response_mb: float):
+        """Route one client request through the front door."""
+        self.meter.record_submitted()
+        return self.env.process(
+            self._route(outcome, payload_mb, response_mb))
+
+    def finalize(self, end_time: Optional[float] = None) -> PlatformUsage:
+        """Merge every backend's usage under the router's ledger.
+
+        Costs, cold starts and billed seconds sum across backends;
+        cost-breakdown and conservation-note entries are prefixed
+        ``regionN.`` / ``brownout.`` so per-region ledgers stay
+        auditable next to the router's client-level ledger.
+        """
+        usages = [(f"region{index}", backend.finalize(end_time))
+                  for index, backend in enumerate(self.backends)]
+        if self.degraded_backend is not None:
+            usages.append(("brownout",
+                           self.degraded_backend.finalize(end_time)))
+        breakdown: Dict[str, float] = {}
+        notes = self.meter.notes()
+        for label, usage in usages:
+            for key, value in usage.cost_breakdown.items():
+                breakdown[f"{label}.{key}"] = value
+            for key, value in usage.notes.items():
+                notes[f"{label}.{key}"] = value
+        notes["breaker_trips"] = float(
+            sum(breaker.trips for breaker in self.breakers))
+        merged = _merge_gauges([usage.instance_count for _, usage in usages])
+        return PlatformUsage(
+            cost=sum(usage.cost for _, usage in usages),
+            cost_breakdown=breakdown,
+            cold_starts=sum(usage.cold_starts for _, usage in usages),
+            instances_created=sum(usage.instances_created
+                                  for _, usage in usages),
+            peak_instances=int(merged.max()),
+            instance_count=merged,
+            billed_seconds=sum(usage.billed_seconds for _, usage in usages),
+            instance_seconds=sum(usage.instance_seconds
+                                 for _, usage in usages),
+            notes=notes,
+        )
+
+    # ------------------------------------------------------------- routing
+    def _all_backends(self):
+        if self.degraded_backend is None:
+            return list(self.backends)
+        return list(self.backends) + [self.degraded_backend]
+
+    def _snapshots(self, now: float) -> List[BackendSnapshot]:
+        return [
+            BackendSnapshot(
+                index=index,
+                region_latency_s=self._latencies[index],
+                admits=self.breakers[index].admits(now),
+                success_rate=self.health[index].success_rate,
+                latency_s=self.health[index].latency_s,
+            )
+            for index in range(len(self.backends))
+        ]
+
+    def _choose(self, snapshots: Sequence[BackendSnapshot],
+                exclude: Optional[int] = None) -> Optional[int]:
+        if exclude is not None:
+            snapshots = [snap for snap in snapshots
+                         if snap.index != exclude]
+            if not snapshots:
+                return None
+        if self._weighted:
+            draw = self.rng.uniform(ROUTE_STREAM, 0.0, 1.0)
+            return choose_weighted(snapshots, draw)
+        return choose_priority(snapshots)
+
+    def _utilisation(self) -> float:
+        """Busy fraction of the serving capacity, across all regions.
+
+        Slot-model backends (endpoints) report worker-slot occupancy;
+        pull-model backends (serverless) report the busy fraction of
+        the ready sandbox fleet, plus any backlog waiting for one.
+        """
+        busy = capacity = 0.0
+        for backend in self.backends:
+            queue = getattr(backend, "queue", None)
+            workers = getattr(queue, "workers", None)
+            if workers is not None:
+                busy += workers.count + workers.queue_length
+                capacity += max(workers.capacity, 1)
+            else:
+                pool = backend.pool
+                busy += pool.busy + queue.backlog
+                capacity += max(pool.ready, 1)
+        if capacity == 0:
+            return 0.0
+        return busy / capacity
+
+    def _route(self, outcome: RequestOutcome, payload_mb: float,
+               response_mb: float):
+        env = self.env
+        degraded = False
+        index: Optional[int] = None
+        if (self.degraded_backend is not None
+                and self._utilisation() >= self._watermark):
+            degraded = True
+        else:
+            index = self._choose(self._snapshots(env.now))
+            if index is None:
+                if self.degraded_backend is not None:
+                    # Brownout as last resort: every breaker is open,
+                    # serve degraded instead of shedding.
+                    degraded = True
+                else:
+                    # Shed at the front door. The yield keeps the
+                    # request process alive past its inline first step —
+                    # callers attach completion callbacks to it.
+                    yield env.timeout(0.0)
+                    outcome.finish(env.now, success=False,
+                                   error=CIRCUIT_OPEN_ERROR)
+                    self.meter.record_shed()
+                    return outcome
+
+        if degraded:
+            attempt, process = self._spawn(_DEGRADED, outcome, payload_mb,
+                                           response_mb)
+            yield process
+            final = attempt
+        else:
+            self.breakers[index].on_route(env.now)
+            attempt, process = self._spawn(index, outcome, payload_mb,
+                                           response_mb)
+            if self._hedge and self._quantile.ready:
+                final = yield from self._hedged(index, attempt, process,
+                                                outcome, payload_mb,
+                                                response_mb)
+            else:
+                yield process
+                final = attempt
+
+        self._merge(outcome, final)
+        if final.success:
+            outcome.finish(env.now, success=True,
+                           error=DEGRADED_LABEL if degraded else "")
+        else:
+            outcome.finish(env.now, success=False, error=final.error)
+            if final.error == "timeout":
+                # The backend may still run (and bill) the invocation
+                # past the client deadline; remember the row so the
+                # late re-commit reaches the table.
+                self._late_attempts[id(final)] = outcome
+        self.meter.classify(outcome, degraded)
+        return outcome
+
+    def _hedged(self, index: int, attempt: RequestOutcome, process,
+                outcome: RequestOutcome, payload_mb: float,
+                response_mb: float):
+        """Race the primary attempt against the hedge timer, then hedge.
+
+        The primary winning cancels the timer (no dead calendar entry);
+        the timer winning issues a second attempt on another admitting
+        backend and the first completion wins the request.  When the
+        first completion failed but the other attempt is still in
+        flight, the router waits for it and prefers its success — a
+        hedge also doubles as a failover retry.
+        """
+        env = self.env
+        hedge_timer = env.timeout(self._quantile.value)
+        winner = yield env.race(process, hedge_timer)
+        if winner is process:
+            hedge_timer.cancel()
+            return attempt
+        alternate = self._choose(self._snapshots(env.now), exclude=index)
+        if alternate is None:
+            yield process
+            return attempt
+        self.meter.record_hedge()
+        self.breakers[alternate].on_route(env.now)
+        attempt2, process2 = self._spawn(alternate, outcome, payload_mb,
+                                         response_mb)
+        winner2 = yield env.race(process, process2)
+        if winner2 is process:
+            first, other, other_process = attempt, attempt2, process2
+        else:
+            first, other, other_process = attempt2, attempt, process
+        if first.success:
+            return first
+        yield other_process
+        return other if other.success else first
+
+    def _spawn(self, index: int, outcome: RequestOutcome,
+               payload_mb: float, response_mb: float):
+        """One routed attempt: a fresh outcome + its wrapper process.
+
+        Attempts are attempt-local outcome objects (never registered
+        rows); the winner's serve-side fields are merged back into the
+        client's outcome, and the loser of a hedge simply runs to
+        completion and is discarded — its region still bills it.
+        """
+        attempt = RequestOutcome(
+            request_id=outcome.request_id, client_id=outcome.client_id,
+            send_time=self.env.now, inferences=outcome.inferences)
+        process = self.env.process(
+            self._attempt(index, attempt, payload_mb, response_mb))
+        return attempt, process
+
+    def _attempt(self, index: int, attempt: RequestOutcome,
+                 payload_mb: float, response_mb: float):
+        if index == _DEGRADED:
+            backend, latency = self.degraded_backend, 0.0
+        else:
+            backend, latency = self.backends[index], self._latencies[index]
+        if latency > 0.0:
+            breakdown = attempt.breakdown
+            breakdown[Stage.NETWORK] = (breakdown.get(Stage.NETWORK, 0.0)
+                                        + latency)
+            yield self.env.timeout(latency)
+        yield backend.submit(attempt, payload_mb, response_mb)
+        if latency > 0.0:
+            breakdown = attempt.breakdown
+            breakdown[Stage.NETWORK] = (breakdown.get(Stage.NETWORK, 0.0)
+                                        + latency)
+            yield self.env.timeout(latency)
+        if index != _DEGRADED:
+            self._observe(index, attempt)
+        return attempt
+
+    def _observe(self, index: int, attempt: RequestOutcome) -> None:
+        """Feed one completed attempt into health, breaker, and hedging."""
+        latency = self.env.now - attempt.send_time
+        self.health[index].observe(attempt.success, latency)
+        breaker = self.breakers[index]
+        if attempt.success:
+            breaker.record_success()
+            if self._hedge:
+                self._quantile.observe(latency)
+        else:
+            breaker.record_failure(self.env.now)
+
+    def _merge(self, outcome: RequestOutcome,
+               attempt: RequestOutcome) -> None:
+        """Copy the winning attempt's serve-side fields into the client row.
+
+        Mirrors the retry layer's stage semantics: per-attempt stages
+        plain-overwrite, accumulate-style stages (network) sum across
+        attempts of the same client request.
+        """
+        outcome.cold_start = attempt.cold_start
+        outcome.instance_id = attempt.instance_id
+        outcome.billed_duration_s = attempt.billed_duration_s
+        breakdown = outcome.breakdown
+        for name, seconds in attempt.breakdown.items():
+            if name == Stage.NETWORK:
+                breakdown[name] = breakdown.get(name, 0.0) + seconds
+            else:
+                breakdown[name] = seconds
+
+    def _late_attempt(self, attempt: RequestOutcome) -> None:
+        """A backend re-committed an attempt after its client timed out.
+
+        Serverless invocations keep running (and billing) past the
+        client deadline; propagate the late billing fields to the
+        client's registered row and forward it to the executor's sink.
+        """
+        outcome = self._late_attempts.pop(id(attempt), None)
+        if outcome is None:
+            return
+        outcome.billed_duration_s = attempt.billed_duration_s
+        if attempt.instance_id is not None:
+            outcome.instance_id = attempt.instance_id
+        if self.outcome_sink is not None:
+            self.outcome_sink(outcome)

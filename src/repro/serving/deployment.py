@@ -82,6 +82,36 @@ class ServiceConfig:
     #: Shed (fail fast) when ready instances drop below this watermark;
     #: 0 disables load shedding.
     shed_watermark: int = 0
+    # -- multi-region routing front door (see repro.platforms.routing) ------
+    #: Number of regional replicas behind the routing front door; values
+    #: >= 2 wrap the platform in a :class:`MultiRegionPlatform`, 1 keeps
+    #: the plain single-region platform (bit-identical to earlier PRs).
+    region_count: int = 1
+    #: Per-region one-way inter-region latency in seconds, indexed by
+    #: region.  Shorter tuples are padded: region 0 defaults to 0 (local)
+    #: and remote regions inherit the last provided value (or 0.03 s).
+    region_latency_s: tuple = ()
+    #: Routing decision function: ``"priority"`` (first healthy region in
+    #: latency order) or ``"weighted"`` (health/latency-weighted random).
+    routing_policy: str = "priority"
+    #: EWMA smoothing factor for per-backend success/latency health.
+    health_alpha: float = 0.2
+    #: Consecutive failures that trip a backend's circuit breaker open;
+    #: 0 disables circuit breaking.
+    breaker_failure_threshold: int = 0
+    #: Seconds an open breaker waits before admitting a half-open probe.
+    breaker_cooldown_s: float = 10.0
+    #: Latency percentile (0 < p < 100) after which a hedged second
+    #: attempt is issued on another backend; 0 disables hedging.
+    hedge_percentile: float = 0.0
+    #: Completed attempts observed before the hedge timer may arm.
+    hedge_min_samples: int = 32
+    #: Utilisation watermark (0..1] past which the router serves requests
+    #: from the cheaper brownout backend instead of shedding; 0 disables.
+    brownout_watermark: float = 0.0
+    #: Model served by the degraded brownout backend (zoo name);
+    #: empty keeps the deployment's own model.
+    brownout_model: str = ""
     # -- Figure 12 micro-benchmark knobs -------------------------------------
     extra_container_mb: float = 0.0
     extra_download_mb: float = 0.0
@@ -135,6 +165,29 @@ class ServiceConfig:
             raise ValueError("request_timeout_s must be positive")
         if self.shed_watermark < 0:
             raise ValueError("shed_watermark must be >= 0")
+        object.__setattr__(
+            self, "region_latency_s",
+            tuple(float(lat) for lat in self.region_latency_s))
+        if self.region_count < 1:
+            raise ValueError("region_count must be >= 1")
+        if any(lat < 0 for lat in self.region_latency_s):
+            raise ValueError("region_latency_s must be non-negative")
+        if self.routing_policy not in ("priority", "weighted"):
+            raise ValueError(
+                f"unknown routing_policy {self.routing_policy!r}; "
+                "expected 'priority' or 'weighted'")
+        if not 0.0 < self.health_alpha <= 1.0:
+            raise ValueError("health_alpha must be in (0, 1]")
+        if self.breaker_failure_threshold < 0:
+            raise ValueError("breaker_failure_threshold must be >= 0")
+        if self.breaker_cooldown_s <= 0:
+            raise ValueError("breaker_cooldown_s must be positive")
+        if not 0.0 <= self.hedge_percentile < 100.0:
+            raise ValueError("hedge_percentile must be in [0, 100)")
+        if self.hedge_min_samples < 1:
+            raise ValueError("hedge_min_samples must be >= 1")
+        if not 0.0 <= self.brownout_watermark <= 1.0:
+            raise ValueError("brownout_watermark must be in [0, 1]")
 
     def replace(self, **changes) -> "ServiceConfig":
         """A copy of the config with the given fields changed."""

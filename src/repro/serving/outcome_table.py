@@ -53,13 +53,14 @@ class OutcomeTable:
     * ``billed_duration_s`` float64
     * ``inferences``   int32
     * ``error_code``   int16 (index into ``error_names``; 0 = no error)
+    * ``attempts``     int32 (submission attempts; 1 = no retries)
     * ``stages``       float64 matrix of shape (count, len(Stage.ORDER))
     """
 
     def __init__(self, request_id, client_id, send_time, completion_time,
                  success, cold_start, instance_id, billed_duration_s,
                  inferences, error_code, stages,
-                 error_names: Sequence[str] = ("",)):
+                 error_names: Sequence[str] = ("",), attempts=None):
         self.request_id = request_id
         self.client_id = client_id
         self.send_time = send_time
@@ -72,6 +73,9 @@ class OutcomeTable:
         self.error_code = error_code
         self.stages = stages
         self.error_names: List[str] = list(error_names)
+        if attempts is None:
+            attempts = np.ones(self.count, dtype=np.int32)
+        self.attempts = attempts
 
     # -- shape ----------------------------------------------------------------
     @property
@@ -97,9 +101,38 @@ class OutcomeTable:
         return self.stages[:, _STAGE_INDEX[stage]]
 
     def error_strings(self) -> List[str]:
-        """Per-request error messages ('' for successful requests)."""
+        """Per-request error messages ('' for plain successful requests;
+        successful brownout completions carry ``"degraded"``)."""
         names = self.error_names
         return [names[code] for code in self.error_code.tolist()]
+
+    def attempts_mean(self) -> float:
+        """Mean submission attempts per request (retry amplification).
+
+        1.0 means no request was retried; under chaos schedules with
+        client-side retries this is the plottable amplification factor.
+        An empty table reports 1.0.
+        """
+        if self.count == 0:
+            return 1.0
+        return float(self.attempts.mean())
+
+    def degraded_ratio(self) -> float:
+        """Fraction of all requests served in brownout (degraded) mode.
+
+        Degraded completions are *successes* carrying the reserved error
+        label ``"degraded"`` (the router served them from the cheaper
+        brownout backend instead of shedding).  0.0 when the run never
+        browned out; an empty table reports 0.0.
+        """
+        if self.count == 0:
+            return 0.0
+        try:
+            code = self.error_names.index("degraded")
+        except ValueError:
+            return 0.0
+        mask = self.success & (self.error_code == code)
+        return float(mask.sum()) / self.count
 
     # -- SLO reductions --------------------------------------------------------
     def slo_attainment(self, target_s: float) -> float:
@@ -236,6 +269,7 @@ class OutcomeTable:
             billed_duration_s=float(self.billed_duration_s[index]),
             inferences=int(self.inferences[index]),
             breakdown=breakdown,
+            attempts=int(self.attempts[index]),
         )
 
     def to_outcomes(self) -> List[RequestOutcome]:
@@ -273,6 +307,8 @@ class OutcomeTable:
             packed["inferences"] = self.inferences.astype(np.int32)
         if self.error_code.any():
             packed["error_code"] = self.error_code
+        if (self.attempts != 1).any():
+            packed["attempts"] = self.attempts.astype(np.int32)
         packed["billed_duration_s"] = _pack_sparse(self.billed_duration_s)
         packed["stages"] = [_pack_sparse(self.stages[:, i])
                             for i in range(_N_STAGES)]
@@ -307,6 +343,11 @@ class OutcomeTable:
         error_code = packed.get("error_code")
         if error_code is None:
             error_code = np.zeros(count, dtype=np.int16)
+        attempts = packed.get("attempts")
+        if attempts is None:
+            attempts = np.ones(count, dtype=np.int32)
+        else:
+            attempts = attempts.astype(np.int32)
         stages = np.zeros((count, _N_STAGES), dtype=np.float64)
         for stage_index, column in enumerate(packed["stages"]):
             stages[:, stage_index] = _unpack_sparse(column, count)
@@ -324,6 +365,7 @@ class OutcomeTable:
             error_code=error_code,
             stages=stages,
             error_names=packed["errors"],
+            attempts=attempts,
         )
 
     # -- determinism -----------------------------------------------------------
@@ -339,6 +381,10 @@ class OutcomeTable:
                        self.instance_id, self.billed_duration_s,
                        self.inferences, self.error_code, self.stages):
             digest.update(np.ascontiguousarray(column).tobytes())
+        if (self.attempts != 1).any():
+            # Retried runs hash their attempts column; retry-free runs
+            # skip it so historical golden digests stay valid.
+            digest.update(np.ascontiguousarray(self.attempts).tobytes())
         digest.update("\x00".join(self.error_names).encode("utf-8"))
         return digest.hexdigest()
 
@@ -402,6 +448,7 @@ class OutcomeRecorder:
         self.billed_duration_s = np.zeros(capacity, dtype=np.float64)
         self.inferences = np.ones(capacity, dtype=np.int32)
         self.error_code = np.zeros(capacity, dtype=np.int16)
+        self.attempts = np.ones(capacity, dtype=np.int32)
         self.stages = np.zeros((capacity, _N_STAGES), dtype=np.float64)
         self.error_names: List[str] = [""]
         #: Registered-but-uncommitted outcomes; their partial state
@@ -432,6 +479,7 @@ class OutcomeRecorder:
         self.billed_duration_s = extend(self.billed_duration_s, 0.0)
         self.inferences = extend(self.inferences, 1)
         self.error_code = extend(self.error_code, 0)
+        self.attempts = extend(self.attempts, 1)
         self.stages = extend(self.stages, 0.0)
         self._capacity = new_capacity
 
@@ -476,6 +524,8 @@ class OutcomeRecorder:
             self.instance_id[row] = outcome.instance_id
         if outcome.billed_duration_s:
             self.billed_duration_s[row] = outcome.billed_duration_s
+        if outcome.attempts != 1:
+            self.attempts[row] = outcome.attempts
         breakdown = outcome.breakdown
         if breakdown:
             stages = self.stages
@@ -507,4 +557,5 @@ class OutcomeRecorder:
             error_code=self.error_code[:n],
             stages=self.stages[:n],
             error_names=self.error_names,
+            attempts=self.attempts[:n],
         )

@@ -54,6 +54,9 @@ class RequestOutcome:
     inferences: int = 1
     #: Per-stage latency breakdown in seconds.
     breakdown: Dict[str, float] = field(default_factory=dict)
+    #: Number of submission attempts made for this request (1 = no
+    #: retries); written by the executor's retry wrapper on completion.
+    attempts: int = 1
     #: Row index assigned by the :class:`~repro.serving.outcome_table.
     #: OutcomeRecorder` (-1 while unregistered).
     row: int = field(default=-1, repr=False, compare=False)

@@ -7,6 +7,13 @@ that planning step on top of this package's workload and cost models: it
 sizes the server fleet to a percentile of the per-second request rate,
 estimates how many requests overflow to serverless, and compares the
 blended cost against the pure-serverless and pure-server alternatives.
+
+With ``routed_percentile`` set, the planner also evaluates a fourth,
+*routed-spillover* strategy: size the always-on fleet to a lower
+percentile and let the multi-region front door
+(:mod:`repro.platforms.routing`) absorb the larger overflow — breakers,
+hedging, and brownout make aggressive spillover survivable, at the price
+of hedge-duplicate serverless invocations.
 """
 
 from __future__ import annotations
@@ -39,6 +46,14 @@ class HybridPlan:
     pure_serverless_cost: float
     pure_server_cost: float
     pure_server_instances: int
+    #: Always-on fleet size of the routed-spillover strategy (0 when the
+    #: planner did not evaluate it — see ``HybridPlanner.routed_percentile``).
+    routed_servers: int = 0
+    #: Requests the routed strategy spills through the front door.
+    routed_overflow_requests: int = 0
+    #: Blended cost of the routed-spillover strategy, or ``None`` when
+    #: routed planning is disabled.
+    routed_cost: Optional[float] = None
 
     @property
     def hybrid_cost(self) -> float:
@@ -53,12 +68,19 @@ class HybridPlan:
         return self.overflow_requests / self.total_requests
 
     def best_strategy(self) -> str:
-        """Which of the three strategies is cheapest."""
+        """Which of the evaluated strategies is cheapest.
+
+        ``hybrid`` / ``serverless`` / ``server`` are always evaluated;
+        ``routed`` joins the comparison only when the planner was given
+        a ``routed_percentile`` (so existing plans are unchanged).
+        """
         options = {
             "hybrid": self.hybrid_cost,
             "serverless": self.pure_serverless_cost,
             "server": self.pure_server_cost,
         }
+        if self.routed_cost is not None:
+            options["routed"] = self.routed_cost
         return min(options, key=options.get)
 
 
@@ -76,10 +98,26 @@ class HybridPlanner:
     base_load_percentile: float = 60.0
     memory_gb: float = 2.0
     workers_per_server: int = 8
+    #: Enables the routed-spillover strategy: size the always-on fleet to
+    #: this (lower) rate percentile and let the multi-region front door
+    #: absorb the larger overflow instead of the SLO absorbing it — the
+    #: breakers/hedging/brownout machinery of ``platforms/routing.py``
+    #: makes aggressive spillover survivable.  ``None`` (the default)
+    #: skips routed planning entirely.
+    routed_percentile: Optional[float] = None
+    #: Fraction of routed spillover the front door duplicates as hedged
+    #: requests; hedge losers still bill, so they surcharge the routed
+    #: overflow cost.
+    hedge_fraction: float = 0.02
 
     def __post_init__(self) -> None:
         if not 0 < self.base_load_percentile <= 100:
             raise ValueError("base_load_percentile must be in (0, 100]")
+        if self.routed_percentile is not None:
+            if not 0 < self.routed_percentile <= 100:
+                raise ValueError("routed_percentile must be in (0, 100]")
+        if not 0 <= self.hedge_fraction < 1:
+            raise ValueError("hedge_fraction must be in [0, 1)")
 
     @classmethod
     def from_scenario(cls, scenario, profiles: Optional[LatencyProfiles] = None,
@@ -127,7 +165,7 @@ class HybridPlanner:
         for spec in specs:
             planner = cls.from_scenario(spec, profiles=profiles, **overrides)
             plan = planner.plan_scenario(spec, seed=seed, scale=scale)
-            rows.append({
+            row = {
                 "scenario": spec.name or spec.cell_key,
                 "provider": spec.provider,
                 "model": spec.model,
@@ -138,7 +176,11 @@ class HybridPlanner:
                 "serverless_cost_usd": plan.pure_serverless_cost,
                 "server_cost_usd": plan.pure_server_cost,
                 "best_strategy": plan.best_strategy(),
-            })
+            }
+            if plan.routed_cost is not None:
+                row["routed_cost_usd"] = plan.routed_cost
+                row["routed_servers"] = plan.routed_servers
+            rows.append(row)
         return ResultFrame.from_rows(rows, name="hybrid-comparison",
                                      specs=specs)
 
@@ -172,6 +214,26 @@ class HybridPlanner:
         pure_servers = max(int(np.ceil(peak_rate / capacity_per_server)), 1)
         pure_server_cost = estimator.vm(instance_type, duration, pure_servers)
 
+        routed_servers = 0
+        routed_overflow = 0
+        routed_cost = None
+        if self.routed_percentile is not None:
+            routed_rate = float(np.percentile(rates, self.routed_percentile))
+            routed_servers = max(
+                int(np.ceil(routed_rate / capacity_per_server)), 1)
+            routed_capacity = routed_servers * capacity_per_server
+            routed_overflow = int(np.sum(
+                np.clip(rates - routed_capacity, 0.0, None)))
+            routed_overflow = min(routed_overflow, trace.count)
+            # Hedge losers run to completion on the other region, so the
+            # spilled invocations bill (1 + hedge_fraction)x.
+            billed_overflow = int(np.ceil(
+                routed_overflow * (1.0 + self.hedge_fraction)))
+            routed_cost = (
+                estimator.vm(instance_type, duration, routed_servers)
+                + estimator.serverless(self.model, self.runtime,
+                                       billed_overflow, self.memory_gb).total)
+
         return HybridPlan(
             servers=servers,
             server_capacity_rps=fleet_capacity,
@@ -182,4 +244,7 @@ class HybridPlanner:
             pure_serverless_cost=pure_serverless,
             pure_server_cost=pure_server_cost,
             pure_server_instances=pure_servers,
+            routed_servers=routed_servers,
+            routed_overflow_requests=routed_overflow,
+            routed_cost=routed_cost,
         )

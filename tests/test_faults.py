@@ -32,7 +32,7 @@ from repro.core.planner import Planner
 from repro.platforms.base import build_platform
 from repro.platforms.pool import InstancePool, InstanceState
 from repro.serving.deployment import ServiceConfig
-from repro.serving.outcome_table import OutcomeRecorder
+from repro.serving.outcome_table import OutcomeRecorder, OutcomeTable
 from repro.serving.records import RequestOutcome
 from repro.sim import Environment, RandomStreams
 from repro.workload.requests import RequestPool
@@ -172,6 +172,24 @@ class TestPoolKill:
         assert instance.retire_time == 30.0
         pool.env.run(until=100.0)
         assert pool.instance_seconds(end_time=100.0) == 30.0
+
+    def test_kill_warming_instance_racing_concurrent_scale_out(self):
+        # Chaos kills a warming instance while a second scale-out
+        # launch is already in flight: the counters must track the two
+        # instances independently and billing must stay exact for both.
+        pool = self._pool()
+        victim = pool.launch(warm=False)
+        pool.env.run(until=1.0)
+        replacement = pool.launch(warm=False)  # scale-out in flight
+        pool.kill(victim)                      # strikes mid-bring-up
+        assert (pool.warming, pool.alive) == (1, 1)
+        assert (pool.killed, pool.retired) == (1, 1)
+        pool.mark_ready(replacement)           # the in-flight launch lands
+        assert (pool.warming, pool.idle, pool.ready) == (0, 1, 1)
+        pool.env.run(until=10.0)
+        pool.retire(replacement)
+        # The victim billed [0 s, 1 s); the replacement [1 s, 10 s).
+        assert pool.instance_seconds(end_time=10.0) == pytest.approx(10.0)
 
     def test_double_kill_and_kill_after_retire_are_noops(self):
         pool = self._pool()
@@ -402,3 +420,73 @@ class TestSLOReductions:
         rows = [(5.0, True), (15.0, False), (25.0, False)]
         table = self._table(rows)
         assert math.isnan(table.time_to_recover(10.0, bin_s=10.0))
+
+    def test_time_to_recover_at_the_last_recorded_bin_is_finite(self):
+        # The only healthy bin is the final one of the horizon: the
+        # scan must reach it and report a finite gap, not the NaN
+        # never-recovered sentinel.
+        rows = [(5.0, True), (15.0, False), (25.0, False),
+                (35.0, False), (45.0, True)]
+        table = self._table(rows)
+        ttr = table.time_to_recover(10.0, bin_s=10.0)
+        assert not math.isnan(ttr)
+        assert ttr == 30.0
+
+
+class TestAttemptsColumn:
+    def _table(self, attempts_per_row):
+        recorder = OutcomeRecorder(len(attempts_per_row))
+        for index, attempts in enumerate(attempts_per_row):
+            outcome = RequestOutcome(request_id=index, client_id=0,
+                                     send_time=float(index))
+            recorder.register(outcome)
+            outcome.attempts = attempts
+            outcome.finish(index + 0.5, True)
+            recorder.commit(outcome)
+        return recorder.table()
+
+    def test_recorder_commits_the_attempts_column(self):
+        table = self._table([1, 3, 2])
+        assert table.attempts.tolist() == [1, 3, 2]
+        assert table.attempts_mean() == pytest.approx(2.0)
+        assert table.row(1).attempts == 3
+
+    def test_retry_free_attempts_preserve_historical_hashes(self):
+        # An all-ones attempts column is the pre-column default: it
+        # must hash identically to a table that never touched it.
+        explicit = self._table([1, 1, 1])
+        implicit_recorder = OutcomeRecorder(3)
+        for index in range(3):
+            outcome = RequestOutcome(request_id=index, client_id=0,
+                                     send_time=float(index))
+            implicit_recorder.register(outcome)
+            outcome.finish(index + 0.5, True)
+            implicit_recorder.commit(outcome)
+        assert explicit.column_hash() == implicit_recorder.table().column_hash()
+
+    def test_retried_attempts_are_part_of_the_digest(self):
+        assert (self._table([1, 1]).column_hash()
+                != self._table([1, 2]).column_hash())
+
+    def test_packed_roundtrip_preserves_and_elides_attempts(self):
+        retried = self._table([1, 4, 2])
+        packed = retried.packed()
+        assert "attempts" in packed
+        rebuilt = OutcomeTable.from_packed(packed)
+        assert rebuilt.attempts.tolist() == [1, 4, 2]
+        assert rebuilt.column_hash() == retried.column_hash()
+        plain = self._table([1, 1, 1])
+        assert "attempts" not in plain.packed()
+        assert (OutcomeTable.from_packed(plain.packed()).attempts.tolist()
+                == [1, 1, 1])
+
+    def test_retry_wrapper_commits_attempts_end_to_end(self, tiny_w40):
+        deployment = Planner().plan(
+            "aws", "mobilenet", "tf1.15", "serverless",
+            request_error_rate=0.2, retry_attempts=4)
+        _, table = run_platform(deployment, tiny_w40)
+        assert int(table.attempts.max()) > 1
+        assert table.attempts_mean() > 1.0
+        # The headline reduction matches the raw column.
+        assert table.attempts_mean() == pytest.approx(
+            float(table.attempts.mean()))
