@@ -372,6 +372,77 @@ def run_routing_probe(iterations: int = 50_000) -> dict:
     }
 
 
+def run_streaming_probe(rows: int = 200_000) -> dict:
+    """Smoke the trace-scale streaming plane in isolation.
+
+    Times the two structures that let 10M-request cells run at flat
+    RSS: (a) the chunked recorder's write/fold cycle — ``rows``
+    synthetic outcomes registered, committed, and sealed through
+    recycled chunks into an :class:`OutcomeSummary` — and (b) the
+    :class:`BucketCalendar`'s push + pop cycle over the same entry
+    count.  Also reports the fold's peak resident chunk count and the
+    RSS growth (``ru_maxrss`` delta) across the fold repeats, both flat
+    by design, so the ``--check`` gate catches a residency leak as well
+    as a throughput regression.
+    """
+    import resource
+
+    from repro.serving.records import RequestOutcome  # noqa: E402
+    from repro.serving.streaming import ChunkedOutcomeRecorder  # noqa: E402
+    from repro.sim.engine import BucketCalendar  # noqa: E402
+
+    chunk_rows = 8_192
+    rss_before_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    fold_s = None
+    recorder = None
+    for _ in range(3):
+        recorder = ChunkedOutcomeRecorder(chunk_rows=chunk_rows,
+                                          keep_chunks=False,
+                                          seal_lag_s=1.0)
+        outcome = RequestOutcome(request_id=0, client_id=0, send_time=0.0)
+        started = time.perf_counter()
+        for index in range(rows):
+            outcome.request_id = index
+            outcome.client_id = index & 7
+            send = index * 0.001
+            outcome.send_time = send
+            recorder.register(outcome)
+            outcome.completion_time = send + 0.05
+            outcome.success = True
+            recorder.commit(outcome)
+        summary = recorder.finalize(rows * 0.001 + 1.0)
+        elapsed = time.perf_counter() - started
+        fold_s = elapsed if fold_s is None else min(fold_s, elapsed)
+    assert summary.count == rows
+    rss_after_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    rss_growth_mb = max(rss_after_kb - rss_before_kb, 0) / 1024.0
+
+    span = 3_600.0
+    times = [span * ((index * 2_654_435_761) % (1 << 32)) / float(1 << 32)
+             for index in range(rows)]
+    calendar_s = None
+    for _ in range(3):
+        calendar = BucketCalendar(width=span * 32.0 / rows, start_key=0)
+        push = calendar.push
+        pop = calendar.pop
+        started = time.perf_counter()
+        for sequence, when in enumerate(times):
+            push((when, 1, sequence, None, True, None))
+        while calendar.size:
+            pop()
+        elapsed = time.perf_counter() - started
+        calendar_s = elapsed if calendar_s is None else min(calendar_s,
+                                                            elapsed)
+    return {
+        "rows": rows,
+        "chunk_rows": chunk_rows,
+        "fold_rows_per_s": round(rows / fold_s, 1),
+        "peak_resident_chunks": recorder.peak_resident_chunks,
+        "fold_rss_growth_mb": round(rss_growth_mb, 1),
+        "calendar_ops_per_s": round(2 * rows / calendar_s, 1),
+    }
+
+
 def run_sweep(scale: float, repeats: int) -> dict:
     """The full sweep plus the --check probe; returns the report payload."""
     results = []
@@ -392,6 +463,7 @@ def run_sweep(scale: float, repeats: int) -> dict:
     replicated = run_replicated_frame_probe(keep[0])
     fault = run_fault_probe(repeats)
     routing = run_routing_probe()
+    streaming = run_streaming_probe()
     print(f" probe x{CHECK_SCALE:<5g} {probe['wall_s']:>8.3f}s "
           f"{probe['requests_per_s']:>10,.0f} req/s")
     print(f" faults x{CHECK_SCALE:<5g} {fault['wall_s']:>8.3f}s "
@@ -405,6 +477,10 @@ def run_sweep(scale: float, repeats: int) -> dict:
           f"query {frame['query_ops_per_s']:>10,.0f} ops/s")
     print(f" replicated    {replicated['collapse_cells_per_s']:>10,.0f} "
           f"cells/s (group_by collapse)")
+    print(f" streaming fold {streaming['fold_rows_per_s']:>12,.0f} rows/s "
+          f"calendar {streaming['calendar_ops_per_s']:>12,.0f} ops/s "
+          f"(peak {streaming['peak_resident_chunks']} chunks, "
+          f"+{streaming['fold_rss_growth_mb']:g} MB RSS)")
     return {
         "bench": "engine-throughput",
         "cell": "aws/mobilenet/tf1.15/serverless",
@@ -418,6 +494,7 @@ def run_sweep(scale: float, repeats: int) -> dict:
         "replicated_frame_probe": replicated,
         "fault_injection_probe": fault,
         "routing_probe": routing,
+        "streaming_probe": streaming,
     }
 
 
@@ -505,6 +582,36 @@ def run_check(path: str) -> int:
         print("note: no routing_probe recorded; rerun the full sweep "
               "to extend the gate")
     failed = False
+    streaming_reference = recorded.get("streaming_probe")
+    if streaming_reference:
+        streaming = run_streaming_probe()
+        checks.append(("streaming fold rows/s",
+                       streaming["fold_rows_per_s"],
+                       streaming_reference["fold_rows_per_s"]))
+        checks.append(("calendar ops/s",
+                       streaming["calendar_ops_per_s"],
+                       streaming_reference["calendar_ops_per_s"]))
+        # Residency gates: lower is better, so they sit outside the
+        # throughput loop.  The RSS allowance is absolute (allocator
+        # noise dwarfs any ratio at these sizes); the chunk gate is
+        # exact — a chunk-ring leak shows up as a count, not a margin.
+        rss_limit = streaming_reference["fold_rss_growth_mb"] + 64.0
+        rss = streaming["fold_rss_growth_mb"]
+        verdict = "OK" if rss <= rss_limit else "REGRESSION"
+        failed = failed or verdict != "OK"
+        print(f"streaming fold RSS growth: {rss:g} MB "
+              f"(recorded {streaming_reference['fold_rss_growth_mb']:g}, "
+              f"limit {rss_limit:g}) -> {verdict}")
+        chunk_limit = streaming_reference["peak_resident_chunks"] + 2
+        chunks = streaming["peak_resident_chunks"]
+        verdict = "OK" if chunks <= chunk_limit else "REGRESSION"
+        failed = failed or verdict != "OK"
+        print(f"streaming peak resident chunks: {chunks} "
+              f"(recorded {streaming_reference['peak_resident_chunks']}, "
+              f"limit {chunk_limit}) -> {verdict}")
+    else:
+        print("note: no streaming_probe recorded; rerun the full sweep "
+              "to extend the gate")
     for label, measured, baseline in checks:
         floor = baseline * (1.0 - CHECK_TOLERANCE)
         verdict = "OK" if measured >= floor else "REGRESSION"

@@ -10,12 +10,16 @@
 # control-plane (pool / policy / queue) probe, the study-layer
 # (ResultFrame build/query) probe, the replicated-frame (group_by
 # collapse) probe, the fault-injection probe (the probe cell under
-# an active chaos schedule), and the routing probe (the multi-region
-# router's decision cycle under active breakers), each compared against
+# an active chaos schedule), the routing probe (the multi-region
+# router's decision cycle under active breakers), and the streaming
+# probe (chunked recorder fold + calendar-queue cycle, with flat-RSS
+# and resident-chunk residency gates), each compared against
 # BENCH_engine.json with a 30% regression tolerance.  The chaos and
 # failover smokes then run one registered chaos scenario and a
 # single-replicate failover-recovery study end to end through the CLI
-# sweep path.  Regenerate the baseline with
+# sweep path, and the flat-RSS smoke (scripts/rss_smoke.py) runs the
+# streamed w-1m workload at two request scales and asserts peak RSS
+# stays flat in the trace length.  Regenerate the baseline with
 # `python benchmarks/bench_engine_throughput.py` on the machine that
 # runs the gate.
 #
@@ -45,6 +49,9 @@ if [[ "${1:-}" != "--fast" ]]; then
     echo "== failover smoke (multi-region routing via the CLI) =="
     python -m repro.experiments.runner sweep failover-recovery \
         --scale 0.3 --replicates 1
+
+    echo "== flat-RSS smoke (streamed w-1m at two scales) =="
+    python scripts/rss_smoke.py
 fi
 
 if [[ "${1:-}" == "--docs" ]]; then

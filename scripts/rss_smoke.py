@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Flat-RSS smoke: trace-scale streaming cells must not grow with N.
+
+Runs the streamed ``w-1m`` workload at two request scales in separate
+subprocesses (so each run's peak RSS is its own ``ru_maxrss``) and
+asserts the 10x-larger run's peak RSS stays within ``RSS_RATIO_LIMIT``
+of the smaller one.  On the streaming path everything is bounded —
+arrivals are drawn block-by-block, outcome chunks recycle through the
+ring, and metrics fold into fixed-size reductions — so peak RSS is
+dominated by the interpreter + numpy baseline and must be flat in the
+trace length.  A leak anywhere in that pipeline (retained chunks,
+materialised arrival arrays, per-request object graphs) shows up here
+as a super-flat ratio long before a 10M-request run would hit swap.
+
+Usage::
+
+    python scripts/rss_smoke.py            # the smoke (two subprocesses)
+    python scripts/rss_smoke.py --child S  # internal: one cell at scale S
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+#: The two compression scales of w-1m compared by the smoke (10x apart).
+SMALL_SCALE = 0.03
+LARGE_SCALE = 0.3
+
+#: Allowed peak-RSS ratio between the 10x run and the 1x run.
+RSS_RATIO_LIMIT = 1.25
+
+
+def run_child(scale: float) -> int:
+    """Run one streamed w-1m cell and print this process's peak RSS."""
+    import resource
+
+    from repro.core.benchmark import ServingBenchmark
+    from repro.core.planner import Planner
+    from repro.workload.generator import standard_workload
+
+    deployment = Planner().plan("aws", "mobilenet", "tf1.15", "serverless")
+    workload = standard_workload("w-1m", seed=7, scale=scale)
+    # Small chunks and a short drain so both runs are far past chunk
+    # granularity AND past the seal lag (drain + 50 s): resident rows
+    # are then bounded by arrival_rate x seal_lag at either scale, and
+    # any RSS growth with N is a real leak — not ring quantisation (the
+    # 1x run would otherwise fit inside a single default chunk) and not
+    # a run shorter than the lag (which never seals mid-flight at all).
+    bench = ServingBenchmark(seed=7, chunk_rows=8_192, drain_timeout_s=60.0)
+    result = bench.run(deployment, workload, workload_scale=scale)
+    peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    print(json.dumps({
+        "scale": scale,
+        "requests": result.total_requests,
+        "streaming": result.streaming,
+        "success_ratio": round(result.success_ratio, 4),
+        "peak_resident_chunks": result.metadata.get("peak_resident_chunks"),
+        "peak_rss_mb": round(peak_kb / 1024.0, 1),
+    }))
+    return 0
+
+
+def run_smoke() -> int:
+    """Launch both scales as subprocesses and gate the peak-RSS ratio."""
+    reports = {}
+    for scale in (SMALL_SCALE, LARGE_SCALE):
+        process = subprocess.run(
+            [sys.executable, os.path.abspath(__file__), "--child",
+             str(scale)],
+            capture_output=True, text=True, cwd=ROOT)
+        if process.returncode != 0:
+            print(process.stdout, end="")
+            print(process.stderr, end="", file=sys.stderr)
+            print(f"rss_smoke: child at scale {scale} failed "
+                  f"(exit {process.returncode})", file=sys.stderr)
+            return 2
+        reports[scale] = json.loads(process.stdout.strip().splitlines()[-1])
+
+    small, large = reports[SMALL_SCALE], reports[LARGE_SCALE]
+    for report in (small, large):
+        print(f"  w-1m x{report['scale']:<5g} {report['requests']:>8,} "
+              f"requests  peak RSS {report['peak_rss_mb']:>7.1f} MB  "
+              f"(streaming={report['streaming']}, "
+              f"peak chunks={report['peak_resident_chunks']:g})")
+    if not (small["streaming"] and large["streaming"]):
+        print("rss_smoke: FAIL — w-1m cells did not take the streaming "
+              "path", file=sys.stderr)
+        return 1
+    ratio = large["peak_rss_mb"] / max(small["peak_rss_mb"], 1e-9)
+    verdict = "OK" if ratio <= RSS_RATIO_LIMIT else "FAIL"
+    print(f"  peak-RSS ratio (10x requests): {ratio:.3f} "
+          f"(limit {RSS_RATIO_LIMIT}) -> {verdict}")
+    return 0 if verdict == "OK" else 1
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) == 2 and argv[0] == "--child":
+        return run_child(float(argv[1]))
+    return run_smoke()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

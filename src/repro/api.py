@@ -66,7 +66,9 @@ from repro.platforms.routing import (
     choose_priority,
     choose_weighted,
 )
+from repro.serving.streaming import LatencySketch, OutcomeSummary
 from repro.workload.generator import known_workloads, register_workload_spec
+from repro.workload.streaming import StreamedWorkload
 
 __all__ = [
     "BackendHealth",
@@ -75,12 +77,15 @@ __all__ = [
     "FaultInjector",
     "FaultSpec",
     "LatencyQuantile",
+    "LatencySketch",
     "MultiRegionPlatform",
     "OutageWindow",
+    "OutcomeSummary",
     "ResultFrame",
     "RetryPolicy",
     "RouterMeter",
     "ScenarioSpec",
+    "StreamedWorkload",
     "Study",
     "Sweep",
     "choose_priority",

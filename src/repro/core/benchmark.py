@@ -24,6 +24,8 @@ from repro.core.scenario import ScenarioSpec, get_scenario
 from repro.models.profiles import LatencyProfiles
 from repro.platforms.base import build_platform
 from repro.serving.deployment import Deployment
+from repro.serving.outcome_table import OutcomeRecorder
+from repro.serving.streaming import DEFAULT_CHUNK_ROWS, ChunkedOutcomeRecorder
 from repro.sim import Environment, RandomStreams
 from repro.workload.generator import Workload
 from repro.workload.requests import RequestPool
@@ -43,6 +45,14 @@ class ServingBenchmark:
     #: buffering).  Any value yields bit-identical draws — the knob exists
     #: for the determinism tests that prove exactly that.
     rng_block_size: Optional[int] = None
+    #: Request count at or above which a cell records outcomes through the
+    #: streaming chunk ring (flat RSS) instead of one preallocated table.
+    #: Workloads that declare themselves streamed always stream.  Every
+    #: registered workload below trace scale sits far under the default,
+    #: so existing cells keep the bit-identical preallocated fast path.
+    streaming_threshold: int = 500_000
+    #: Rows per column chunk on the streaming path.
+    chunk_rows: int = DEFAULT_CHUNK_ROWS
 
     def run(self, deployment: Deployment, workload: Workload,
             workload_scale: float = 1.0,
@@ -56,6 +66,10 @@ class ServingBenchmark:
         """
         if seed is None:
             seed = self.seed
+        if getattr(workload, "streamed", False):
+            # A streamed workload is an immutable description; each run
+            # opens its own generation session (blocks are drawn lazily).
+            workload = workload.open()
         env = Environment()
         rng = RandomStreams(seed, block_size=self.rng_block_size)
         platform = build_platform(env, deployment, self.profiles, rng)
@@ -64,14 +78,37 @@ class ServingBenchmark:
             pool_size=workload.spec.request_pool_size,
             seed=seed,
         )
+        total_requests = sum(len(trace)
+                             for trace in workload.client_traces)
+        streaming = (getattr(workload, "streamed", False)
+                     or total_requests >= self.streaming_threshold)
+        if streaming:
+            recorder = ChunkedOutcomeRecorder(
+                chunk_rows=self.chunk_rows,
+                keep_chunks=False,
+                seal_lag_s=self.drain_timeout_s + 50.0,
+            )
+        else:
+            recorder = OutcomeRecorder(total_requests)
         executor = Executor(env=env, platform=platform, workload=workload,
-                            request_pool=pool, rng=rng)
+                            request_pool=pool, rng=rng, recorder=recorder)
         horizon = workload.spec.duration_s + self.drain_timeout_s
-        table = executor.run(until=horizon)
+        executor.execute(until=horizon)
         end_time = max(executor.last_completion_time, workload.trace.duration)
         usage = platform.finalize(end_time=end_time)
-        # Requests still open when the horizon was reached failed, in bulk.
-        table.fail_unfinished(horizon)
+        metadata = {"events_processed": float(env.events_processed)}
+        if streaming:
+            # Fold the tail (failing still-open requests at the horizon,
+            # exactly like fail_unfinished on the full path).
+            table = recorder.finalize(horizon)
+            metadata["peak_resident_chunks"] = float(
+                recorder.peak_resident_chunks)
+            metadata["chunks_folded"] = float(table.chunks_folded)
+        else:
+            table = recorder.table()
+            # Requests still open when the horizon was reached failed,
+            # in bulk.
+            table.fail_unfinished(horizon)
         return RunResult(
             deployment=deployment,
             workload_name=workload.name,
@@ -79,7 +116,7 @@ class ServingBenchmark:
             usage=usage,
             duration_s=end_time,
             workload_scale=workload_scale,
-            metadata={"events_processed": float(env.events_processed)},
+            metadata=metadata,
         )
 
     def run_scenario(self, scenario: Union[str, ScenarioSpec],

@@ -52,6 +52,18 @@ class Executor:
     # -- public ---------------------------------------------------------------
     def run(self, until: Optional[float] = None) -> OutcomeTable:
         """Run the experiment to completion and return the outcome table."""
+        return self.execute(until=until).table()
+
+    def execute(self, until: Optional[float] = None) -> OutcomeRecorder:
+        """Run the experiment to completion and return the recorder.
+
+        The recorder-returning form exists for the streaming path: a
+        :class:`~repro.serving.streaming.ChunkedOutcomeRecorder` in
+        streaming mode has no ``table()`` — the benchmark calls its
+        ``finalize()`` instead.  Any pre-set ``self.recorder`` with the
+        ``register``/``commit`` write API is used as-is; otherwise a
+        preallocated recorder sized to the workload is created.
+        """
         if self.recorder is None:
             capacity = sum(len(trace) for trace in self.workload.client_traces)
             self.recorder = OutcomeRecorder(capacity)
@@ -62,7 +74,7 @@ class Executor:
         for client_id, trace in enumerate(self.workload.client_traces):
             self.env.process(self._client(client_id, trace))
         self.env.run(until=until)
-        return self.recorder.table()
+        return self.recorder
 
     @property
     def outcomes(self) -> List[RequestOutcome]:

@@ -25,7 +25,13 @@ Transport is kept lean in both directions:
   columnar outcome table (numpy arrays) plus small dicts — and the
   parent reattaches its own deployment object.  Compared to pickling
   per-request object graphs this shrinks result transport by an order
-  of magnitude.
+  of magnitude.  Payloads with at least a megabyte of column data skip
+  the pickle pipe entirely: the worker lifts the arrays into a
+  :mod:`multiprocessing.shared_memory` segment (see
+  :mod:`repro.core.shm`) and ships only descriptors; the parent copies
+  the columns out and unlinks the segment.  The rebuilt payload is
+  bit-identical to the pickled one (hash-asserted by the transport
+  tests), and ``REPRO_SHM=0`` restores plain pickling.
 
 If worker processes cannot be spawned (restricted sandboxes, missing
 semaphores), the fan-out silently degrades to serial execution — cells
@@ -71,14 +77,15 @@ def _init_worker(benchmark: "ServingBenchmark",
     _WORKER_STATE["workloads"] = workloads
 
 
-def _run_cell_pooled(payload: Tuple["Deployment", int, float, object]
-                     ) -> tuple:
+def _run_cell_pooled(payload: Tuple["Deployment", int, float, object]):
     """Worker entry point: run one cell against the initializer state."""
     deployment, workload_index, scale, seed = payload
     benchmark: "ServingBenchmark" = _WORKER_STATE["benchmark"]
     workload: "Workload" = _WORKER_STATE["workloads"][workload_index]
-    return benchmark.run(deployment, workload, scale,
-                         seed=seed).to_transport()
+    transport = benchmark.run(deployment, workload, scale,
+                              seed=seed).to_transport()
+    from repro.core.shm import pack_arrays
+    return pack_arrays(transport)
 
 
 def run_cells(benchmark: "ServingBenchmark",
@@ -133,7 +140,8 @@ def run_cells(benchmark: "ServingBenchmark",
                       f"running {len(cells)} cells serially",
                       RuntimeWarning, stacklevel=2)
         return _run_serial(benchmark, cells)
-    return [RunResult.from_transport(transport, deployment)
+    from repro.core.shm import unpack_arrays
+    return [RunResult.from_transport(unpack_arrays(transport), deployment)
             for transport, (deployment, _workload, _scale, _seed)
             in zip(transports, cells)]
 

@@ -6,6 +6,12 @@ is a vectorised masked reduction over the table's arrays.  The
 object-per-request view (``outcomes`` / ``successful`` / ``failed``) is
 reconstructed lazily and cached, purely for API compatibility — metric
 code should prefer the columns.
+
+Trace-scale (streaming) runs carry an
+:class:`~repro.serving.streaming.OutcomeSummary` instead — the online
+reduction of the chunks that were folded during the run.  Headline
+metrics come straight from the summary's accumulators; the per-request
+views are unavailable by construction (the rows no longer exist).
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ from repro.platforms.base import PlatformUsage
 from repro.serving.deployment import Deployment
 from repro.serving.outcome_table import OutcomeTable
 from repro.serving.records import RequestOutcome
+from repro.serving.streaming import OutcomeSummary
 
 __all__ = ["RunResult"]
 
@@ -28,9 +35,11 @@ class RunResult:
 
     deployment: Deployment
     workload_name: str
-    #: Columnar per-request outcomes.  A plain list of
-    #: :class:`RequestOutcome` is also accepted and converted on the spot.
-    table: Union[OutcomeTable, List[RequestOutcome]]
+    #: Columnar per-request outcomes — or, for streaming (trace-scale)
+    #: runs, the :class:`OutcomeSummary` their folded chunks reduced
+    #: into.  A plain list of :class:`RequestOutcome` is also accepted
+    #: and converted on the spot.
+    table: Union[OutcomeTable, OutcomeSummary, List[RequestOutcome]]
     usage: PlatformUsage
     #: Simulated wall-clock length of the experiment (last completion).
     duration_s: float
@@ -41,13 +50,28 @@ class RunResult:
         default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
-        if not isinstance(self.table, OutcomeTable):
+        if not isinstance(self.table, (OutcomeTable, OutcomeSummary)):
             self.table = OutcomeTable.from_outcomes(list(self.table))
+
+    # -- backend ---------------------------------------------------------------
+    @property
+    def streaming(self) -> bool:
+        """True when this result carries an :class:`OutcomeSummary`
+        (streaming reductions) instead of a full outcome table."""
+        return isinstance(self.table, OutcomeSummary)
 
     # -- object views (lazy, for API compatibility) ----------------------------
     @property
     def outcomes(self) -> List[RequestOutcome]:
-        """Per-request outcome objects, reconstructed from the table."""
+        """Per-request outcome objects, reconstructed from the table.
+
+        Unavailable on streaming results — the per-request rows were
+        folded into the summary and discarded during the run.
+        """
+        if self.streaming:
+            raise RuntimeError(
+                "streaming results carry an OutcomeSummary, not per-request "
+                "rows; use the summary reductions (result.table) instead")
         if self._outcomes_view is None:
             self._outcomes_view = self.table.to_outcomes()
         return self._outcomes_view
@@ -71,6 +95,8 @@ class RunResult:
     @property
     def success_ratio(self) -> float:
         """Fraction of requests that succeeded (the paper's SR metric)."""
+        if self.streaming:
+            return self.table.success_ratio
         count = self.table.count
         if count == 0:
             return 0.0
@@ -79,6 +105,8 @@ class RunResult:
     @property
     def average_latency(self) -> float:
         """Mean end-to-end latency of the *successful* requests (paper metric)."""
+        if self.streaming:
+            return self.table.average_latency
         latencies = self.table.successful_latencies()
         if latencies.size == 0:
             return 0.0
@@ -92,6 +120,8 @@ class RunResult:
     @property
     def cold_start_ratio(self) -> float:
         """Fraction of successful requests served by a cold instance."""
+        if self.streaming:
+            return self.table.cold_start_ratio
         success = self.table.success
         n_success = int(success.sum())
         if n_success == 0:
@@ -99,7 +129,13 @@ class RunResult:
         return int(self.table.cold_start[success].sum()) / n_success
 
     def latency_stats(self) -> LatencyStats:
-        """Distributional statistics over successful-request latencies."""
+        """Distributional statistics over successful-request latencies.
+
+        Streaming results serve quantiles from the latency sketch
+        (accurate to ~0.4 %); full tables compute them exactly.
+        """
+        if self.streaming:
+            return self.table.latency_stats()
         return LatencyStats.from_values(self.table.successful_latencies())
 
     # -- transport -------------------------------------------------------------
@@ -110,9 +146,12 @@ class RunResult:
         already holds (it shipped it to the worker in the first place),
         and the only piece that is an arbitrary object graph; everything
         else is the packed outcome columns (see
-        :meth:`OutcomeTable.packed`) and small dicts.
+        :meth:`OutcomeTable.packed`) and small dicts.  Streaming results
+        ship the :class:`OutcomeSummary` itself — it is already a small
+        fixed-size reduction, the whole point of streaming.
         """
-        return (self.workload_name, self.table.packed(), self.usage,
+        payload = (self.table if self.streaming else self.table.packed())
+        return (self.workload_name, payload, self.usage,
                 self.duration_s, self.workload_scale, self.metadata)
 
     @classmethod
@@ -120,8 +159,10 @@ class RunResult:
                        deployment: Deployment) -> "RunResult":
         """Rebuild a result from :meth:`to_transport` plus the local deployment."""
         workload_name, packed, usage, duration_s, scale, metadata = payload
+        table = (packed if isinstance(packed, OutcomeSummary)
+                 else OutcomeTable.from_packed(packed))
         return cls(deployment=deployment, workload_name=workload_name,
-                   table=OutcomeTable.from_packed(packed), usage=usage,
+                   table=table, usage=usage,
                    duration_s=duration_s, workload_scale=scale,
                    metadata=metadata)
 

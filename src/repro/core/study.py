@@ -537,15 +537,34 @@ def _standard_metrics(result: RunResult) -> Dict[str, object]:
     Computed directly as masked numpy reductions over the cell's
     :class:`~repro.serving.outcome_table.OutcomeTable` columns; the
     study tests assert them equal to the corresponding
-    :class:`~repro.core.results.RunResult` properties.
+    :class:`~repro.core.results.RunResult` properties.  Streaming cells
+    (those carrying an :class:`~repro.serving.streaming.OutcomeSummary`)
+    serve the same keys from the summary's online reductions.
     """
+    usage = result.usage
+    if result.streaming:
+        summary = result.table
+        stats = summary.latency_stats()
+        return {
+            "requests": summary.count,
+            "success_ratio": summary.success_ratio,
+            "avg_latency_s": summary.average_latency,
+            "p50_latency_s": stats.p50,
+            "p99_latency_s": stats.p99,
+            "std_latency_s": stats.std,
+            "cost_usd": usage.cost,
+            "cold_starts": usage.cold_starts,
+            "cold_start_ratio": summary.cold_start_ratio,
+            "instances_created": usage.instances_created,
+            "peak_instances": usage.peak_instances,
+            "duration_s": result.duration_s,
+        }
     table = result.table
     count = table.count
     success = table.success
     n_success = int(success.sum())
     latencies = table.latency[success]
     stats = LatencyStats.from_values(latencies)
-    usage = result.usage
     return {
         "requests": count,
         "success_ratio": (n_success / count) if count else 0.0,

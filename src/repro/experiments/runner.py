@@ -137,8 +137,22 @@ def _print_listing() -> None:
                 for name in grouped[family]:
                     print(f"    {name}")
     print("\nKnown workloads:")
-    for name in known_workloads():
-        print(f"  {name}")
+    workloads = known_workloads()
+    families = [""] + sorted({workload_spec(name).family
+                              for name in workloads
+                              if workload_spec(name).family})
+    for family in families:
+        members = [name for name in workloads
+                   if workload_spec(name).family == family]
+        if not members:
+            continue
+        if family:
+            print(f"  [{family}]")
+            for name in members:
+                print(f"    {name}")
+        else:
+            for name in members:
+                print(f"  {name}")
 
 
 def _print_scenarios() -> None:

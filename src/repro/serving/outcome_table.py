@@ -432,10 +432,13 @@ class OutcomeRecorder:
 
     Sized from the workload's known request count; grows geometrically in
     the (unusual) case more requests are issued than the hint promised.
+    ``capacity`` is honoured exactly (it used to be silently clamped to a
+    minimum of 16, which made chunk accounting off-by-up-to-15 for tiny
+    cells); a zero-capacity recorder simply grows on first registration.
     """
 
     def __init__(self, capacity: int):
-        self._capacity = max(int(capacity), 16)
+        self._capacity = max(int(capacity), 0)
         self._count = 0
         capacity = self._capacity
         self.request_id = np.zeros(capacity, dtype=np.int64)
@@ -461,7 +464,7 @@ class OutcomeRecorder:
         return self._count
 
     def _grow(self) -> None:
-        new_capacity = self._capacity * 2
+        new_capacity = max(self._capacity * 2, 16)
         pad = new_capacity - self._capacity
 
         def extend(array: np.ndarray, fill) -> np.ndarray:

@@ -56,6 +56,14 @@ class WorkloadSpec:
     burst_low_dwell_s: float = 12.0
     num_clients: int = 8
     request_pool_size: int = 200
+    #: Streamed workloads generate arrivals block-by-block during the run
+    #: (flat memory) instead of materialising the whole trace up front;
+    #: :func:`standard_workload` returns a
+    #: :class:`~repro.workload.streaming.StreamedWorkload` for them.
+    streamed: bool = False
+    #: Listing family (e.g. ``"scale"`` for the trace-scale workloads);
+    #: empty for the paper's standard workloads.
+    family: str = ""
 
     def __post_init__(self) -> None:
         if self.high_rate <= 0 or self.low_rate < 0:
@@ -91,6 +99,8 @@ class WorkloadSpec:
             burst_low_dwell_s=self.burst_low_dwell_s,
             num_clients=self.num_clients,
             request_pool_size=self.request_pool_size,
+            streamed=self.streamed,
+            family=self.family,
         )
 
     def compressed(self, fraction: float) -> "WorkloadSpec":
@@ -117,6 +127,8 @@ class WorkloadSpec:
             burst_low_dwell_s=self.burst_low_dwell_s * max(fraction, 0.25),
             num_clients=self.num_clients,
             request_pool_size=self.request_pool_size,
+            streamed=self.streamed,
+            family=self.family,
         )
 
 
@@ -255,8 +267,7 @@ def known_workloads() -> List[str]:
     return sorted(standard_workload_specs()) + sorted(_REGISTERED_SPECS)
 
 
-def standard_workload(name: str, seed: int = 7,
-                      scale: float = 1.0) -> Workload:
+def standard_workload(name: str, seed: int = 7, scale: float = 1.0):
     """Generate a workload by name (standard or registered).
 
     ``scale`` < 1 produces a time-compressed workload: the request rates
@@ -264,8 +275,16 @@ def standard_workload(name: str, seed: int = 7,
     are unchanged, but the run is proportionally shorter.  The benchmark
     harness uses this to keep CI runs short; the scale used is recorded
     in the emitted results.
+
+    Specs flagged ``streamed`` return a
+    :class:`~repro.workload.streaming.StreamedWorkload` — an immutable
+    description whose arrivals are generated block-by-block during the
+    run — instead of a materialised :class:`Workload`.
     """
     spec = workload_spec(name)
     if scale != 1.0:
         spec = spec.compressed(scale)
+    if spec.streamed:
+        from repro.workload.streaming import StreamedWorkload
+        return StreamedWorkload(spec=spec, seed=seed)
     return generate_workload(spec, seed=seed)

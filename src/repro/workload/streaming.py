@@ -1,0 +1,214 @@
+"""Block-streamed workload generation for trace-scale runs.
+
+:func:`~repro.workload.generator.generate_workload` materialises the
+whole arrival trace up front — at ten million requests that is hundreds
+of megabytes of arrays before the simulation even starts.  A
+:class:`StreamedWorkload` is the flat-memory alternative: an immutable
+*description* (spec + seed) whose arrivals are drawn lazily, piece by
+piece, while the run consumes them.
+
+The construction is the same conditioned MMPP the materialised path
+uses — a multinomial split of ``target_requests`` across the state
+timeline's intervals (weighted by rate × length) followed by uniform
+placement within each interval — with one addition: intervals whose
+count exceeds :data:`PIECE_ARRIVALS` are subdivided into equal
+sub-intervals via a further multinomial split (exactly the conditional
+uniform distribution), bounding the size of any one draw.  Because the
+intervals are disjoint and emitted in time order, concatenating the
+per-piece sorted draws equals the materialised path's single global
+sort — on specs where no interval crosses the cap, the streamed arrival
+sequence is **bit-identical** to ``generate_workload``'s (the
+equivalence tests assert exactly that).
+
+Each call to :meth:`StreamedWorkload.open` starts a fresh
+:class:`StreamSession` — the consumable side, with the per-client
+round-robin iterators the executor expects (same ``times[c::K]``
+assignment as :func:`~repro.workload.splitter.split_trace`).  Resident
+memory is one generation piece plus the not-yet-consumed tail of each
+client's queue, independent of the trace length.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import ClassVar, List
+
+import numpy as np
+
+from repro.workload.generator import WorkloadSpec, _build_timeline
+
+__all__ = ["StreamedWorkload", "StreamSession", "PIECE_ARRIVALS"]
+
+#: Maximum arrivals drawn in one piece.  A fixed constant (deliberately
+#: not a tunable of the consumer) so the generated sequence — and hence
+#: run determinism — never depends on how the stream is consumed.
+PIECE_ARRIVALS = 65_536
+
+
+@dataclass(frozen=True)
+class StreamedWorkload:
+    """An immutable description of a block-streamed workload.
+
+    Carries no arrays — it pickles in bytes, so worker processes ship
+    the description and generate their own blocks.  Every run opens its
+    own :class:`StreamSession` (the benchmark does this automatically),
+    so one description can back any number of concurrent runs.
+    """
+
+    spec: WorkloadSpec
+    seed: int = 0
+    #: Marks this workload as streamed for the benchmark's dispatch.
+    streamed: ClassVar[bool] = True
+
+    @property
+    def name(self) -> str:
+        """The workload's name (e.g. ``"w-10m"``)."""
+        return self.spec.name
+
+    @property
+    def count(self) -> int:
+        """Total number of requests the stream will emit."""
+        return self.spec.target_requests
+
+    def open(self) -> "StreamSession":
+        """Start a fresh generation session for one run."""
+        return StreamSession(self.spec, self.seed)
+
+
+class _ClientStream:
+    """One client's round-robin share of the arrival stream.
+
+    Iterating yields the arrivals whose global index is congruent to
+    ``client_id`` modulo ``num_clients`` — the same assignment
+    ``split_trace`` makes on a materialised trace.
+    """
+
+    __slots__ = ("_session", "client_id")
+
+    def __init__(self, session: "StreamSession", client_id: int):
+        self._session = session
+        self.client_id = client_id
+
+    def __len__(self) -> int:
+        total = self._session.count
+        clients = self._session.spec.num_clients
+        return max(0, (total - self.client_id + clients - 1) // clients)
+
+    def __iter__(self):
+        session = self._session
+        pending = session.pending[self.client_id]
+        remaining = len(self)
+        while remaining:
+            while not pending:
+                session.advance()
+            yield pending.popleft()
+            remaining -= 1
+
+
+class _TraceFacade:
+    """The aggregate-trace surface a streamed session exposes.
+
+    Only what the benchmark reads: the total count and the realised
+    duration (time of the last *generated* arrival — final once the run
+    has consumed the stream).
+    """
+
+    __slots__ = ("_session",)
+
+    def __init__(self, session: "StreamSession"):
+        self._session = session
+
+    def __len__(self) -> int:
+        return self._session.count
+
+    @property
+    def count(self) -> int:
+        """Total number of requests in the stream."""
+        return self._session.count
+
+    @property
+    def duration(self) -> float:
+        """Time of the last generated arrival (high-water mark)."""
+        return self._session.max_time
+
+
+class StreamSession:
+    """One run's consumable view of a streamed workload.
+
+    Structurally compatible with the materialised
+    :class:`~repro.workload.generator.Workload` where the executor and
+    benchmark touch it: ``spec``, ``name``, ``count``,
+    ``client_traces`` (sized, iterable), and ``trace`` (count +
+    realised duration).
+    """
+
+    streamed = True
+
+    def __init__(self, spec: WorkloadSpec, seed: int = 0):
+        self.spec = spec
+        self.seed = seed
+        self.count = spec.target_requests
+        self.max_time = 0.0
+        rng = np.random.default_rng(seed)
+        timeline = _build_timeline(spec, rng)
+        weights = np.array([(end - start) * state.rate
+                            for start, end, state in timeline], dtype=float)
+        mass = weights.sum()
+        if mass <= 0:
+            raise ValueError(
+                "cannot place arrivals on a zero-intensity timeline")
+        counts = rng.multinomial(int(self.count), weights / mass)
+        self._pieces = self._generate(rng, timeline, counts)
+        self._emitted = 0
+        self.pending: List[deque] = [deque()
+                                     for _ in range(spec.num_clients)]
+        self.client_traces = [_ClientStream(self, client)
+                              for client in range(spec.num_clients)]
+        self.trace = _TraceFacade(self)
+
+    @property
+    def name(self) -> str:
+        """The workload's name."""
+        return self.spec.name
+
+    @staticmethod
+    def _generate(rng: np.random.Generator, timeline, counts):
+        """Yield sorted arrival pieces in time order.
+
+        One piece per timeline interval; intervals over the cap are
+        multinomially subdivided into equal sub-intervals first (the
+        exact conditional distribution of uniform placement).
+        """
+        for (start, end, _state), n in zip(timeline, counts):
+            n = int(n)
+            if not n:
+                continue
+            if n <= PIECE_ARRIVALS:
+                yield np.sort(rng.uniform(start, end, size=n))
+                continue
+            parts = -(-n // PIECE_ARRIVALS)
+            edges = np.linspace(start, end, parts + 1)
+            split = rng.multinomial(n, np.full(parts, 1.0 / parts))
+            for index in range(parts):
+                m = int(split[index])
+                if m:
+                    yield np.sort(rng.uniform(edges[index],
+                                              edges[index + 1], size=m))
+
+    def advance(self) -> None:
+        """Generate the next piece and queue it onto the client streams."""
+        piece = next(self._pieces, None)
+        if piece is None:
+            raise RuntimeError(
+                "arrival stream exhausted before every client finished "
+                "(inconsistent stream accounting)")
+        base = self._emitted
+        clients = self.spec.num_clients
+        self.max_time = max(self.max_time, float(piece[-1]))
+        for client in range(clients):
+            offset = (client - base) % clients
+            share = piece[offset::clients]
+            if share.size:
+                self.pending[client].extend(share.tolist())
+        self._emitted = base + int(piece.size)

@@ -1,0 +1,347 @@
+"""The trace-scale streaming plane: chunk ring, reductions, calendar, shm.
+
+Four guarantees of the streaming engine are pinned here:
+
+* **Chunk-ring equality** — the chunked recorder, at any chunk size,
+  retains columns bit-identical to the preallocated ``OutcomeRecorder``
+  (same ``column_hash``), and its sealed chunks survive the ``packed()``
+  wire format losslessly.
+* **Streaming reductions** — a cell run through the streaming path
+  (``OutcomeSummary`` folds, no full table) reproduces every standard
+  metric: counts, ratios, and timelines exactly; sketch quantiles within
+  the sketch's documented resolution.
+* **Calendar-queue bit-identity** — forcing the heap-to-bucket migration
+  at tiny thresholds changes neither the outcome columns nor the event
+  count of a cell.
+* **Shared-memory transport** — ``pack_arrays``/``unpack_arrays`` round
+  payloads through a shm segment bit-identically, and a worker pool
+  forced onto the segment path matches serial hashes.
+
+Plus the streamed workload generator (block-by-block arrivals equal to
+the materialised trace) and the recorder's exact-capacity contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.sim.engine as engine
+from repro.core.benchmark import ServingBenchmark
+from repro.core.results import RunResult
+from repro.core.shm import ShmPayload, pack_arrays, unpack_arrays
+from repro.serving.outcome_table import OutcomeRecorder, OutcomeTable
+from repro.serving.streaming import (
+    ChunkedOutcomeRecorder,
+    LatencySketch,
+    OutcomeSummary,
+)
+from repro.workload.generator import (
+    WorkloadSpec,
+    generate_workload,
+    standard_workload,
+    workload_spec,
+)
+from repro.workload.splitter import merge_traces
+from repro.workload.streaming import PIECE_ARRIVALS, StreamedWorkload
+
+SEED = 5
+
+
+@pytest.fixture(scope="module")
+def reference_result(tiny_w40):
+    """One preallocated-path cell shared by the equality tests."""
+    from repro.core.planner import Planner
+    deployment = Planner().plan("aws", "mobilenet", "tf1.15", "serverless")
+    return ServingBenchmark(seed=SEED).run(deployment, tiny_w40), deployment
+
+
+def _replay(outcomes, chunk_rows: int) -> ChunkedOutcomeRecorder:
+    """Feed materialised outcomes through a retained chunk ring."""
+    recorder = ChunkedOutcomeRecorder(chunk_rows=chunk_rows,
+                                      keep_chunks=True)
+    for outcome in outcomes:
+        recorder.register(outcome)
+    for outcome in outcomes:
+        recorder.commit(outcome)
+    return recorder
+
+
+class TestChunkRingEquality:
+    @pytest.mark.parametrize("chunk_rows", [7, 256, 4096, 1_000_000])
+    def test_any_chunk_size_matches_preallocated_hash(self,
+                                                      reference_result,
+                                                      chunk_rows):
+        result, _deployment = reference_result
+        outcomes = result.table.to_outcomes()
+        recorder = _replay(outcomes, chunk_rows)
+        assert recorder.table().column_hash() == result.table.column_hash()
+
+    def test_sealed_chunks_survive_packed_round_trip(self,
+                                                     reference_result):
+        result, _deployment = reference_result
+        recorder = _replay(result.table.to_outcomes(), chunk_rows=256)
+        chunks = list(recorder.sealed_chunks())
+        assert sum(chunk.count for chunk in chunks) == result.table.count
+        for chunk in chunks:
+            rebuilt = OutcomeTable.from_packed(chunk.packed())
+            assert rebuilt.column_hash() == chunk.column_hash()
+
+    def test_commit_after_fold_is_a_hard_error(self):
+        from repro.serving.records import RequestOutcome
+        recorder = ChunkedOutcomeRecorder(chunk_rows=4, keep_chunks=False,
+                                          seal_lag_s=0.0)
+        outcomes = []
+        for index in range(8):
+            outcome = RequestOutcome(request_id=index, client_id=0,
+                                     send_time=float(index))
+            recorder.register(outcome)
+            outcomes.append(outcome)
+        for outcome in outcomes:
+            outcome.completion_time = outcome.send_time + 100.0
+            outcome.success = True
+            recorder.commit(outcome)
+        # Both chunks full+committed and aged past the (zero) lag: folded.
+        assert recorder.summary.chunks_folded >= 1
+        late = outcomes[0]
+        with pytest.raises(RuntimeError, match="folded"):
+            recorder.commit(late)
+
+
+class TestStreamingReductions:
+    @pytest.fixture(scope="class")
+    def pair(self, tiny_w40):
+        """The same cell through the preallocated and streaming paths."""
+        from repro.core.planner import Planner
+        deployment = Planner().plan("aws", "mobilenet", "tf1.15",
+                                    "serverless")
+        full = ServingBenchmark(seed=SEED).run(deployment, tiny_w40)
+        streamed = ServingBenchmark(seed=SEED, streaming_threshold=0,
+                                    chunk_rows=128).run(deployment,
+                                                        tiny_w40)
+        return full, streamed
+
+    def test_streaming_flag_and_summary_type(self, pair):
+        full, streamed = pair
+        assert not full.streaming
+        assert streamed.streaming
+        assert isinstance(streamed.table, OutcomeSummary)
+        with pytest.raises(RuntimeError):
+            streamed.outcomes  # noqa: B018 - the raise is the assertion
+
+    def test_exact_reductions_match(self, pair):
+        full, streamed = pair
+        summary = streamed.table
+        table = full.table
+        assert summary.count == table.count
+        assert streamed.success_ratio == full.success_ratio
+        assert streamed.cold_start_ratio == full.cold_start_ratio
+        assert summary.attempts_mean() == table.attempts_mean()
+        assert summary.degraded_ratio() == table.degraded_ratio()
+
+    def test_latency_within_sketch_resolution(self, pair):
+        full, streamed = pair
+        assert streamed.average_latency == pytest.approx(
+            full.average_latency, rel=1e-9)
+        sketch_stats = streamed.latency_stats()
+        exact_stats = full.latency_stats()
+        for name in ("p50", "p99"):
+            assert getattr(sketch_stats, name) == pytest.approx(
+                getattr(exact_stats, name), rel=0.02)
+        assert abs(streamed.table.slo_attainment(1.0)
+                   - full.table.slo_attainment(1.0)) <= 0.01
+
+    def test_timeline_and_availability_exact(self, pair):
+        full, streamed = pair
+        edges, requests, successes = streamed.table.success_timeline(10.0)
+        ref_edges, ref_requests, ref_successes = (
+            full.table.success_timeline(10.0))
+        # The streaming timeline spans the folded range, which may pad
+        # past the reference's last bin; the shared prefix is exact.
+        n = len(ref_requests)
+        assert np.array_equal(edges[:n + 1], ref_edges[:n + 1])
+        assert np.array_equal(requests[:n], ref_requests[:n])
+        assert np.array_equal(successes[:n], ref_successes[:n])
+        assert int(requests.sum()) == int(ref_requests.sum())
+        assert int(successes.sum()) == int(ref_successes.sum())
+
+    def test_non_integer_multiple_bin_rejected(self, pair):
+        _full, streamed = pair
+        with pytest.raises(ValueError):
+            streamed.table.success_timeline(1.5)
+
+    def test_mid_run_sealing_bounds_residency(self):
+        from repro.serving.records import RequestOutcome
+        recorder = ChunkedOutcomeRecorder(chunk_rows=128, keep_chunks=False,
+                                          seal_lag_s=20.0)
+        rows = 128 * 36
+        for index in range(rows):
+            send = index * 0.5  # one chunk spans 64 s >> the 20 s lag
+            outcome = RequestOutcome(request_id=index, client_id=0,
+                                     send_time=send)
+            recorder.register(outcome)
+            outcome.completion_time = send + 0.05
+            outcome.success = True
+            recorder.commit(outcome)
+        summary = recorder.finalize(rows * 0.5 + 1.0)
+        assert summary.count == rows
+        assert summary.chunks_folded == 36
+        # Chunks recycled mid-run: residency stayed far under the total.
+        assert recorder.peak_resident_chunks <= 4
+
+    def test_transport_round_trip_preserves_digest(self, pair, tiny_w40):
+        _full, streamed = pair
+        transport = streamed.to_transport()
+        rebuilt = RunResult.from_transport(transport, streamed.deployment)
+        assert rebuilt.streaming
+        assert rebuilt.table.digest() == streamed.table.digest()
+        assert rebuilt.success_ratio == streamed.success_ratio
+
+
+class TestLatencySketch:
+    def test_quantiles_within_bin_resolution(self):
+        rng = np.random.default_rng(3)
+        values = rng.lognormal(mean=-2.0, sigma=0.8, size=20_000)
+        sketch = LatencySketch()
+        sketch.add(values)
+        for q in (50.0, 90.0, 99.0):
+            assert sketch.quantile(q) == pytest.approx(
+                float(np.percentile(values, q)), rel=0.01)
+        assert sketch.mean == pytest.approx(float(values.mean()), rel=1e-9)
+        assert sketch.std == pytest.approx(float(values.std()), rel=1e-6)
+
+    def test_extremes_clamped_to_observed_range(self):
+        sketch = LatencySketch()
+        sketch.add(np.array([0.5]))
+        assert sketch.quantile(0.0) == 0.5
+        assert sketch.quantile(100.0) == 0.5
+
+
+class TestBucketCalendar:
+    def test_pop_order_matches_heap(self):
+        import heapq
+        rng = np.random.default_rng(11)
+        times = rng.uniform(0.0, 100.0, 5_000)
+        entries = [(float(t), 1, seq, None, True, None)
+                   for seq, t in enumerate(times)]
+        heap = list(entries)
+        heapq.heapify(heap)
+        calendar = engine.BucketCalendar(width=0.64, start_key=0)
+        for entry in entries:
+            calendar.push(entry)
+        order = [calendar.pop() for _ in range(len(entries))]
+        assert order == [heapq.heappop(heap) for _ in range(len(entries))]
+        assert calendar.size == 0
+
+    def test_forced_migration_is_bit_identical(self, monkeypatch,
+                                               reference_result, tiny_w40):
+        result, deployment = reference_result
+        for threshold in (16, 128):
+            monkeypatch.setattr(engine, "_BUCKET_THRESHOLD", threshold)
+            bucketed = ServingBenchmark(seed=SEED).run(deployment, tiny_w40)
+            assert (bucketed.table.column_hash()
+                    == result.table.column_hash())
+            assert (bucketed.metadata["events_processed"]
+                    == result.metadata["events_processed"])
+
+
+class TestShmTransport:
+    def test_round_trip_is_bit_identical(self, reference_result):
+        result, deployment = reference_result
+        transport = result.to_transport()
+        packed = pack_arrays(transport, min_bytes=0)
+        assert isinstance(packed, ShmPayload)
+        rebuilt = RunResult.from_transport(unpack_arrays(packed), deployment)
+        assert rebuilt.table.column_hash() == result.table.column_hash()
+
+    def test_small_payloads_stay_plain(self, reference_result):
+        result, _deployment = reference_result
+        transport = result.to_transport()
+        assert pack_arrays(transport) is transport  # under SHM_MIN_BYTES
+
+    def test_disabled_by_environment(self, monkeypatch, reference_result):
+        monkeypatch.setenv("REPRO_SHM", "0")
+        result, _deployment = reference_result
+        transport = result.to_transport()
+        assert pack_arrays(transport, min_bytes=0) is transport
+
+    def test_worker_pool_on_segment_path_matches_serial(self, monkeypatch,
+                                                        tiny_w40):
+        from repro.core.planner import Planner
+        monkeypatch.setenv("REPRO_SHM_MIN_BYTES", "0")
+        planner = Planner()
+        deployments = [planner.plan("aws", "mobilenet", "tf1.15", platform)
+                       for platform in ("serverless", "cpu_server")]
+        bench = ServingBenchmark(seed=SEED)
+        serial = bench.run_many(deployments, tiny_w40)
+        pooled = bench.run_many(deployments, tiny_w40, workers=2)
+        for left, right in zip(serial, pooled):
+            assert left.table.column_hash() == right.table.column_hash()
+
+
+class TestStreamedWorkload:
+    def test_small_spec_matches_materialised_exactly(self):
+        spec = workload_spec("w-40").compressed(0.3)
+        materialised = generate_workload(spec, seed=SEED)
+        session = StreamedWorkload(spec=spec, seed=SEED).open()
+        for reference, streamed in zip(materialised.client_traces,
+                                       session.client_traces):
+            assert len(reference) == len(streamed)
+            assert list(reference.times) == list(streamed)
+
+    def test_oversized_intervals_keep_exact_counts(self):
+        spec = WorkloadSpec(name="big", high_rate=400.0, low_rate=50.0,
+                            target_requests=3 * PIECE_ARRIVALS,
+                            duration_s=900.0)
+        session = StreamedWorkload(spec=spec, seed=SEED).open()
+        counts = [sum(1 for _ in trace) for trace in session.client_traces]
+        assert sum(counts) == spec.target_requests
+
+    def test_registered_scale_family(self):
+        for name, total in (("w-1m", 1_000_000), ("w-10m", 10_000_000)):
+            spec = workload_spec(name)
+            assert spec.streamed and spec.family == "scale"
+            assert spec.target_requests == total
+            workload = standard_workload(name, seed=SEED)
+            assert isinstance(workload, StreamedWorkload)
+            assert workload.count == total
+
+    def test_listing_groups_scale_family(self, capsys):
+        from repro.experiments.runner import _print_listing
+        _print_listing()
+        output = capsys.readouterr().out
+        assert "[scale]" in output
+        scale_block = output.split("[scale]", 1)[1]
+        assert "w-1m" in scale_block and "w-10m" in scale_block
+
+    def test_streamed_cell_runs_end_to_end(self):
+        from repro.core.planner import Planner
+        deployment = Planner().plan("aws", "mobilenet", "tf1.15",
+                                    "serverless")
+        workload = standard_workload("w-1m", seed=SEED, scale=0.01)
+        result = ServingBenchmark(seed=SEED).run(deployment, workload,
+                                                 workload_scale=0.01)
+        assert result.streaming
+        assert result.total_requests == 10_000
+        assert result.success_ratio > 0.5
+
+
+class TestExactCapacity:
+    def test_capacity_is_not_padded(self):
+        for capacity in (0, 1, 7, 100):
+            recorder = OutcomeRecorder(capacity)
+            assert recorder._capacity == capacity
+
+    def test_grow_from_zero(self):
+        from repro.serving.records import RequestOutcome
+        recorder = OutcomeRecorder(0)
+        for index in range(40):
+            outcome = RequestOutcome(request_id=index, client_id=0,
+                                     send_time=float(index))
+            recorder.register(outcome)
+            outcome.completion_time = float(index) + 0.5
+            outcome.success = True
+            recorder.commit(outcome)
+        table = recorder.table()
+        assert table.count == 40
+        assert bool(table.success.all())
