@@ -18,9 +18,10 @@ compares its throughput against the probe entry recorded in
 ``BENCH_engine.json``, and also smokes the columnar outcome pipeline
 (outcome-table build + metric reductions on the probe's data), the
 serving control plane (instance-pool transitions, scaling-policy
-decisions, work-queue ticket cycling), and the study layer
+decisions, work-queue ticket cycling), the study layer
 (``ResultFrame`` build over per-cell reductions + where/pivot/to_rows
-queries).  It exits non-zero if any recorded probe regressed by more
+queries), and the hybrid spill front door (the probe cell on an
+undersized provisioned fleet, both billing paths metering).  It exits non-zero if any recorded probe regressed by more
 than 30 % — a cheap guard against accidentally pessimising the hot
 paths.
 
@@ -372,6 +373,49 @@ def run_routing_probe(iterations: int = 50_000) -> dict:
     }
 
 
+#: Hybrid probe cell: a one-server fleet under the probe workload, so
+#: the spill decision runs per request and both billing paths meter.
+HYBRID_PROBE_CONFIG = {
+    "hybrid_provisioned_instances": 1,
+    "hybrid_spill_watermark": 0.85,
+    "hybrid_sticky_spill_s": 3.0,
+}
+
+
+def run_hybrid_probe(repeats: int = 1) -> dict:
+    """Smoke the hybrid spill front door on the probe cell.
+
+    Runs the fixed probe cell on ``PlatformKind.HYBRID`` with a
+    deliberately undersized provisioned fleet (``HYBRID_PROBE_CONFIG``),
+    so the per-request spill decision, both backends' admission paths,
+    and the merged ``provisioned.`` / ``spill.`` usage ledger are all on
+    the clock.  Reported as requests/s (plus the observed spill ratio,
+    as a behavioural canary) for the ``--check`` gate.
+    """
+    deployment = Planner().plan("aws", "mobilenet", "tf1.15", "hybrid",
+                                **HYBRID_PROBE_CONFIG)
+    workload = standard_workload(CHECK_WORKLOAD, seed=SEED,
+                                 scale=CHECK_SCALE)
+    best = None
+    result = None
+    for _ in range(max(repeats, 1)):
+        bench = ServingBenchmark(seed=SEED)
+        started = time.perf_counter()
+        result = bench.run(deployment, workload)
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return {
+        "workload": CHECK_WORKLOAD,
+        "scale": CHECK_SCALE,
+        "config": dict(HYBRID_PROBE_CONFIG),
+        "requests": result.total_requests,
+        "wall_s": round(best, 3),
+        "requests_per_s": round(result.total_requests / best, 1),
+        "spill_ratio": round(result.table.spill_ratio(), 4),
+        "success_ratio": round(result.success_ratio, 4),
+    }
+
+
 def run_streaming_probe(rows: int = 200_000) -> dict:
     """Smoke the trace-scale streaming plane in isolation.
 
@@ -463,11 +507,15 @@ def run_sweep(scale: float, repeats: int) -> dict:
     replicated = run_replicated_frame_probe(keep[0])
     fault = run_fault_probe(repeats)
     routing = run_routing_probe()
+    hybrid = run_hybrid_probe(repeats)
     streaming = run_streaming_probe()
     print(f" probe x{CHECK_SCALE:<5g} {probe['wall_s']:>8.3f}s "
           f"{probe['requests_per_s']:>10,.0f} req/s")
     print(f" faults x{CHECK_SCALE:<5g} {fault['wall_s']:>8.3f}s "
           f"{fault['requests_per_s']:>10,.0f} req/s (chaos schedule on)")
+    print(f" hybrid x{CHECK_SCALE:<5g} {hybrid['wall_s']:>8.3f}s "
+          f"{hybrid['requests_per_s']:>10,.0f} req/s "
+          f"(spill ratio {hybrid['spill_ratio']:g})")
     print(f" routing       {routing['cycles_per_s']:>13,.0f} cycles/s "
           f"({routing['breaker_trips']} breaker trips)")
     print(f" columnar build {columnar['build_rows_per_s']:>12,.0f} rows/s "
@@ -494,6 +542,7 @@ def run_sweep(scale: float, repeats: int) -> dict:
         "replicated_frame_probe": replicated,
         "fault_injection_probe": fault,
         "routing_probe": routing,
+        "hybrid_probe": hybrid,
         "streaming_probe": streaming,
     }
 
@@ -580,6 +629,15 @@ def run_check(path: str) -> int:
                        routing_reference["cycles_per_s"]))
     else:
         print("note: no routing_probe recorded; rerun the full sweep "
+              "to extend the gate")
+    hybrid_reference = recorded.get("hybrid_probe")
+    if hybrid_reference:
+        hybrid = run_hybrid_probe(repeats=2)
+        checks.append(("hybrid req/s",
+                       hybrid["requests_per_s"],
+                       hybrid_reference["requests_per_s"]))
+    else:
+        print("note: no hybrid_probe recorded; rerun the full sweep "
               "to extend the gate")
     failed = False
     streaming_reference = recorded.get("streaming_probe")

@@ -11,13 +11,15 @@
 # (ResultFrame build/query) probe, the replicated-frame (group_by
 # collapse) probe, the fault-injection probe (the probe cell under
 # an active chaos schedule), the routing probe (the multi-region
-# router's decision cycle under active breakers), and the streaming
-# probe (chunked recorder fold + calendar-queue cycle, with flat-RSS
-# and resident-chunk residency gates), each compared against
-# BENCH_engine.json with a 30% regression tolerance.  The chaos and
-# failover smokes then run one registered chaos scenario and a
-# single-replicate failover-recovery study end to end through the CLI
-# sweep path, and the flat-RSS smoke (scripts/rss_smoke.py) runs the
+# router's decision cycle under active breakers), the hybrid probe
+# (the probe cell spilling from an undersized provisioned fleet to
+# serverless), and the streaming probe (chunked recorder fold +
+# calendar-queue cycle, with flat-RSS and resident-chunk residency
+# gates), each compared against BENCH_engine.json with a 30%
+# regression tolerance.  The chaos, failover, and hybrid smokes then
+# run one registered chaos scenario, a single-replicate
+# failover-recovery study, and a registered hybrid spill scenario end
+# to end through the CLI sweep path, and the flat-RSS smoke (scripts/rss_smoke.py) runs the
 # streamed w-1m workload at two request scales and asserts peak RSS
 # stays flat in the trace length.  Regenerate the baseline with
 # `python benchmarks/bench_engine_throughput.py` on the machine that
@@ -49,6 +51,9 @@ if [[ "${1:-}" != "--fast" ]]; then
     echo "== failover smoke (multi-region routing via the CLI) =="
     python -m repro.experiments.runner sweep failover-recovery \
         --scale 0.3 --replicates 1
+
+    echo "== hybrid smoke (spill front door via the CLI) =="
+    python -m repro.experiments.runner sweep hybrid-burst --scale 0.3
 
     echo "== flat-RSS smoke (streamed w-1m at two scales) =="
     python scripts/rss_smoke.py

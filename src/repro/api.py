@@ -66,7 +66,20 @@ from repro.platforms.routing import (
     choose_priority,
     choose_weighted,
 )
+from repro.platforms.hybrid import HybridMeter, HybridServingPlatform
+from repro.serving.records import (
+    SERVED_BY_DIRECT,
+    SERVED_BY_NAMES,
+    SERVED_BY_PROVISIONED,
+    SERVED_BY_SPILL,
+)
 from repro.serving.streaming import LatencySketch, OutcomeSummary
+from repro.tools.hybrid import (
+    HybridPlan,
+    HybridPlanner,
+    HybridValidation,
+    validate_routed_plan,
+)
 from repro.workload.generator import known_workloads, register_workload_spec
 from repro.workload.streaming import StreamedWorkload
 
@@ -76,6 +89,11 @@ __all__ = [
     "CircuitBreaker",
     "FaultInjector",
     "FaultSpec",
+    "HybridMeter",
+    "HybridPlan",
+    "HybridPlanner",
+    "HybridServingPlatform",
+    "HybridValidation",
     "LatencyQuantile",
     "LatencySketch",
     "MultiRegionPlatform",
@@ -84,6 +102,10 @@ __all__ = [
     "ResultFrame",
     "RetryPolicy",
     "RouterMeter",
+    "SERVED_BY_DIRECT",
+    "SERVED_BY_NAMES",
+    "SERVED_BY_PROVISIONED",
+    "SERVED_BY_SPILL",
     "ScenarioSpec",
     "StreamedWorkload",
     "Study",
@@ -102,6 +124,7 @@ __all__ = [
     "run_study",
     "scenario_library",
     "study_library",
+    "validate_routed_plan",
 ]
 
 

@@ -103,4 +103,9 @@ class Planner:
             # A single self-rented, always-on VM; the paper's autoscaling
             # group experiments are run explicitly via config overrides.
             return {"initial_instances": 1, "autoscaling": False}
+        if platform == PlatformKind.HYBRID:
+            # A fixed provisioned CPU fleet plus a 2 GB serverless spill
+            # path; fleet size rides on hybrid_provisioned_instances.
+            return {"memory_gb": self.DEFAULT_MEMORY_GB,
+                    "autoscaling": False}
         raise ValueError(f"unknown platform kind {platform!r}")

@@ -433,6 +433,54 @@ register_scenario(ScenarioSpec(
                 "shedding (answers get worse, availability does not).",
 ))
 
+# -- hybrid library: provisioned fleets spilling burst overflow -------------
+# The hybrid spill knobs are ServiceConfig data like the fault and
+# routing knobs above, so a hybrid scenario is a registration, not code
+# (see docs/hybrid.md).  The front door routes on provisioned slot
+# occupancy: these three cover the burst case the economics argument is
+# about, a steady cell with a capped serverless budget, and an outage
+# the spill path absorbs.
+
+register_scenario(ScenarioSpec(
+    name="hybrid-burst",
+    provider="aws", model="mobilenet", runtime="tf1.15",
+    platform=PlatformKind.HYBRID, workload="w-storm",
+    config={"hybrid_provisioned_instances": 2,
+            "hybrid_spill_watermark": 0.85,
+            "hybrid_sticky_spill_s": 3.0},
+    description="A two-server provisioned fleet under the burst storm: "
+                "the valleys stay on the rented servers, the 320 req/s "
+                "storms spill to serverless as sticky 3 s windows.",
+))
+
+register_scenario(ScenarioSpec(
+    name="hybrid-steady",
+    provider="aws", model="mobilenet", runtime="tf1.15",
+    platform=PlatformKind.HYBRID, workload="w-120",
+    config={"hybrid_provisioned_instances": 4,
+            "hybrid_spill_watermark": 0.9,
+            "hybrid_max_spill_fraction": 0.5},
+    description="A four-server fleet sized near the w-120 base load "
+                "with the serverless budget capped: at most half of all "
+                "requests may spill, so saturation beyond the cap "
+                "queues on the provisioned fleet instead of billing.",
+))
+
+register_scenario(ScenarioSpec(
+    name="hybrid-outage",
+    provider="aws", model="mobilenet", runtime="tf1.15",
+    platform=PlatformKind.HYBRID, workload="w-40",
+    config={"hybrid_provisioned_instances": 2,
+            "hybrid_spill_watermark": 0.85,
+            "outage_start_s": 40.0, "outage_duration_s": 30.0,
+            "outage_fraction": 1.0, "retry_attempts": 3,
+            "retry_base_delay_s": 0.1, "request_timeout_s": 30.0},
+    description="The chaos-outage schedule against a hybrid front door: "
+                "the outage kills the provisioned fleet only, its slot "
+                "occupancy saturates, and the spill path carries the "
+                "traffic until the fleet relaunches.",
+))
+
 register_scenario(ScenarioSpec(
     name="eager-managed",
     provider="aws", model="mobilenet", runtime="tf1.15",

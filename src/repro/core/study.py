@@ -53,7 +53,7 @@ import numpy as np
 from repro.core.metrics import LatencyStats
 from repro.core.results import RunResult
 from repro.core.scenario import ScenarioSpec
-from repro.serving.deployment import ServiceConfig
+from repro.serving.deployment import PlatformKind, ServiceConfig
 
 __all__ = [
     "Sweep",
@@ -545,7 +545,7 @@ def _standard_metrics(result: RunResult) -> Dict[str, object]:
     if result.streaming:
         summary = result.table
         stats = summary.latency_stats()
-        return {
+        metrics = {
             "requests": summary.count,
             "success_ratio": summary.success_ratio,
             "avg_latency_s": summary.average_latency,
@@ -559,13 +559,15 @@ def _standard_metrics(result: RunResult) -> Dict[str, object]:
             "peak_instances": usage.peak_instances,
             "duration_s": result.duration_s,
         }
+        _add_hybrid_metrics(metrics, result, summary)
+        return metrics
     table = result.table
     count = table.count
     success = table.success
     n_success = int(success.sum())
     latencies = table.latency[success]
     stats = LatencyStats.from_values(latencies)
-    return {
+    metrics = {
         "requests": count,
         "success_ratio": (n_success / count) if count else 0.0,
         "avg_latency_s": float(latencies.mean()) if n_success else 0.0,
@@ -580,6 +582,28 @@ def _standard_metrics(result: RunResult) -> Dict[str, object]:
         "peak_instances": usage.peak_instances,
         "duration_s": result.duration_s,
     }
+    _add_hybrid_metrics(metrics, result, table)
+    return metrics
+
+
+def _add_hybrid_metrics(metrics: Dict[str, object], result: RunResult,
+                        table) -> None:
+    """Per-path columns for hybrid cells (``cost_usd`` is already blended).
+
+    Only hybrid cells carry them — other platforms never populate the
+    ``served_by`` outcome column, so frames over non-hybrid sweeps keep
+    their exact pre-hybrid column set.  Both recording paths
+    (:class:`~repro.serving.outcome_table.OutcomeTable` and the
+    streaming :class:`~repro.serving.streaming.OutcomeSummary`) expose
+    the same two reductions.
+    """
+    from repro.serving.records import SERVED_BY_PROVISIONED, SERVED_BY_SPILL
+    if result.deployment.config.platform != PlatformKind.HYBRID:
+        return
+    metrics["spill_ratio"] = table.spill_ratio()
+    metrics["provisioned_latency_s"] = table.path_latency_mean(
+        SERVED_BY_PROVISIONED)
+    metrics["spill_latency_s"] = table.path_latency_mean(SERVED_BY_SPILL)
 
 
 def _as_scalar(value):

@@ -57,6 +57,7 @@ EXPERIMENTS: Dict[str, str] = {
     "fig17": "repro.experiments.fig17_batch_size",
     "chaos": "repro.experiments.chaos_recovery",
     "failover": "repro.experiments.failover_recovery",
+    "hybrid": "repro.experiments.hybrid_economics",
 }
 
 

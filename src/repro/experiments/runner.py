@@ -97,23 +97,36 @@ def run_selected(ids: List[str], context: ExperimentContext) -> List[ExperimentR
     return results
 
 
-#: Scenario-name prefixes that form their own --list family; anything
-#: else is a "base" scenario.
-_SCENARIO_FAMILIES = ("chaos", "failover")
+def _scenario_families(scenarios: Sequence[str]) -> List[str]:
+    """Derive the --list families from the registered scenario names.
+
+    A name prefix (everything before the first ``-``) forms its own
+    family when at least two registered scenarios share it — so the
+    chaos, failover, and hybrid libraries (and any future library)
+    group themselves without this module keeping a hard-coded roster.
+    Everything else is a ``base`` scenario; ``base`` lists first, the
+    derived families follow alphabetically.
+    """
+    counts: dict = {}
+    for name in scenarios:
+        prefix = name.split("-", 1)[0]
+        counts[prefix] = counts.get(prefix, 0) + 1
+    return ["base"] + sorted(prefix for prefix, count in counts.items()
+                             if count >= 2)
 
 
-def _scenario_family(name: str) -> str:
+def _scenario_family(name: str, families: Sequence[str]) -> str:
     """The --list family of a scenario name (``base`` by default)."""
     prefix = name.split("-", 1)[0]
-    return prefix if prefix in _SCENARIO_FAMILIES else "base"
+    return prefix if prefix in families else "base"
 
 
 def _print_listing() -> None:
     """The --list report: every runnable name, grouped by kind.
 
-    Scenarios are further grouped by family — ``base`` scenarios, the
-    ``chaos`` fault-schedule library, and the ``failover`` multi-region
-    library — so the resilience libraries read as units.
+    Scenarios are further grouped by family — ``base`` scenarios plus
+    every registry-derived library prefix (chaos, failover, hybrid,
+    ...) — so the scenario libraries read as units.
     """
     load_registered_studies()
     print("Available experiments:")
@@ -127,9 +140,9 @@ def _print_listing() -> None:
     scenarios = list_scenarios()
     if scenarios:
         print("\nRegistered scenarios (run with: sweep <name>):")
-        families = ("base",) + _SCENARIO_FAMILIES
+        families = _scenario_families(scenarios)
         grouped = {family: [name for name in scenarios
-                            if _scenario_family(name) == family]
+                            if _scenario_family(name, families) == family]
                    for family in families}
         for family in families:
             if grouped[family]:

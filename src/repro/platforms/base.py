@@ -134,6 +134,12 @@ def build_platform(env: Environment, deployment: Deployment,
         from repro.platforms.routing import MultiRegionPlatform
         return MultiRegionPlatform(env, deployment, profiles, rng)
     kind = deployment.config.platform
+    if kind == PlatformKind.HYBRID:
+        # The hybrid spill front door composes a provisioned CPU fleet
+        # with a serverless spill path (it re-enters build_platform once
+        # per path with the path's own platform kind).
+        from repro.platforms.hybrid import HybridServingPlatform
+        return HybridServingPlatform(env, deployment, profiles, rng)
     if kind == PlatformKind.SERVERLESS:
         return ServerlessPlatform(env, deployment, profiles, rng)
     if kind == PlatformKind.MANAGED_ML:

@@ -23,14 +23,17 @@ __all__ = ["PlatformKind", "ServiceConfig", "Deployment"]
 
 
 class PlatformKind:
-    """The four families of serving systems the paper compares."""
+    """The four families of serving systems the paper compares, plus the
+    hybrid composition (a provisioned fleet spilling overflow to
+    serverless) that runs the paper's economic question end to end."""
 
     SERVERLESS = "serverless"
     MANAGED_ML = "managed_ml"
     CPU_SERVER = "cpu_server"
     GPU_SERVER = "gpu_server"
+    HYBRID = "hybrid"
 
-    ALL = (SERVERLESS, MANAGED_ML, CPU_SERVER, GPU_SERVER)
+    ALL = (SERVERLESS, MANAGED_ML, CPU_SERVER, GPU_SERVER, HYBRID)
 
 
 @dataclass(frozen=True)
@@ -112,6 +115,19 @@ class ServiceConfig:
     #: Model served by the degraded brownout backend (zoo name);
     #: empty keeps the deployment's own model.
     brownout_model: str = ""
+    # -- hybrid spill front door (see repro.platforms.hybrid) ----------------
+    #: Size of the fixed provisioned fleet behind a hybrid front door.
+    hybrid_provisioned_instances: int = 1
+    #: Provisioned-fleet utilisation (busy slots plus queued work over
+    #: slot capacity) at or above which new requests spill to the
+    #: serverless path.  May exceed 1.0 because queued work counts.
+    hybrid_spill_watermark: float = 0.85
+    #: Hard cap on the running fraction of submissions allowed to spill;
+    #: 1.0 never blocks the spill path, 0.0 disables spilling entirely.
+    hybrid_max_spill_fraction: float = 1.0
+    #: Seconds a spill decision stays sticky (every request keeps
+    #: spilling until the jittered window expires); 0 decides per request.
+    hybrid_sticky_spill_s: float = 0.0
     # -- Figure 12 micro-benchmark knobs -------------------------------------
     extra_container_mb: float = 0.0
     extra_download_mb: float = 0.0
@@ -188,6 +204,14 @@ class ServiceConfig:
             raise ValueError("hedge_min_samples must be >= 1")
         if not 0.0 <= self.brownout_watermark <= 1.0:
             raise ValueError("brownout_watermark must be in [0, 1]")
+        if self.hybrid_provisioned_instances < 1:
+            raise ValueError("hybrid_provisioned_instances must be >= 1")
+        if self.hybrid_spill_watermark <= 0.0:
+            raise ValueError("hybrid_spill_watermark must be positive")
+        if not 0.0 <= self.hybrid_max_spill_fraction <= 1.0:
+            raise ValueError("hybrid_max_spill_fraction must be in [0, 1]")
+        if self.hybrid_sticky_spill_s < 0:
+            raise ValueError("hybrid_sticky_spill_s must be non-negative")
 
     def replace(self, **changes) -> "ServiceConfig":
         """A copy of the config with the given fields changed."""
@@ -226,6 +250,10 @@ class Deployment:
             return self.provider.cpu_instance_type
         if self.config.platform == PlatformKind.GPU_SERVER:
             return self.provider.gpu_instance_type
+        if self.config.platform == PlatformKind.HYBRID:
+            # The provisioned half of the hybrid front door runs on the
+            # provider's CPU server fleet; the spill half is serverless.
+            return self.provider.cpu_instance_type
         return ""
 
     def with_config(self, **changes) -> "Deployment":

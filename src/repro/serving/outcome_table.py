@@ -28,7 +28,11 @@ from typing import Dict, Iterable, List, Sequence
 
 import numpy as np
 
-from repro.serving.records import RequestOutcome, Stage
+from repro.serving.records import (
+    SERVED_BY_SPILL,
+    RequestOutcome,
+    Stage,
+)
 
 __all__ = ["OutcomeTable", "OutcomeRecorder"]
 
@@ -54,13 +58,16 @@ class OutcomeTable:
     * ``inferences``   int32
     * ``error_code``   int16 (index into ``error_names``; 0 = no error)
     * ``attempts``     int32 (submission attempts; 1 = no retries)
+    * ``served_by``    int8 (hybrid path code; 0 = direct, 1 =
+      provisioned fleet, 2 = serverless spill)
     * ``stages``       float64 matrix of shape (count, len(Stage.ORDER))
     """
 
     def __init__(self, request_id, client_id, send_time, completion_time,
                  success, cold_start, instance_id, billed_duration_s,
                  inferences, error_code, stages,
-                 error_names: Sequence[str] = ("",), attempts=None):
+                 error_names: Sequence[str] = ("",), attempts=None,
+                 served_by=None):
         self.request_id = request_id
         self.client_id = client_id
         self.send_time = send_time
@@ -76,6 +83,9 @@ class OutcomeTable:
         if attempts is None:
             attempts = np.ones(self.count, dtype=np.int32)
         self.attempts = attempts
+        if served_by is None:
+            served_by = np.zeros(self.count, dtype=np.int8)
+        self.served_by = served_by
 
     # -- shape ----------------------------------------------------------------
     @property
@@ -133,6 +143,29 @@ class OutcomeTable:
             return 0.0
         mask = self.success & (self.error_code == code)
         return float(mask.sum()) / self.count
+
+    def spill_ratio(self) -> float:
+        """Fraction of all requests a hybrid front door spilled to serverless.
+
+        0.0 on non-hybrid runs (every request keeps the direct code) and
+        on hybrid runs whose provisioned fleet never saturated; an empty
+        table reports 0.0.
+        """
+        if self.count == 0:
+            return 0.0
+        return float((self.served_by == SERVED_BY_SPILL).sum()) / self.count
+
+    def path_latency_mean(self, served_by: int) -> float:
+        """Mean successful latency of one hybrid path (NaN when unserved).
+
+        ``served_by`` is a :data:`~repro.serving.records.SERVED_BY_NAMES`
+        code; the reduction mirrors the headline ``avg_latency_s`` but
+        restricted to the requests that path completed successfully.
+        """
+        mask = self.success & (self.served_by == served_by)
+        if not mask.any():
+            return float("nan")
+        return float(self.latency[mask].mean())
 
     # -- SLO reductions --------------------------------------------------------
     def slo_attainment(self, target_s: float) -> float:
@@ -270,6 +303,7 @@ class OutcomeTable:
             inferences=int(self.inferences[index]),
             breakdown=breakdown,
             attempts=int(self.attempts[index]),
+            served_by=int(self.served_by[index]),
         )
 
     def to_outcomes(self) -> List[RequestOutcome]:
@@ -309,6 +343,8 @@ class OutcomeTable:
             packed["error_code"] = self.error_code
         if (self.attempts != 1).any():
             packed["attempts"] = self.attempts.astype(np.int32)
+        if self.served_by.any():
+            packed["served_by"] = self.served_by.astype(np.int8)
         packed["billed_duration_s"] = _pack_sparse(self.billed_duration_s)
         packed["stages"] = [_pack_sparse(self.stages[:, i])
                             for i in range(_N_STAGES)]
@@ -348,6 +384,11 @@ class OutcomeTable:
             attempts = np.ones(count, dtype=np.int32)
         else:
             attempts = attempts.astype(np.int32)
+        served_by = packed.get("served_by")
+        if served_by is None:
+            served_by = np.zeros(count, dtype=np.int8)
+        else:
+            served_by = served_by.astype(np.int8)
         stages = np.zeros((count, _N_STAGES), dtype=np.float64)
         for stage_index, column in enumerate(packed["stages"]):
             stages[:, stage_index] = _unpack_sparse(column, count)
@@ -366,6 +407,7 @@ class OutcomeTable:
             stages=stages,
             error_names=packed["errors"],
             attempts=attempts,
+            served_by=served_by,
         )
 
     # -- determinism -----------------------------------------------------------
@@ -385,6 +427,10 @@ class OutcomeTable:
             # Retried runs hash their attempts column; retry-free runs
             # skip it so historical golden digests stay valid.
             digest.update(np.ascontiguousarray(self.attempts).tobytes())
+        if self.served_by.any():
+            # Same rule for the hybrid path column: only hybrid runs
+            # (the only producers of non-zero codes) hash it.
+            digest.update(np.ascontiguousarray(self.served_by).tobytes())
         digest.update("\x00".join(self.error_names).encode("utf-8"))
         return digest.hexdigest()
 
@@ -452,6 +498,7 @@ class OutcomeRecorder:
         self.inferences = np.ones(capacity, dtype=np.int32)
         self.error_code = np.zeros(capacity, dtype=np.int16)
         self.attempts = np.ones(capacity, dtype=np.int32)
+        self.served_by = np.zeros(capacity, dtype=np.int8)
         self.stages = np.zeros((capacity, _N_STAGES), dtype=np.float64)
         self.error_names: List[str] = [""]
         #: Registered-but-uncommitted outcomes; their partial state
@@ -483,6 +530,7 @@ class OutcomeRecorder:
         self.inferences = extend(self.inferences, 1)
         self.error_code = extend(self.error_code, 0)
         self.attempts = extend(self.attempts, 1)
+        self.served_by = extend(self.served_by, 0)
         self.stages = extend(self.stages, 0.0)
         self._capacity = new_capacity
 
@@ -529,6 +577,8 @@ class OutcomeRecorder:
             self.billed_duration_s[row] = outcome.billed_duration_s
         if outcome.attempts != 1:
             self.attempts[row] = outcome.attempts
+        if outcome.served_by:
+            self.served_by[row] = outcome.served_by
         breakdown = outcome.breakdown
         if breakdown:
             stages = self.stages
@@ -561,4 +611,5 @@ class OutcomeRecorder:
             stages=self.stages[:n],
             error_names=self.error_names,
             attempts=self.attempts[:n],
+            served_by=self.served_by[:n],
         )

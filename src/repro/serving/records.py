@@ -5,7 +5,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-__all__ = ["Stage", "RequestOutcome"]
+__all__ = ["Stage", "RequestOutcome", "SERVED_BY_DIRECT",
+           "SERVED_BY_PROVISIONED", "SERVED_BY_SPILL", "SERVED_BY_NAMES"]
+
+#: ``RequestOutcome.served_by`` code for requests that never crossed a
+#: hybrid front door (every non-hybrid platform; the packed default).
+SERVED_BY_DIRECT = 0
+#: Code for requests served by the hybrid front door's provisioned fleet.
+SERVED_BY_PROVISIONED = 1
+#: Code for requests the hybrid front door spilled to serverless.
+SERVED_BY_SPILL = 2
+#: Human-readable names of the ``served_by`` codes, indexable by code.
+SERVED_BY_NAMES = ("direct", "provisioned", "spill")
 
 
 class Stage:
@@ -57,6 +68,10 @@ class RequestOutcome:
     #: Number of submission attempts made for this request (1 = no
     #: retries); written by the executor's retry wrapper on completion.
     attempts: int = 1
+    #: Which path of a hybrid front door served the request (see
+    #: :data:`SERVED_BY_NAMES`): 0 = direct (the non-hybrid default),
+    #: 1 = provisioned fleet, 2 = serverless spill.
+    served_by: int = 0
     #: Row index assigned by the :class:`~repro.serving.outcome_table.
     #: OutcomeRecorder` (-1 while unregistered).
     row: int = field(default=-1, repr=False, compare=False)

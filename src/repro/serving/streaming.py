@@ -56,7 +56,11 @@ from repro.serving.outcome_table import (
     OutcomeTable,
     _intern_error,
 )
-from repro.serving.records import RequestOutcome
+from repro.serving.records import SERVED_BY_SPILL, RequestOutcome
+
+#: Number of hybrid path codes tracked by the per-path accumulators
+#: (direct / provisioned / spill; see ``repro.serving.records``).
+_N_PATHS = 3
 
 __all__ = ["LatencySketch", "OutcomeSummary", "ChunkedOutcomeRecorder"]
 
@@ -192,8 +196,9 @@ class OutcomeSummary:
     length.  Methods mirror the table's reduction API
     (:meth:`slo_attainment`, :meth:`availability`,
     :meth:`time_to_recover`, :meth:`success_timeline`,
-    :meth:`attempts_mean`, :meth:`degraded_ratio`) so results built on
-    either backend answer the same questions.
+    :meth:`attempts_mean`, :meth:`degraded_ratio`, :meth:`spill_ratio`,
+    :meth:`path_latency_mean`) so results built on either backend answer
+    the same questions.
     """
 
     #: Time resolution (seconds) of the streaming success timeline; any
@@ -208,6 +213,12 @@ class OutcomeSummary:
         self.degraded_count = 0
         self.chunks_folded = 0
         self.latencies = sketch if sketch is not None else LatencySketch()
+        #: Per-hybrid-path request counts, indexed by ``served_by`` code.
+        self.path_counts = np.zeros(_N_PATHS, dtype=np.int64)
+        #: Per-path successful-request counts.
+        self.path_success_counts = np.zeros(_N_PATHS, dtype=np.int64)
+        #: Per-path running sums of successful latencies (seconds).
+        self.path_latency_totals = np.zeros(_N_PATHS, dtype=np.float64)
         #: Per-error-name failure/annotation counts.
         self.error_counts: Dict[str, int] = {}
         self.max_send_time = 0.0
@@ -235,7 +246,23 @@ class OutcomeSummary:
         self.cold_on_success += int(table.cold_start[success].sum())
         self.attempts_total += int(table.attempts.sum())
         latency = table.completion_time - table.send_time
-        self.latencies.add(latency[success])
+        success_latencies = latency[success]
+        self.latencies.add(success_latencies)
+        served = table.served_by
+        if served.any():
+            self.path_counts += np.bincount(served, minlength=_N_PATHS)
+            for code in range(_N_PATHS):
+                mask = success & (served == code)
+                hits = int(mask.sum())
+                if hits:
+                    self.path_success_counts[code] += hits
+                    self.path_latency_totals[code] += float(
+                        latency[mask].sum())
+        else:
+            # All-direct chunk (every non-hybrid run): no masking needed.
+            self.path_counts[0] += n
+            self.path_success_counts[0] += n_success
+            self.path_latency_totals[0] += float(success_latencies.sum())
         error_code = table.error_code
         if error_code.any():
             names = table.error_names
@@ -272,6 +299,10 @@ class OutcomeSummary:
                        table.inferences, error_code, table.stages,
                        table.attempts):
             chained.update(np.ascontiguousarray(column).tobytes())
+        if served.any():
+            # Hybrid chunks fold their path column into the digest;
+            # all-direct chunks skip it so historical digests stay valid.
+            chained.update(np.ascontiguousarray(served).tobytes())
         chained.update("\x00".join(table.error_names).encode("utf-8"))
         self._digest_hex = chained.hexdigest()
 
@@ -308,6 +339,27 @@ class OutcomeSummary:
         if not self.count:
             return 0.0
         return self.degraded_count / self.count
+
+    def spill_ratio(self) -> float:
+        """Fraction of all requests a hybrid front door spilled to serverless.
+
+        Exact (integer accumulation); 0.0 on non-hybrid runs and on
+        empty summaries, mirroring the table reduction.
+        """
+        if not self.count:
+            return 0.0
+        return float(self.path_counts[SERVED_BY_SPILL]) / self.count
+
+    def path_latency_mean(self, served_by: int) -> float:
+        """Mean successful latency of one hybrid path (NaN when unserved).
+
+        Served from exact running sums, so it matches the table
+        reduction up to float summation order.
+        """
+        hits = int(self.path_success_counts[served_by])
+        if not hits:
+            return float("nan")
+        return float(self.path_latency_totals[served_by]) / hits
 
     # -- SLO reductions ----------------------------------------------------
     def slo_attainment(self, target_s: float) -> float:
@@ -402,8 +454,8 @@ class _Chunk:
 
     __slots__ = ("request_id", "client_id", "send_time", "completion_time",
                  "success", "cold_start", "instance_id", "billed_duration_s",
-                 "inferences", "error_code", "attempts", "stages",
-                 "uncommitted", "max_send")
+                 "inferences", "error_code", "attempts", "served_by",
+                 "stages", "uncommitted", "max_send")
 
     def __init__(self, rows: int):
         self.request_id = np.zeros(rows, dtype=np.int64)
@@ -417,6 +469,7 @@ class _Chunk:
         self.inferences = np.ones(rows, dtype=np.int32)
         self.error_code = np.zeros(rows, dtype=np.int16)
         self.attempts = np.ones(rows, dtype=np.int32)
+        self.served_by = np.zeros(rows, dtype=np.int8)
         self.stages = np.zeros((rows, _N_STAGES), dtype=np.float64)
         self.uncommitted = 0
         self.max_send = 0.0
@@ -434,6 +487,7 @@ class _Chunk:
         self.inferences[:] = 1
         self.error_code[:] = 0
         self.attempts[:] = 1
+        self.served_by[:] = 0
         self.stages[:] = 0.0
         self.uncommitted = 0
         self.max_send = 0.0
@@ -458,6 +512,7 @@ class _Chunk:
             stages=self.stages[:rows],
             error_names=error_names,
             attempts=self.attempts[:rows],
+            served_by=self.served_by[:rows],
         )
 
 
@@ -580,6 +635,8 @@ class ChunkedOutcomeRecorder:
             chunk.billed_duration_s[offset] = outcome.billed_duration_s
         if outcome.attempts != 1:
             chunk.attempts[offset] = outcome.attempts
+        if outcome.served_by:
+            chunk.served_by[offset] = outcome.served_by
         breakdown = outcome.breakdown
         if breakdown:
             stages = chunk.stages
@@ -639,6 +696,7 @@ class ChunkedOutcomeRecorder:
             stages=self._concat("stages"),
             error_names=self.error_names,
             attempts=self._concat("attempts"),
+            served_by=self._concat("served_by"),
         )
 
     def _concat(self, column: str) -> np.ndarray:

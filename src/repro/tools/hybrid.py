@@ -30,7 +30,21 @@ from repro.runtimes.base import ServingRuntime
 from repro.tools.cost_estimator import CostEstimator
 from repro.workload.traces import ArrivalTrace
 
-__all__ = ["HybridPlan", "HybridPlanner"]
+__all__ = ["HybridPlan", "HybridPlanner", "HybridValidation",
+           "validate_routed_plan", "ROUTED_COST_RTOL", "ROUTED_SPILL_ATOL"]
+
+#: Documented relative tolerance between the routed closed-form blended
+#: cost and a simulated hybrid cell's cost.  The closed form works on a
+#: 1 s rate series with a deterministic per-server capacity; the
+#: simulation adds cold starts, queueing, jittered service times, and
+#: bills the serverless path per actual invocation duration — 35 %
+#: relative agreement is what the two models share (see docs/hybrid.md
+#: and tests/test_hybrid.py).
+ROUTED_COST_RTOL = 0.35
+#: Documented absolute tolerance on the spill fraction: the closed form
+#: clips the rate series at fleet capacity, the simulation routes on
+#: instantaneous slot occupancy, so they agree to within 15 points.
+ROUTED_SPILL_ATOL = 0.15
 
 
 @dataclass(frozen=True)
@@ -66,6 +80,14 @@ class HybridPlan:
         if self.total_requests == 0:
             return 0.0
         return self.overflow_requests / self.total_requests
+
+    @property
+    def routed_overflow_fraction(self) -> float:
+        """Fraction of requests the routed strategy spills (0 when the
+        routed strategy was not evaluated)."""
+        if self.total_requests == 0:
+            return 0.0
+        return self.routed_overflow_requests / self.total_requests
 
     def best_strategy(self) -> str:
         """Which of the evaluated strategies is cheapest.
@@ -248,3 +270,106 @@ class HybridPlanner:
             routed_overflow_requests=routed_overflow,
             routed_cost=routed_cost,
         )
+
+
+@dataclass(frozen=True)
+class HybridValidation:
+    """One routed closed-form plan checked against a simulated hybrid cell.
+
+    Produced by :func:`validate_routed_plan`: the planner's
+    ``routed_percentile`` strategy sizes the provisioned fleet, then the
+    *same* cell runs end to end through
+    :class:`~repro.platforms.hybrid.HybridServingPlatform` and the two
+    answers — blended cost and spill fraction — are compared.
+    """
+
+    #: The closed-form plan (``routed_cost`` is always set here).
+    plan: HybridPlan
+    #: Blended (provisioned + spill) cost of the simulated cell.
+    simulated_cost: float
+    #: Fraction of simulated requests served by the spill path.
+    simulated_spill_fraction: float
+
+    @property
+    def cost_error(self) -> float:
+        """Relative blended-cost disagreement, simulation vs closed form."""
+        if not self.plan.routed_cost:
+            return 0.0
+        return (abs(self.simulated_cost - self.plan.routed_cost)
+                / self.plan.routed_cost)
+
+    @property
+    def spill_error(self) -> float:
+        """Absolute spill-fraction disagreement, simulation vs closed form."""
+        return abs(self.simulated_spill_fraction
+                   - self.plan.routed_overflow_fraction)
+
+    def within(self, cost_rtol: float = ROUTED_COST_RTOL,
+               spill_atol: float = ROUTED_SPILL_ATOL) -> bool:
+        """Whether both disagreements sit inside the documented tolerances."""
+        return (self.cost_error <= cost_rtol
+                and self.spill_error <= spill_atol)
+
+
+def validate_routed_plan(scenario, routed_percentile: float = 60.0,
+                         seed: int = 7, scale: float = 1.0,
+                         profiles: Optional[LatencyProfiles] = None,
+                         benchmark=None, **overrides) -> HybridValidation:
+    """Check the routed closed form against a simulated hybrid cell.
+
+    Plans ``scenario``'s workload with ``routed_percentile`` (hedging
+    off — the hybrid front door routes each request exactly once), then
+    simulates the same cell on :data:`~repro.serving.deployment.
+    PlatformKind.HYBRID` with the plan's fleet size, the planner's
+    workers per server, and the spill watermark at 1.0 — the closed
+    form's capacity-clipping rule expressed as a routing decision.
+    Extra ``overrides`` are forwarded to :class:`HybridPlanner`.
+
+    Example::
+
+        from repro.api import ScenarioSpec, validate_routed_plan
+
+        spec = ScenarioSpec(name="validate", provider="aws",
+                            model="mobilenet", platform="hybrid",
+                            workload="w-40")
+        check = validate_routed_plan(spec, routed_percentile=80.0,
+                                     scale=0.3)
+        assert check.within()
+
+    The tolerances hold on steady and diurnal workloads; on the
+    cold-start-pathological storm workloads (``w-storm``) the simulated
+    spill bill runs far hotter than the warm-priced closed form, and
+    ``cost_error`` reports exactly how far.
+    """
+    from repro.core.benchmark import ServingBenchmark
+    from repro.core.scenario import ScenarioSpec, get_scenario
+    from repro.serving.deployment import PlatformKind
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    planner = HybridPlanner.from_scenario(
+        scenario, profiles=profiles, routed_percentile=routed_percentile,
+        hedge_fraction=0.0, **overrides)
+    plan = planner.plan_scenario(scenario, seed=seed, scale=scale)
+    config = scenario.overrides
+    config.update(
+        hybrid_provisioned_instances=plan.routed_servers,
+        hybrid_spill_watermark=1.0,
+        workers_per_instance=planner.workers_per_server,
+        memory_gb=planner.memory_gb,
+    )
+    cell = ScenarioSpec(
+        name=f"{scenario.name}-routed-validation",
+        provider=scenario.provider, model=scenario.model,
+        runtime=scenario.runtime, platform=PlatformKind.HYBRID,
+        workload=scenario.workload, config=config, seed=scenario.seed)
+    if benchmark is not None:
+        bench = benchmark
+    elif profiles is not None:
+        bench = ServingBenchmark(seed=seed, profiles=profiles)
+    else:
+        bench = ServingBenchmark(seed=seed)
+    result = bench.run_scenario(cell, scale=scale)
+    return HybridValidation(
+        plan=plan,
+        simulated_cost=result.usage.cost,
+        simulated_spill_fraction=result.table.spill_ratio())

@@ -1,0 +1,452 @@
+"""Tests for the hybrid spill front door (platforms/hybrid).
+
+Six layers:
+
+* **Config**: the four hybrid knobs validate on `ServiceConfig` and
+  stay plain sweepable fields.
+* **Ledger**: `HybridMeter` classification — every finished outcome in
+  exactly one of the five buckets, `spilled` a routing tally on top.
+* **Backends**: the sub-deployment overrides give each path the right
+  fault domain (outages strike provisioned only, storms spill only)
+  and neutralise hybrid/routing knobs.
+* **End to end**: an undersized fleet spills, both paths serve, the
+  merged usage keeps the per-path ledgers auditable under
+  `provisioned.` / `spill.` prefixes, and the policy knobs
+  (`hybrid_max_spill_fraction`, `hybrid_sticky_spill_s`) bind.
+* **Determinism and encoding**: hybrid cells are bit-identical serial
+  vs `workers=N`, `served_by` survives the packed round trip, and
+  non-hybrid tables hash exactly as before the column existed.
+* **Closed form**: the simulated blended cost and spill fraction agree
+  with `HybridPlanner.routed_percentile` within the documented
+  tolerances on three workloads (the planner-vs-simulation check).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.benchmark import ServingBenchmark
+from repro.core.executor import Executor
+from repro.core.planner import Planner
+from repro.core.scenario import ScenarioSpec, get_scenario
+from repro.platforms.base import build_platform
+from repro.platforms.hybrid import (
+    HybridMeter,
+    HybridServingPlatform,
+    _backend_overrides,
+    _provisioned_overrides,
+    _spill_overrides,
+)
+from repro.serving.deployment import PlatformKind, ServiceConfig
+from repro.serving.records import (
+    SERVED_BY_DIRECT,
+    SERVED_BY_NAMES,
+    SERVED_BY_PROVISIONED,
+    SERVED_BY_SPILL,
+    RequestOutcome,
+)
+from repro.sim import Environment, RandomStreams
+from repro.tools.hybrid import (
+    ROUTED_COST_RTOL,
+    ROUTED_SPILL_ATOL,
+    validate_routed_plan,
+)
+from repro.workload.requests import RequestPool
+
+SEED = 5
+
+BUCKETS = ("completed", "failed", "rejected", "timed_out", "shed")
+
+
+def run_platform(deployment, workload, seed=SEED):
+    """Run a cell and return (platform, table) for front-door introspection."""
+    env = Environment()
+    rng = RandomStreams(seed)
+    platform = build_platform(env, deployment, rng=rng)
+    pool = RequestPool(sample_payload_mb=deployment.model.input_payload_mb,
+                      pool_size=workload.spec.request_pool_size, seed=seed)
+    executor = Executor(env=env, platform=platform, workload=workload,
+                        request_pool=pool, rng=rng)
+    table = executor.run(until=workload.spec.duration_s + 400.0)
+    table.fail_unfinished(workload.spec.duration_s + 400.0)
+    return platform, table
+
+
+def assert_conserved(notes, label="", prefix=""):
+    """Assert the 5-bucket identity on one (possibly prefixed) ledger."""
+    assert notes[f"{prefix}submitted"] == sum(
+        notes[f"{prefix}{bucket}"] for bucket in BUCKETS), label
+
+
+def hybrid_plan(planner, instances=1, **overrides):
+    return planner.plan(
+        "aws", "mobilenet", "tf1.15", "hybrid",
+        hybrid_provisioned_instances=instances, **overrides)
+
+
+# ---------------------------------------------------------------------------
+# Config layer
+# ---------------------------------------------------------------------------
+
+class TestHybridConfig:
+    def test_defaults_never_spill_by_accident(self):
+        config = ServiceConfig()
+        assert config.hybrid_provisioned_instances == 1
+        assert config.hybrid_spill_watermark == 0.85
+        assert config.hybrid_max_spill_fraction == 1.0
+        assert config.hybrid_sticky_spill_s == 0.0
+
+    @pytest.mark.parametrize("bad", [
+        dict(hybrid_provisioned_instances=0),
+        dict(hybrid_spill_watermark=0.0),
+        dict(hybrid_spill_watermark=-0.5),
+        dict(hybrid_max_spill_fraction=-0.1),
+        dict(hybrid_max_spill_fraction=1.5),
+        dict(hybrid_sticky_spill_s=-1.0),
+    ])
+    def test_knobs_validate(self, bad):
+        with pytest.raises(ValueError):
+            ServiceConfig(**bad)
+
+    def test_knobs_are_sweepable_axes(self):
+        from repro.core.study import Sweep
+        sweep = Sweep(
+            name="knobs",
+            base=ScenarioSpec(name="knobs", provider="aws",
+                              model="mobilenet",
+                              platform=PlatformKind.HYBRID),
+            axes={"hybrid_provisioned_instances": (1, 2),
+                  "hybrid_spill_watermark": (0.7, 0.9)})
+        assert len(sweep.cells()) == 4
+
+
+# ---------------------------------------------------------------------------
+# Ledger layer
+# ---------------------------------------------------------------------------
+
+class TestHybridMeter:
+    def finished(self, error=None):
+        outcome = RequestOutcome(request_id=0, client_id=0, send_time=0.0)
+        outcome.finish(time=1.0, success=error is None, error=error or "")
+        return outcome
+
+    @pytest.mark.parametrize("error,bucket", [
+        (None, "completed"),
+        ("timeout", "timed_out"),
+        ("shed", "shed"),
+        ("throttled", "rejected"),
+        ("connection_refused", "rejected"),
+        ("crash", "failed"),
+        ("service_error", "failed"),
+    ])
+    def test_each_outcome_lands_in_exactly_one_bucket(self, error, bucket):
+        meter = HybridMeter()
+        meter.record_submitted()
+        meter.classify(self.finished(error))
+        notes = meter.notes()
+        assert notes[bucket] == 1.0
+        assert sum(notes[b] for b in BUCKETS) == 1.0
+        assert_conserved(notes)
+
+    def test_spilled_is_a_tally_not_a_bucket(self):
+        meter = HybridMeter()
+        meter.record_submitted()
+        meter.record_spill()
+        meter.classify(self.finished())
+        notes = meter.notes()
+        assert notes["spilled"] == 1.0
+        assert notes["completed"] == 1.0
+        assert_conserved(notes)
+
+
+# ---------------------------------------------------------------------------
+# Backend composition layer
+# ---------------------------------------------------------------------------
+
+class TestBackendOverrides:
+    def config(self, **overrides):
+        return ServiceConfig(platform=PlatformKind.HYBRID, **overrides)
+
+    def test_outage_strikes_provisioned_fleet_only(self):
+        config = self.config(outage_start_s=40.0, outage_duration_s=30.0,
+                             outage_fraction=1.0)
+        assert "outage_start_s" not in _provisioned_overrides(config)
+        assert _spill_overrides(config)["outage_start_s"] is None
+
+    def test_storms_strike_spill_path_only(self):
+        config = self.config(storm_times_s=(10.0, 25.0))
+        assert _provisioned_overrides(config)["storm_times_s"] == ()
+        assert "storm_times_s" not in _spill_overrides(config)
+
+    def test_fleet_size_pins_both_scaling_bounds(self):
+        overrides = _provisioned_overrides(
+            self.config(hybrid_provisioned_instances=4))
+        assert overrides["initial_instances"] == 4
+        assert overrides["max_instances"] == 4
+        assert overrides["autoscaling"] is False
+
+    def test_hybrid_and_routing_knobs_reset_on_both_paths(self):
+        shared = _backend_overrides()
+        defaults = ServiceConfig()
+        for knob in ("hybrid_provisioned_instances", "hybrid_spill_watermark",
+                     "hybrid_max_spill_fraction", "hybrid_sticky_spill_s",
+                     "region_count", "breaker_failure_threshold",
+                     "hedge_percentile", "brownout_watermark",
+                     "retry_attempts"):
+            assert shared[knob] == getattr(defaults, knob), knob
+
+    def test_backends_are_plain_platforms(self, planner, env, rng):
+        deployment = hybrid_plan(planner)
+        platform = build_platform(env, deployment, rng=rng)
+        assert isinstance(platform, HybridServingPlatform)
+        assert platform.provisioned_backend.config.platform == \
+            PlatformKind.CPU_SERVER
+        assert platform.spill_backend.config.platform == \
+            PlatformKind.SERVERLESS
+
+
+# ---------------------------------------------------------------------------
+# End-to-end layer
+# ---------------------------------------------------------------------------
+
+class TestHybridEndToEnd:
+    @pytest.fixture(scope="class")
+    def spilling_cell(self, request):
+        """A one-server fleet under w-120: saturation guaranteed."""
+        planner = Planner()
+        deployment = hybrid_plan(planner, instances=1,
+                                 hybrid_spill_watermark=0.85)
+        workload = request.getfixturevalue("small_w120")
+        platform, table = run_platform(deployment, workload)
+        return platform, table, platform.finalize()
+
+    def test_both_paths_serve(self, spilling_cell):
+        _, table, _ = spilling_cell
+        assert table.spill_ratio() > 0.0
+        served = table.served_by
+        assert (served == SERVED_BY_PROVISIONED).any()
+        assert (served == SERVED_BY_SPILL).any()
+        # The front door tags every request with a hybrid path.
+        assert not (served == SERVED_BY_DIRECT).any()
+
+    def test_client_ledger_conserves_and_matches_table(self, spilling_cell):
+        platform, table, _ = spilling_cell
+        notes = platform.meter.notes()
+        assert_conserved(notes)
+        assert notes["submitted"] == table.count
+        assert notes["completed"] == int(table.success.sum())
+        assert notes["spilled"] == int(
+            (table.served_by == SERVED_BY_SPILL).sum())
+
+    def test_merged_usage_keeps_per_path_ledgers(self, spilling_cell):
+        platform, table, usage = spilling_cell
+        for prefix in ("provisioned.", "spill."):
+            assert_conserved(usage.notes, label=prefix, prefix=prefix)
+        # Each client request was routed to exactly one backend.
+        assert (usage.notes["provisioned.submitted"]
+                + usage.notes["spill.submitted"]) == table.count
+        assert usage.notes["spill.submitted"] == usage.notes["spilled"]
+
+    def test_blended_cost_is_the_sum_of_the_path_breakdowns(
+            self, spilling_cell):
+        _, _, usage = spilling_cell
+        provisioned = sum(v for k, v in usage.cost_breakdown.items()
+                          if k.startswith("provisioned."))
+        spill = sum(v for k, v in usage.cost_breakdown.items()
+                    if k.startswith("spill."))
+        assert provisioned > 0.0
+        assert spill > 0.0
+        assert usage.cost == pytest.approx(provisioned + spill)
+
+    def test_spill_path_pays_per_request_fleet_pays_rent(self, spilling_cell):
+        _, _, usage = spilling_cell
+        assert "spill.requests" in usage.cost_breakdown
+        assert any(k.startswith("provisioned.") and "request" not in k
+                   for k in usage.cost_breakdown)
+
+    def test_large_fleet_spills_less_than_small_fleet(self, small_w120):
+        planner = Planner()
+        ratios = []
+        for instances in (1, 8):
+            _, table = run_platform(hybrid_plan(planner, instances),
+                                    small_w120)
+            ratios.append(table.spill_ratio())
+        assert ratios[1] < ratios[0]
+
+    def test_max_spill_fraction_caps_the_running_ratio(self, small_w120):
+        planner = Planner()
+        cap = 0.2
+        deployment = hybrid_plan(planner, instances=1,
+                                 hybrid_max_spill_fraction=cap)
+        platform, table = run_platform(deployment, small_w120)
+        notes = platform.meter.notes()
+        assert 0.0 < notes["spilled"] <= cap * notes["submitted"]
+        assert table.spill_ratio() <= cap
+
+    def test_max_spill_fraction_zero_pins_everything_provisioned(
+            self, small_w120):
+        planner = Planner()
+        deployment = hybrid_plan(planner, instances=1,
+                                 hybrid_max_spill_fraction=0.0)
+        platform, table = run_platform(deployment, small_w120)
+        assert table.spill_ratio() == 0.0
+        assert platform.meter.spilled == 0
+
+    def test_sticky_windows_spill_contiguous_runs(self, small_w120):
+        """With stickiness on, spills arrive in longer consecutive runs."""
+        planner = Planner()
+        runs = {}
+        for sticky in (0.0, 3.0):
+            deployment = hybrid_plan(planner, instances=1,
+                                     hybrid_sticky_spill_s=sticky)
+            _, table = run_platform(deployment, small_w120)
+            order = np.argsort(table.send_time, kind="stable")
+            spill = (table.served_by[order] == SERVED_BY_SPILL)
+            # Mean length of consecutive spill runs in submit order.
+            edges = np.flatnonzero(np.diff(spill.astype(np.int8)))
+            segments = np.split(spill, edges + 1)
+            lengths = [len(seg) for seg in segments if seg[0]]
+            runs[sticky] = float(np.mean(lengths)) if lengths else 0.0
+        assert runs[3.0] > runs[0.0]
+
+    def test_spill_survives_a_provisioned_outage(self):
+        """The hybrid-outage scenario: spill absorbs the outage window."""
+        bench = ServingBenchmark(seed=SEED)
+        result = bench.run_scenario("hybrid-outage", scale=0.1)
+        table = result.table
+        assert table.spill_ratio() > 0.0
+        assert float(table.success.mean()) > 0.9
+        # The outage struck only the provisioned path's fault injector.
+        assert result.usage.notes["spill.completed"] > 0
+
+    def test_registered_scenarios_run_end_to_end(self):
+        bench = ServingBenchmark(seed=SEED)
+        for name in ("hybrid-burst", "hybrid-steady"):
+            result = bench.run_scenario(name, scale=0.05)
+            assert result.table.count > 0
+            assert_conserved(result.usage.notes)
+
+
+# ---------------------------------------------------------------------------
+# Determinism and encoding layer
+# ---------------------------------------------------------------------------
+
+class TestHybridDeterminism:
+    def test_hybrid_cells_identical_across_worker_pool(self, tiny_w40):
+        planner = Planner()
+        deployments = [
+            hybrid_plan(planner, instances=1,
+                        hybrid_sticky_spill_s=3.0),
+            hybrid_plan(planner, instances=2,
+                        hybrid_max_spill_fraction=0.5,
+                        outage_start_s=10.0, outage_duration_s=15.0,
+                        outage_fraction=1.0, retry_attempts=2),
+            hybrid_plan(planner, instances=1,
+                        storm_times_s=(10.0, 25.0),
+                        crash_mtbf_s=30.0),
+        ]
+        bench = ServingBenchmark(seed=SEED)
+        serial = bench.run_many(deployments, tiny_w40)
+        parallel = bench.run_many(deployments, tiny_w40, workers=3)
+        for left, right in zip(serial, parallel):
+            assert left.table.column_hash() == right.table.column_hash()
+            assert left.cost == right.cost
+
+    def test_rerun_is_bit_identical(self, tiny_w40):
+        deployment = hybrid_plan(Planner(), instances=1,
+                                 hybrid_sticky_spill_s=2.0)
+        bench = ServingBenchmark(seed=SEED)
+        first = bench.run(deployment, tiny_w40)
+        second = bench.run(deployment, tiny_w40)
+        assert first.table.column_hash() == second.table.column_hash()
+
+    def test_served_by_survives_the_packed_round_trip(self, tiny_w40):
+        from repro.serving.outcome_table import OutcomeTable
+        deployment = hybrid_plan(Planner(), instances=1)
+        _, table = run_platform(deployment, tiny_w40)
+        assert table.served_by.any()
+        back = OutcomeTable.from_packed(table.packed())
+        assert np.array_equal(back.served_by, table.served_by)
+        assert back.column_hash() == table.column_hash()
+
+    def test_non_hybrid_tables_elide_the_column(self, tiny_w40):
+        from repro.serving.outcome_table import OutcomeTable
+        deployment = Planner().plan("aws", "mobilenet", "tf1.15",
+                                    "serverless")
+        _, table = run_platform(deployment, tiny_w40)
+        assert not table.served_by.any()
+        assert "served_by" not in table.packed()
+        back = OutcomeTable.from_packed(table.packed())
+        assert back.column_hash() == table.column_hash()
+
+    def test_served_by_names_cover_the_codes(self):
+        assert SERVED_BY_NAMES[SERVED_BY_DIRECT] == "direct"
+        assert SERVED_BY_NAMES[SERVED_BY_PROVISIONED] == "provisioned"
+        assert SERVED_BY_NAMES[SERVED_BY_SPILL] == "spill"
+
+
+class TestHybridStreaming:
+    def test_streaming_summary_agrees_with_the_full_table(self, tiny_w40):
+        deployment = hybrid_plan(Planner(), instances=1)
+        full = ServingBenchmark(seed=SEED).run(deployment, tiny_w40)
+        streamed = ServingBenchmark(
+            seed=SEED, streaming_threshold=0,
+            chunk_rows=128).run(deployment, tiny_w40)
+        assert streamed.streaming
+        summary = streamed.table
+        table = full.table
+        assert summary.spill_ratio() == pytest.approx(table.spill_ratio())
+        for code in (SERVED_BY_PROVISIONED, SERVED_BY_SPILL):
+            assert summary.path_latency_mean(code) == pytest.approx(
+                table.path_latency_mean(code))
+
+
+# ---------------------------------------------------------------------------
+# Closed-form validation layer (planner vs simulation)
+# ---------------------------------------------------------------------------
+
+class TestPlannerValidation:
+    """The satellite check: simulation vs `routed_percentile` closed form.
+
+    The tolerances are the documented ones (see ``repro.tools.hybrid``):
+    the closed form clips a 1 s rate series at deterministic fleet
+    capacity and bills warm serverless prices, the simulation routes on
+    instantaneous slot occupancy and bills actual (cold-start-inflated)
+    invocation durations.
+    """
+
+    CELLS = (
+        ("w-40", 80.0, 0.3),
+        ("w-120", 60.0, 0.15),
+        ("w-200", 80.0, 0.1),
+    )
+
+    @pytest.mark.parametrize("workload,percentile,scale", CELLS)
+    def test_simulation_matches_the_closed_form(self, workload, percentile,
+                                                scale):
+        spec = ScenarioSpec(name=f"hybrid-validate-{workload}",
+                            provider="aws", model="mobilenet",
+                            platform=PlatformKind.HYBRID,
+                            workload=workload)
+        check = validate_routed_plan(spec, routed_percentile=percentile,
+                                     seed=7, scale=scale)
+        label = (f"{workload} p{percentile}: cost_err={check.cost_error:.3f} "
+                 f"spill_err={check.spill_error:.3f}")
+        assert check.within(), label
+        assert check.cost_error <= ROUTED_COST_RTOL, label
+        assert check.spill_error <= ROUTED_SPILL_ATOL, label
+
+    def test_validation_cell_actually_simulated(self):
+        check = validate_routed_plan("hybrid-burst", routed_percentile=60.0,
+                                     scale=0.05)
+        assert check.plan.routed_cost is not None
+        assert check.simulated_cost > 0.0
+        assert 0.0 <= check.simulated_spill_fraction <= 1.0
+
+    def test_economics_study_planner_notes_match_the_scenario(self):
+        from repro.tools.hybrid import HybridPlanner
+        scenario = get_scenario("hybrid-burst")
+        planner = HybridPlanner.from_scenario(scenario)
+        plan = planner.plan_scenario(scenario, seed=7, scale=0.1)
+        assert plan.servers >= 1
+        assert 0.0 <= plan.overflow_fraction <= 1.0
+        assert plan.best_strategy() in ("hybrid", "serverless", "server")

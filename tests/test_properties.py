@@ -106,10 +106,17 @@ class TestConservationUnderFaults:
     ])
 
     cases = st.tuples(
-        st.sampled_from(["serverless", "managed_ml", "cpu_server"]),
+        st.sampled_from(["serverless", "managed_ml", "cpu_server", "hybrid"]),
         fault_schedules,
         st.integers(min_value=1, max_value=4),
     )
+
+    BUCKETS = ("completed", "failed", "rejected", "timed_out", "shed")
+
+    @classmethod
+    def _balanced(cls, notes, prefix=""):
+        assert notes[f"{prefix}submitted"] == sum(
+            notes[f"{prefix}{bucket}"] for bucket in cls.BUCKETS), prefix
 
     @given(case=cases)
     @settings(max_examples=10, deadline=None,
@@ -120,14 +127,21 @@ class TestConservationUnderFaults:
                                     **faults)
         result = ServingBenchmark(seed=seed).run(deployment, tiny_w40)
         notes = result.usage.notes
-        assert notes["submitted"] == (
-            notes["completed"] + notes["failed"] + notes["rejected"]
-            + notes["timed_out"] + notes["shed"])
+        self._balanced(notes)
         # Retries resubmit the same outcome row, so the ledger counts
         # at least one submission per table row, never fewer.
         assert notes["submitted"] >= result.table.count
         for bucket, value in notes.items():
             assert value >= 0, bucket
+        if platform == "hybrid":
+            # The merged usage keeps each spill path's own ledger
+            # balanced under its prefix, and the front door routed
+            # every submission to exactly one of them.
+            for prefix in ("provisioned.", "spill."):
+                self._balanced(notes, prefix)
+            assert (notes["provisioned.submitted"]
+                    + notes["spill.submitted"]) == notes["submitted"]
+            assert notes["spilled"] == notes["spill.submitted"]
 
 
 class TestEndToEndInvariants:
