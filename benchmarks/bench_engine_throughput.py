@@ -487,6 +487,63 @@ def run_streaming_probe(rows: int = 200_000) -> dict:
     }
 
 
+def run_search_probe(candidates: int = 512) -> dict:
+    """Smoke the successive-halving schedule machinery in isolation.
+
+    Runs a budgeted halving search over ``candidates`` synthetic
+    serverless designs with a closed-form evaluator (no simulation), so
+    the schedule itself — candidate normalisation, per-rung seeding and
+    fidelity pinning, ranking, promotion, budget sizing, and the
+    result-frame assembly — is all that's on the clock.  Reported as
+    evaluated cells/s for the ``--check`` gate, plus the rung count and
+    simulated-cell total as behavioural canaries.
+    """
+    from repro.core.scenario import ScenarioSpec  # noqa: E402
+    from repro.core.study import Sweep  # noqa: E402
+    from repro.tools.navigator import NavigationConstraints  # noqa: E402
+    from repro.tools.search import SuccessiveHalvingSearch  # noqa: E402
+
+    side = max(2, round(candidates ** (1.0 / 3.0)))
+    sweep = Sweep(
+        name="search-probe",
+        base=ScenarioSpec(name="search-probe", provider="aws",
+                          model="mobilenet"),
+        axes={"memory_gb": tuple(1.0 + index for index in range(side)),
+              "batch_size": tuple(1 + index for index in range(side)),
+              "target_per_instance": tuple(4.0 + 2 * index
+                                           for index in range(side))})
+    cells = sweep.cells()
+
+    def evaluator(spec):
+        memory = spec.overrides["memory_gb"]
+        batch = spec.overrides["batch_size"]
+        target = spec.overrides["target_per_instance"]
+        fidelity = spec.fidelity if spec.fidelity is not None else 1.0
+        cost = ((memory - 3.0) ** 2 + (batch - 2) ** 2
+                + 0.1 * (target - 8.0) ** 2 + 0.01 / fidelity)
+        return {"avg_latency_s": 0.1, "success_ratio": 1.0,
+                "cost_usd": cost}
+
+    budget = len(cells) // 4
+    best = None
+    result = None
+    for _ in range(3):
+        search = SuccessiveHalvingSearch(eta=3, budget_cells=budget)
+        started = time.perf_counter()
+        result = search.search(
+            cells, NavigationConstraints(), evaluator=evaluator,
+            scorer=lambda spec: evaluator(spec)["cost_usd"])
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return {
+        "candidates": len(cells),
+        "budget_cells": budget,
+        "rungs": len(result.rungs),
+        "simulated": result.total_simulated,
+        "cells_per_s": round(result.total_evaluations / best, 1),
+    }
+
+
 def run_sweep(scale: float, repeats: int) -> dict:
     """The full sweep plus the --check probe; returns the report payload."""
     results = []
@@ -509,6 +566,7 @@ def run_sweep(scale: float, repeats: int) -> dict:
     routing = run_routing_probe()
     hybrid = run_hybrid_probe(repeats)
     streaming = run_streaming_probe()
+    search = run_search_probe()
     print(f" probe x{CHECK_SCALE:<5g} {probe['wall_s']:>8.3f}s "
           f"{probe['requests_per_s']:>10,.0f} req/s")
     print(f" faults x{CHECK_SCALE:<5g} {fault['wall_s']:>8.3f}s "
@@ -529,6 +587,9 @@ def run_sweep(scale: float, repeats: int) -> dict:
           f"calendar {streaming['calendar_ops_per_s']:>12,.0f} ops/s "
           f"(peak {streaming['peak_resident_chunks']} chunks, "
           f"+{streaming['fold_rss_growth_mb']:g} MB RSS)")
+    print(f" halving search {search['cells_per_s']:>12,.0f} cells/s "
+          f"({search['candidates']} candidates, "
+          f"{search['simulated']} simulated over {search['rungs']} rungs)")
     return {
         "bench": "engine-throughput",
         "cell": "aws/mobilenet/tf1.15/serverless",
@@ -544,6 +605,7 @@ def run_sweep(scale: float, repeats: int) -> dict:
         "routing_probe": routing,
         "hybrid_probe": hybrid,
         "streaming_probe": streaming,
+        "search_probe": search,
     }
 
 
@@ -638,6 +700,15 @@ def run_check(path: str) -> int:
                        hybrid_reference["requests_per_s"]))
     else:
         print("note: no hybrid_probe recorded; rerun the full sweep "
+              "to extend the gate")
+    search_reference = recorded.get("search_probe")
+    if search_reference:
+        search = run_search_probe()
+        checks.append(("halving search cells/s",
+                       search["cells_per_s"],
+                       search_reference["cells_per_s"]))
+    else:
+        print("note: no search_probe recorded; rerun the full sweep "
               "to extend the gate")
     failed = False
     streaming_reference = recorded.get("streaming_probe")

@@ -13,12 +13,14 @@
 # an active chaos schedule), the routing probe (the multi-region
 # router's decision cycle under active breakers), the hybrid probe
 # (the probe cell spilling from an undersized provisioned fleet to
-# serverless), and the streaming probe (chunked recorder fold +
+# serverless), the streaming probe (chunked recorder fold +
 # calendar-queue cycle, with flat-RSS and resident-chunk residency
-# gates), each compared against BENCH_engine.json with a 30%
-# regression tolerance.  The chaos, failover, and hybrid smokes then
-# run one registered chaos scenario, a single-replicate
-# failover-recovery study, and a registered hybrid spill scenario end
+# gates), and the search probe (the successive-halving schedule over
+# a 512-candidate closed-form surface), each compared against
+# BENCH_engine.json with a 30% regression tolerance.  The chaos,
+# failover, hybrid, and halving smokes then run one registered chaos
+# scenario, a single-replicate failover-recovery study, a registered
+# hybrid spill scenario, and a budgeted navigator-halving search end
 # to end through the CLI sweep path, and the flat-RSS smoke (scripts/rss_smoke.py) runs the
 # streamed w-1m workload at two request scales and asserts peak RSS
 # stays flat in the trace length.  Regenerate the baseline with
@@ -54,6 +56,10 @@ if [[ "${1:-}" != "--fast" ]]; then
 
     echo "== hybrid smoke (spill front door via the CLI) =="
     python -m repro.experiments.runner sweep hybrid-burst --scale 0.3
+
+    echo "== halving smoke (budgeted design-space search via the CLI) =="
+    python -m repro.experiments.runner sweep navigator-halving \
+        --budget 32 --scale 0.3
 
     echo "== flat-RSS smoke (streamed w-1m at two scales) =="
     python scripts/rss_smoke.py

@@ -48,6 +48,7 @@ from repro.core.scenario import (
     scenario_library,
 )
 from repro.core.study import (
+    STANDARD_METRIC_COLUMNS,
     ResultFrame,
     Study,
     Sweep,
@@ -74,11 +75,23 @@ from repro.serving.records import (
     SERVED_BY_SPILL,
 )
 from repro.serving.streaming import LatencySketch, OutcomeSummary
+from repro.tools.cost_estimator import CostEstimator, DecomposedCostEstimate
 from repro.tools.hybrid import (
     HybridPlan,
     HybridPlanner,
     HybridValidation,
     validate_routed_plan,
+)
+from repro.tools.navigator import (
+    DesignSpaceNavigator,
+    NavigationConstraints,
+    NavigationResult,
+)
+from repro.tools.search import (
+    HalvingResult,
+    HalvingRung,
+    SearchStudy,
+    SuccessiveHalvingSearch,
 )
 from repro.workload.generator import known_workloads, register_workload_spec
 from repro.workload.streaming import StreamedWorkload
@@ -87,8 +100,13 @@ __all__ = [
     "BackendHealth",
     "BackendSnapshot",
     "CircuitBreaker",
+    "CostEstimator",
+    "DecomposedCostEstimate",
+    "DesignSpaceNavigator",
     "FaultInjector",
     "FaultSpec",
+    "HalvingResult",
+    "HalvingRung",
     "HybridMeter",
     "HybridPlan",
     "HybridPlanner",
@@ -97,6 +115,8 @@ __all__ = [
     "LatencyQuantile",
     "LatencySketch",
     "MultiRegionPlatform",
+    "NavigationConstraints",
+    "NavigationResult",
     "OutageWindow",
     "OutcomeSummary",
     "ResultFrame",
@@ -106,9 +126,12 @@ __all__ = [
     "SERVED_BY_NAMES",
     "SERVED_BY_PROVISIONED",
     "SERVED_BY_SPILL",
+    "STANDARD_METRIC_COLUMNS",
     "ScenarioSpec",
+    "SearchStudy",
     "StreamedWorkload",
     "Study",
+    "SuccessiveHalvingSearch",
     "Sweep",
     "choose_priority",
     "choose_weighted",

@@ -126,14 +126,18 @@ class ServingBenchmark:
         """Run one declarative scenario (by spec or registered name).
 
         The scenario's workload reference is resolved (and compressed to
-        ``scale``) unless an explicit ``workload`` is supplied — the
-        tools pass one when they evaluate candidates against a shared
-        target workload.
+        ``scale``, further multiplied by the spec's pinned
+        :attr:`~repro.core.scenario.ScenarioSpec.fidelity` when set)
+        unless an explicit ``workload`` is supplied — the tools pass one
+        when they evaluate candidates against a shared target workload.
         """
         spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
         deployment = spec.deployment(planner)
         if workload is None:
+            # build_workload folds the spec's fidelity into the scale.
             workload = spec.build_workload(seed=self.seed, scale=scale)
+        if spec.fidelity is not None:
+            scale = scale * spec.fidelity
         return self.run(deployment, workload, workload_scale=scale,
                         seed=spec.seed)
 
@@ -158,12 +162,15 @@ class ServingBenchmark:
         cells = []
         for spec in specs:
             key = (spec.workload,
-                   self.seed if spec.seed is None else spec.seed)
+                   self.seed if spec.seed is None else spec.seed,
+                   spec.fidelity)
             if key not in workloads:
                 workloads[key] = spec.build_workload(seed=self.seed,
                                                      scale=scale)
-            cells.append((spec.deployment(planner), workloads[key], scale,
-                          spec.seed))
+            cell_scale = (scale * spec.fidelity
+                          if spec.fidelity is not None else scale)
+            cells.append((spec.deployment(planner), workloads[key],
+                          cell_scale, spec.seed))
         if workers and workers != 1 and len(cells) > 1:
             from repro.core.parallel import run_cells
             results = run_cells(self, cells, workers)

@@ -78,6 +78,7 @@ class ScenarioSpec:
         config: :class:`~repro.serving.deployment.ServiceConfig` overrides.
         description: Optional human-readable note.
         seed: Optional pinned random seed (see :meth:`with_seed`).
+        fidelity: Optional short-horizon fraction (see :meth:`with_fidelity`).
     """
 
     name: str
@@ -100,6 +101,14 @@ class ScenarioSpec:
     #: the seed travels with the cell through the run cache and the
     #: worker fan-out.
     seed: Optional[int] = None
+    #: Short-horizon evaluation fraction in ``(0, 1]``.  ``None`` (and
+    #: the equivalent ``1.0``, normalised away) means full length; a
+    #: fractional value multiplies into the runner's workload scale, so
+    #: the cell replays the same request rates over a proportionally
+    #: shorter trace.  The successive-halving search pins it per rung;
+    #: like :attr:`seed`, it travels with the cell through the run cache
+    #: (:attr:`cell_key`) and the worker fan-out.
+    fidelity: Optional[float] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.config, Mapping):
@@ -110,6 +119,14 @@ class ScenarioSpec:
                                tuple(sorted(tuple(self.config))))
         if self.platform not in PlatformKind.ALL:
             raise ValueError(f"unknown platform {self.platform!r}")
+        if self.fidelity is not None:
+            if not 0.0 < self.fidelity <= 1.0:
+                raise ValueError("fidelity must be in (0, 1]")
+            if self.fidelity == 1.0:
+                # Full fidelity is the plain cell: normalising keeps the
+                # cell_key (and so the run cache) identical to a spec
+                # that never set the field.
+                object.__setattr__(self, "fidelity", None)
 
     # -- data access ---------------------------------------------------------
     @property
@@ -131,7 +148,7 @@ class ScenarioSpec:
                             model=self.model, runtime=self.runtime,
                             platform=self.platform, workload=self.workload,
                             config=merged, description=self.description,
-                            seed=self.seed)
+                            seed=self.seed, fidelity=self.fidelity)
 
     def with_seed(self, seed: Optional[int],
                   name: str = "") -> "ScenarioSpec":
@@ -145,7 +162,24 @@ class ScenarioSpec:
                             model=self.model, runtime=self.runtime,
                             platform=self.platform, workload=self.workload,
                             config=self.overrides,
-                            description=self.description, seed=seed)
+                            description=self.description, seed=seed,
+                            fidelity=self.fidelity)
+
+    def with_fidelity(self, fidelity: Optional[float],
+                      name: str = "") -> "ScenarioSpec":
+        """A copy pinned to a short-horizon ``fidelity`` fraction.
+
+        ``None`` (or ``1.0``) restores the full-length cell.  The
+        successive-halving search mints its rung cells through this, the
+        same way replicated sweeps mint seeded cells via
+        :meth:`with_seed`.
+        """
+        return ScenarioSpec(name=name or self.name, provider=self.provider,
+                            model=self.model, runtime=self.runtime,
+                            platform=self.platform, workload=self.workload,
+                            config=self.overrides,
+                            description=self.description, seed=self.seed,
+                            fidelity=fidelity)
 
     @property
     def cell_key(self) -> str:
@@ -156,6 +190,8 @@ class ScenarioSpec:
                + (f"/{overrides}" if overrides else ""))
         if self.seed is not None:
             key += f"/seed={self.seed}"
+        if self.fidelity is not None:
+            key += f"/fidelity={self.fidelity:g}"
         return key
 
     def as_row(self) -> Dict[str, object]:
@@ -170,6 +206,8 @@ class ScenarioSpec:
         }
         if self.seed is not None:
             row["seed"] = self.seed
+        if self.fidelity is not None:
+            row["fidelity"] = self.fidelity
         row.update(self.overrides)
         return row
 
@@ -192,10 +230,14 @@ class ScenarioSpec:
 
         The spec's own :attr:`seed` wins over the caller's ``seed``
         argument (a pinned cell *is* its seed); with neither set, the
-        project-wide default seed 7 applies.
+        project-wide default seed 7 applies.  A pinned :attr:`fidelity`
+        multiplies into ``scale``, so a short-horizon cell generates the
+        exact workload its runner will replay.
         """
         if self.seed is not None:
             seed = self.seed
+        if self.fidelity is not None:
+            scale = scale * self.fidelity
         return standard_workload(self.workload,
                                  seed=7 if seed is None else seed,
                                  scale=scale)

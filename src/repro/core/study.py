@@ -61,6 +61,7 @@ __all__ = [
     "SweepExpansion",
     "Study",
     "ResultFrame",
+    "STANDARD_METRIC_COLUMNS",
     "format_table",
     "register_study",
     "get_study",
@@ -530,6 +531,27 @@ class Sweep:
 # ---------------------------------------------------------------------------
 # ResultFrame: the tidy struct-of-arrays result table
 # ---------------------------------------------------------------------------
+
+#: The per-cell reduction columns every frame carries, in column order
+#: (hybrid cells append their per-path extras after these).  Exposed so
+#: consumers that must *declare* the metric columns without running any
+#: cell — e.g. the navigator's legitimately-empty candidate frame — stay
+#: in lockstep with :func:`_standard_metrics`.
+STANDARD_METRIC_COLUMNS: Tuple[str, ...] = (
+    "requests",
+    "success_ratio",
+    "avg_latency_s",
+    "p50_latency_s",
+    "p99_latency_s",
+    "std_latency_s",
+    "cost_usd",
+    "cold_starts",
+    "cold_start_ratio",
+    "instances_created",
+    "peak_instances",
+    "duration_s",
+)
+
 
 def _standard_metrics(result: RunResult) -> Dict[str, object]:
     """The per-cell reductions every frame carries.

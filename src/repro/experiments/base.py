@@ -58,6 +58,7 @@ EXPERIMENTS: Dict[str, str] = {
     "chaos": "repro.experiments.chaos_recovery",
     "failover": "repro.experiments.failover_recovery",
     "hybrid": "repro.experiments.hybrid_economics",
+    "navigator": "repro.experiments.navigator_halving",
 }
 
 
@@ -140,19 +141,29 @@ class ExperimentContext:
         self.benchmark.seed = self.seed
 
     # -- workloads -------------------------------------------------------------
-    def workload(self, name: str, seed: Optional[int] = None) -> Workload:
+    def workload(self, name: str, seed: Optional[int] = None,
+                 fidelity: Optional[float] = None) -> Workload:
         """The named standard workload at this context's scale (cached).
 
-        ``seed`` overrides the context seed for one replicate cell; the
-        cache is keyed by ``(name, effective seed)`` so replicates of
+        ``seed`` overrides the context seed for one replicate cell, and
+        ``fidelity`` multiplies into the context scale for one
+        short-horizon cell; the cache is keyed by ``(name, effective
+        seed, effective scale)`` so replicates and rung fidelities of
         the same workload coexist without regenerating each other.
         """
         effective = self.seed if seed is None else seed
-        key = (name, effective)
+        scale = self.scale * (fidelity if fidelity is not None else 1.0)
+        key = (name, effective, scale)
         if key not in self._workloads:
             self._workloads[key] = standard_workload(name, seed=effective,
-                                                     scale=self.scale)
+                                                     scale=scale)
         return self._workloads[key]
+
+    def cell_scale(self, spec: ScenarioSpec) -> float:
+        """The effective workload scale of one spec (fidelity folded in)."""
+        if spec.fidelity is not None:
+            return self.scale * spec.fidelity
+        return self.scale
 
     # -- runs -------------------------------------------------------------------
     @staticmethod
@@ -186,8 +197,9 @@ class ExperimentContext:
         if key not in self._runs:
             self._runs[key] = self.benchmark.run(
                 spec.deployment(self.planner),
-                self.workload(spec.workload, seed=spec.seed),
-                workload_scale=self.scale,
+                self.workload(spec.workload, seed=spec.seed,
+                              fidelity=spec.fidelity),
+                workload_scale=self.cell_scale(spec),
                 seed=spec.seed)
         return self._runs[key]
 
@@ -242,8 +254,9 @@ class ExperimentContext:
         results = run_cells(
             self.benchmark,
             [(spec.deployment(self.planner),
-              self.workload(spec.workload, seed=spec.seed),
-              self.scale, spec.seed) for _key, spec in pending],
+              self.workload(spec.workload, seed=spec.seed,
+                            fidelity=spec.fidelity),
+              self.cell_scale(spec), spec.seed) for _key, spec in pending],
             self.workers)
         for (key, _spec), result in zip(pending, results):
             self._runs[key] = result

@@ -1,0 +1,104 @@
+"""Design-space navigation by successive halving (paper challenge #3).
+
+Not a paper figure — the navigation tool the paper's Section 6 calls
+for, run as a budgeted adaptive search instead of an exhaustive grid.
+The ``navigator-halving`` study enters the full serverless candidate
+grid (runtime x memory x batch over ``w-40``) at a cheap short-horizon
+fidelity, promotes the top ``1/eta`` per rung to an ``eta``-times longer
+horizon, and reports the full-length winner under the default latency /
+success constraints.  Rung cells are ordinary seeded scenario specs, so
+they land in the shared experiment-context run cache and a repeated
+search simulates nothing new.
+
+CLI::
+
+    repro-experiments sweep navigator-halving --budget 32 --scale 0.2
+"""
+
+from __future__ import annotations
+
+from repro.core.scenario import ScenarioSpec
+from repro.core.study import ResultFrame, Sweep, register_study
+from repro.experiments.base import ExperimentContext, ExperimentResult
+from repro.serving.deployment import PlatformKind
+from repro.tools.navigator import DesignSpaceNavigator, NavigationConstraints
+from repro.tools.search import SearchStudy
+
+EXPERIMENT_ID = "navigator"
+TITLE = "Design-space navigation by successive halving"
+
+PROVIDER = "aws"
+MODEL = "mobilenet"
+WORKLOAD = "w-40"
+
+RUNTIMES = ("tf1.15", "ort1.4")
+MEMORY_SIZES_GB = (2.0, 4.0, 8.0)
+BATCH_SIZES = (1, 2, 4)
+
+#: The feasibility bar the search ranks under: candidates must hold a
+#: 1-second average latency at the default 99 % success ratio; cost is
+#: the objective minimised among the survivors.
+CONSTRAINTS = NavigationConstraints(max_latency_s=1.0)
+
+
+def _navigator(context: ExperimentContext) -> DesignSpaceNavigator:
+    """The candidate space, bound to the context's seed and planner."""
+    navigator = DesignSpaceNavigator(
+        provider=PROVIDER, model=MODEL, runtimes=RUNTIMES,
+        memory_sizes_gb=MEMORY_SIZES_GB, batch_sizes=BATCH_SIZES,
+        workload=WORKLOAD, planner=context.planner)
+    navigator.benchmark.seed = context.seed
+    return navigator
+
+
+def run_search(context: ExperimentContext, eta: int = 3,
+               budget_cells=None) -> ResultFrame:
+    """Run the halving search through the shared context's run cache."""
+    result = _navigator(context).search(
+        strategy="halving", context=context, eta=eta,
+        budget_cells=budget_cells)
+    return result.frame
+
+
+STUDY = register_study(SearchStudy(
+    name="navigator-halving",
+    title=TITLE,
+    sweeps=(
+        Sweep(
+            name="navigator-halving",
+            base=ScenarioSpec(name="navigator-halving", provider=PROVIDER,
+                              model=MODEL, workload=WORKLOAD,
+                              platform=PlatformKind.SERVERLESS),
+            axes={"runtime": RUNTIMES, "memory_gb": MEMORY_SIZES_GB,
+                  "batch_size": BATCH_SIZES},
+        ),
+    ),
+    runner=run_search,
+))
+
+
+def run(context: ExperimentContext) -> ExperimentResult:
+    """Run the halving search and report the winner plus rung schedule."""
+    if PROVIDER not in context.providers:
+        return ExperimentResult(EXPERIMENT_ID, TITLE, [],
+                                notes={"skipped": "aws not in providers"})
+    frame = STUDY.run(context)
+    halving = frame.meta["halving"]
+    rows = [
+        {"runtime": row["runtime"], "memory_gb": row["memory_gb"],
+         "batch_size": row["batch_size"],
+         "avg_latency_s": round(row["avg_latency_s"], 4),
+         "success_ratio": round(row["success_ratio"], 4),
+         "cost_usd": round(row["cost_usd"], 6),
+         "feasible": row["feasible"]}
+        for row in frame.iter_rows()
+    ]
+    return ExperimentResult.from_frame(
+        EXPERIMENT_ID, TITLE, frame, rows=rows,
+        notes={"workload": WORKLOAD, "provider": PROVIDER,
+               "scale": context.scale, "eta": halving["eta"],
+               "budget_cells": halving["budget_cells"],
+               "total_simulated": sum(r["simulated"]
+                                      for r in halving["rungs"]),
+               "rungs": halving["rungs"]},
+    )

@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence
 
 from repro.core.scenario import get_scenario, list_scenarios, scenario_library
 from repro.core.study import ResultFrame, Study, Sweep, get_study, list_studies
+from repro.tools.search import SearchStudy
 from repro.experiments.base import (
     ExperimentContext,
     ExperimentResult,
@@ -75,6 +76,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "declared replication in both directions, so "
                              "--replicates 1 turns a K=5 study into a "
                              "single-run smoke cell")
+    parser.add_argument("--budget", type=int, default=None,
+                        help="cap the simulated cells of an adaptive "
+                             "search study (sweep subcommand, search "
+                             "studies such as navigator-halving only); "
+                             "candidates beyond the budget are still "
+                             "ranked through the analytic cost model")
     return parser
 
 
@@ -216,16 +223,44 @@ def _run_sweeps(names: List[str], args,
         parser.error("--csv supports one sweep at a time")
     if args.replicates is not None and args.replicates < 1:
         parser.error("--replicates must be >= 1")
+    if args.budget is not None and args.budget < 1:
+        parser.error("--budget must be >= 1")
     context = _build_context(args)
     reports = []
     for name in names:
         study = _resolve_study(name, parser)
+        is_search = isinstance(study, SearchStudy)
         if args.replicates is not None:
+            if is_search:
+                parser.error(f"--replicates does not apply to the "
+                             f"adaptive search study {study.name!r}; "
+                             f"rung seeds are already derived per rung")
             study = study.with_replicates(args.replicates)
+        if args.budget is not None:
+            if not is_search:
+                parser.error(f"--budget only applies to adaptive search "
+                             f"studies (e.g. navigator-halving), not "
+                             f"{study.name!r}")
+            study = study.with_budget(args.budget)
         frame = study.run(context)
         title = study.title or study.name
         lines = [f"== sweep {study.name}: {title} ==",
                  f"  cells: {len(frame)}  scale: {context.scale}"]
+        halving = frame.meta.get("halving")
+        if halving:
+            budget = halving.get("budget_cells")
+            lines.append(
+                f"  halving: eta={halving['eta']}"
+                + (f"  budget={budget}" if budget else "")
+                + (f"  analytic-only={halving['analytic_only']}"
+                   if halving.get("analytic_only") else ""))
+            for rung in halving["rungs"]:
+                lines.append(
+                    f"    rung {rung['rung']}: {rung['candidates']} "
+                    f"candidates @ fidelity {rung['fidelity']:g} -> "
+                    f"{rung['survivors']} survive "
+                    f"({rung['simulated']} simulated, "
+                    f"{rung['cached']} cached)")
         for key, label in (("constrained_out", "constraint dropped"),
                            ("sampled_out", "subsampling removed")):
             counts = frame.meta.get(key)

@@ -16,25 +16,37 @@ paper positions itself against:
   always-on server fleet for the base load and uses serverless for the
   overflow, comparing the blended cost against pure strategies.
 * :mod:`repro.tools.cost_estimator` — closed-form cost estimates (no
-  simulation) for quick what-if analysis.
+  simulation) for quick what-if analysis, decomposed into transfer /
+  memory / fan-out / carbon components.
+* :mod:`repro.tools.search` — budgeted successive-halving search over
+  the navigator's candidate space: cheap short-horizon rungs eliminate
+  most designs before anything runs at full length.
 """
 
 from repro.tools.adaptive_batching import AdaptiveBatchingPolicy, BatchDecision
-from repro.tools.cost_estimator import CostEstimator, ServerlessCostEstimate
+from repro.tools.cost_estimator import (CostEstimator, DecomposedCostEstimate,
+                                        ServerlessCostEstimate)
 from repro.tools.hybrid import HybridPlan, HybridPlanner
 from repro.tools.memory_tuner import MemoryTuner, MemoryTuningResult
 from repro.tools.navigator import DesignSpaceNavigator, NavigationConstraints, NavigationResult
+from repro.tools.search import (HalvingResult, HalvingRung, SearchStudy,
+                                SuccessiveHalvingSearch)
 
 __all__ = [
     "AdaptiveBatchingPolicy",
     "BatchDecision",
     "CostEstimator",
+    "DecomposedCostEstimate",
     "DesignSpaceNavigator",
+    "HalvingResult",
+    "HalvingRung",
     "HybridPlan",
     "HybridPlanner",
     "MemoryTuner",
     "MemoryTuningResult",
     "NavigationConstraints",
     "NavigationResult",
+    "SearchStudy",
     "ServerlessCostEstimate",
+    "SuccessiveHalvingSearch",
 ]

@@ -17,12 +17,16 @@ constraints.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.tools.search import HalvingResult
 
 from repro.core.benchmark import ServingBenchmark
 from repro.core.planner import Planner
 from repro.core.scenario import ScenarioSpec
-from repro.core.study import ResultFrame, Sweep, SweepCell
+from repro.core.study import (STANDARD_METRIC_COLUMNS, ResultFrame, Sweep,
+                              SweepCell)
 from repro.serving.deployment import PlatformKind
 from repro.workload.generator import Workload
 
@@ -67,6 +71,9 @@ class NavigationResult:
     #: The full evaluation as a tidy frame (axes + reductions +
     #: ``feasible``), for further slicing / pivoting / CSV export.
     frame: Optional[ResultFrame] = None
+    #: The rung-by-rung bookkeeping when the result came from
+    #: ``strategy="halving"`` (``None`` for the exhaustive grid).
+    halving: Optional["HalvingResult"] = None
 
     @property
     def found(self) -> bool:
@@ -93,6 +100,11 @@ class DesignSpaceNavigator:
     #: simulation runs*, and the evaluation frame's metadata reports how
     #: many — a cheap complement to the measured ``feasible`` column.
     prefilter: Optional[Callable[[Dict[str, object]], bool]] = None
+    #: Registered workload the candidates reference.  The halving
+    #: strategy compresses *this* workload per rung; the grid strategy
+    #: measures against the explicit :class:`Workload` passed to
+    #: :meth:`search`.
+    workload: str = "w-40"
 
     def sweep(self) -> Sweep:
         """The serverless candidate grid as a declarative sweep."""
@@ -100,7 +112,8 @@ class DesignSpaceNavigator:
             name=f"nav/{self.provider}/{self.model}",
             base=ScenarioSpec(name=f"nav/{self.provider}/{self.model}",
                               provider=self.provider, model=self.model,
-                              platform=PlatformKind.SERVERLESS),
+                              platform=PlatformKind.SERVERLESS,
+                              workload=self.workload),
             axes={
                 "runtime": tuple(self.runtimes),
                 "memory_gb": tuple(self.memory_sizes_gb),
@@ -109,8 +122,10 @@ class DesignSpaceNavigator:
             where=self.prefilter,
             # The server candidates live outside this sweep, so a
             # prefilter that empties the serverless grid is legitimate
-            # when servers are still in play.
-            allow_empty=self.include_servers,
+            # when servers are still in play; a prefilter may also
+            # legitimately empty the whole space (the caller gets an
+            # empty frame with the declared columns, not an error).
+            allow_empty=self.include_servers or self.prefilter is not None,
         )
 
     def _server_cells(self) -> List[SweepCell]:
@@ -122,7 +137,8 @@ class DesignSpaceNavigator:
                 spec = ScenarioSpec(
                     name=f"nav/{self.provider}/{self.model}/{platform}",
                     provider=self.provider, model=self.model,
-                    runtime="tf1.15", platform=platform)
+                    runtime="tf1.15", platform=platform,
+                    workload=self.workload)
                 cells.append(SweepCell(sweep=spec.name,
                                        labels={"runtime": "tf1.15",
                                                "platform": platform},
@@ -148,34 +164,100 @@ class DesignSpaceNavigator:
         sweep = self.sweep()
         expansion = sweep.expand()
         cells = list(expansion.cells) + self._server_cells()
-        results = [
-            ({**cell.spec.as_row(), **cell.labels},
-             self.benchmark.run_scenario(cell.spec, workload=workload,
-                                         planner=self.planner))
-            for cell in cells
-        ]
-        frame = ResultFrame.from_results(
-            results, name=f"nav/{self.provider}/{self.model}",
-            specs=[cell.spec for cell in cells])
+        if not cells:
+            frame = self._empty_frame()
+        else:
+            results = [
+                ({**cell.spec.as_row(), **cell.labels},
+                 self.benchmark.run_scenario(cell.spec, workload=workload,
+                                             planner=self.planner))
+                for cell in cells
+            ]
+            frame = ResultFrame.from_results(
+                results, name=f"nav/{self.provider}/{self.model}",
+                specs=[cell.spec for cell in cells])
+            frame = frame.with_column("feasible", [
+                constraints.is_satisfied(row["avg_latency_s"],
+                                         row["success_ratio"],
+                                         row["cost_usd"])
+                for row in frame.iter_rows()
+            ])
         if expansion.dropped:
             frame.meta["constrained_out"] = {
                 sweep.name: len(expansion.dropped)}
-        return frame.with_column("feasible", [
-            constraints.is_satisfied(row["avg_latency_s"],
-                                     row["success_ratio"],
-                                     row["cost_usd"])
-            for row in frame.iter_rows()
-        ])
+        return frame
 
-    def search(self, workload: Workload,
-               constraints: NavigationConstraints) -> NavigationResult:
-        """Evaluate every candidate and rank the feasible ones."""
-        frame = self.evaluate(workload, constraints)
-        evaluated = frame.to_rows()
-        feasible = [row for row in evaluated if row["feasible"]]
-        key = ("cost_usd" if constraints.objective == "cost"
-               else "avg_latency_s")
-        feasible.sort(key=lambda row: row[key])
-        best = feasible[0] if feasible else None
-        return NavigationResult(best=best, feasible=feasible,
-                                evaluated=evaluated, frame=frame)
+    def _empty_frame(self) -> ResultFrame:
+        """A zero-row frame that still declares the evaluation schema.
+
+        Returned when the :attr:`prefilter` empties the candidate space:
+        downstream code (CSV export, ``group_by``, the ``feasible``
+        filter) keeps working against the declared columns instead of
+        crashing on a column-less frame.
+        """
+        declared = list(self.sweep().base.as_row())
+        for axis in ("runtime", "memory_gb", "batch_size"):
+            if axis not in declared:
+                declared.append(axis)
+        declared += [name for name in STANDARD_METRIC_COLUMNS
+                     if name not in declared]
+        declared.append("feasible")
+        return ResultFrame({name: [] for name in declared},
+                           name=f"nav/{self.provider}/{self.model}")
+
+    def search(self, workload: Optional[Workload] = None,
+               constraints: Optional[NavigationConstraints] = None, *,
+               strategy: str = "grid", context=None, eta: int = 3,
+               budget_cells: Optional[int] = None) -> NavigationResult:
+        """Search the design space and rank the feasible candidates.
+
+        ``strategy="grid"`` (the default) measures every candidate at
+        full length against the explicit ``workload``.
+        ``strategy="halving"`` runs the budgeted successive-halving
+        schedule instead (see
+        :class:`~repro.tools.search.SuccessiveHalvingSearch`): every
+        candidate enters at a short-horizon fidelity of the navigator's
+        registered :attr:`workload` and the top ``1/eta`` per rung
+        survive to longer horizons, so ``workload`` must stay ``None``.
+        ``context`` shares an
+        :class:`~repro.experiments.base.ExperimentContext` run cache
+        across searches; ``budget_cells`` bounds the simulated cells,
+        with the analytic estimator ranking the excluded candidates.
+        """
+        constraints = constraints or NavigationConstraints()
+        if strategy == "grid":
+            if workload is None:
+                raise ValueError("strategy='grid' measures candidates "
+                                 "against an explicit workload; pass one "
+                                 "or use strategy='halving'")
+            frame = self.evaluate(workload, constraints)
+            evaluated = frame.to_rows()
+            feasible = [row for row in evaluated if row["feasible"]]
+            key = ("cost_usd" if constraints.objective == "cost"
+                   else "avg_latency_s")
+            feasible.sort(key=lambda row: row[key])
+            best = feasible[0] if feasible else None
+            return NavigationResult(best=best, feasible=feasible,
+                                    evaluated=evaluated, frame=frame)
+        if strategy != "halving":
+            raise ValueError(f"unknown search strategy {strategy!r}; "
+                             f"expected 'grid' or 'halving'")
+        if workload is not None:
+            raise ValueError("strategy='halving' compresses the "
+                             "navigator's registered workload per rung; "
+                             "leave workload=None")
+        from repro.tools.search import SuccessiveHalvingSearch
+        cells = self.cells()
+        if not cells:
+            return NavigationResult(best=None, frame=self._empty_frame())
+        if context is None:
+            from repro.experiments.base import ExperimentContext
+            context = ExperimentContext(seed=self.benchmark.seed,
+                                        planner=self.planner)
+        halving = SuccessiveHalvingSearch(
+            eta=eta, budget_cells=budget_cells).search(
+                cells, constraints, context=context)
+        return NavigationResult(best=halving.best,
+                                feasible=halving.feasible,
+                                evaluated=halving.evaluated,
+                                frame=halving.frame, halving=halving)

@@ -163,6 +163,83 @@ class TestSeedAxisDeterminism:
         assert pinned.with_seed(None).cell_key == spec.cell_key
         assert pinned.as_row()["seed"] == 11
 
+    def test_fidelity_travels_in_cell_key(self):
+        from repro.core.scenario import ScenarioSpec
+
+        spec = ScenarioSpec(name="det", provider="aws", model="mobilenet")
+        assert "fidelity=" not in spec.cell_key
+        short = spec.with_seed(11).with_fidelity(0.25)
+        assert short.cell_key == spec.cell_key + "/seed=11/fidelity=0.25"
+        assert short.as_row()["fidelity"] == 0.25
+        # Full length normalises to None, so full-fidelity cell keys are
+        # unchanged from before the knob existed.
+        assert spec.with_fidelity(1.0).cell_key == spec.cell_key
+        assert spec.with_fidelity(None).cell_key == spec.cell_key
+        with pytest.raises(ValueError, match="fidelity"):
+            spec.with_fidelity(0.0)
+        with pytest.raises(ValueError, match="fidelity"):
+            spec.with_fidelity(1.5)
+
+
+class TestFidelityDeterminism:
+    """Rung-0 short-horizon cells are ordinary cells, bit for bit.
+
+    The halving search's cache-reuse story rests on this: a spec pinned
+    to ``fidelity=f`` must produce byte-identical outcome columns to the
+    same spec run through :func:`repro.api.run` with the scale folded by
+    hand — serially and through the worker pool.
+    """
+
+    FIDELITY = 0.5
+    SCALE = 0.1
+
+    def test_rung0_cell_matches_api_run_at_same_fidelity(self):
+        """spec@fidelity through api.run == hand-folded scale, same hashes."""
+        from repro.api import ScenarioSpec, run
+
+        spec = ScenarioSpec(name="det", provider="aws", model="mobilenet",
+                            seed=SEED)
+        rung0 = run(spec.with_fidelity(self.FIDELITY), seed=SEED,
+                    scale=self.SCALE)
+        folded = run(spec, seed=SEED, scale=self.SCALE * self.FIDELITY)
+        assert rung0.table.column_hash() == folded.table.column_hash()
+        assert rung0.cost == folded.cost
+        assert rung0.workload_scale == folded.workload_scale
+
+    def test_rung0_context_run_matches_api_run(self):
+        """The context path (run cache, prefetch) == the api.run path."""
+        from repro.api import ScenarioSpec, run
+        from repro.experiments.base import ExperimentContext
+
+        spec = ScenarioSpec(name="det", provider="aws", model="mobilenet",
+                            seed=SEED).with_fidelity(self.FIDELITY)
+        context = ExperimentContext(seed=SEED, scale=self.SCALE)
+        via_context = context.run_scenario(spec)
+        via_api = run(spec, seed=SEED, scale=self.SCALE)
+        assert via_context.table.column_hash() == via_api.table.column_hash()
+        assert via_context.cost == via_api.cost
+
+    def test_rung0_worker_fanout_matches_serial(self):
+        """Short-horizon cells over workers=2: same golden hashes."""
+        from repro.core.scenario import ScenarioSpec
+        from repro.experiments.base import ExperimentContext
+
+        base = ScenarioSpec(name="det", provider="aws", model="mobilenet")
+        specs = [base.with_seed(SEED + r, name=f"det/r{r}")
+                 .with_fidelity(self.FIDELITY) for r in range(3)]
+
+        def run_all(workers):
+            context = ExperimentContext(seed=SEED, scale=self.SCALE,
+                                        workers=workers)
+            context.prefetch_specs(specs)
+            return [context.run_scenario(s) for s in specs]
+
+        serial = run_all(workers=0)
+        parallel = run_all(workers=2)
+        for left, right in zip(serial, parallel):
+            assert left.table.column_hash() == right.table.column_hash()
+            assert left.cost == right.cost
+
 
 class TestPackedTransport:
     def test_packed_round_trip_is_lossless(self, w40_cell):

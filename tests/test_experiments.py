@@ -23,7 +23,7 @@ class TestRegistry:
         expected = {"fig04", "fig05", "fig06", "fig07", "fig08", "fig09",
                     "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
                     "fig16", "fig17", "table1", "table2", "chaos",
-                    "failover", "hybrid"}
+                    "failover", "hybrid", "navigator"}
         assert set(list_experiments()) == expected
 
     def test_unknown_experiment(self):

@@ -1,0 +1,401 @@
+"""Successive-halving search: invariants, budget math, and acceptance.
+
+Three layers:
+
+* property-based (hypothesis) invariants of the halving schedule —
+  determinism, eta-exact rung sizes, winner membership in every rung's
+  survivor set, and the simulated-cell budget;
+* the ISSUE acceptance bar on a 512-candidate design space: halving
+  finds the exhaustive-grid winner on >= 2 of 3 reference cost surfaces
+  while simulating <= 25 % of the cells (closed-form evaluator, so the
+  512-cell "grid" is instant);
+* run-cache reuse on a real simulated grid: a second search through the
+  same experiment context issues zero new rung-0 simulations.
+"""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scenario import ScenarioSpec
+from repro.core.study import DEFAULT_BASE_SEED, Sweep
+from repro.experiments.base import ExperimentContext
+from repro.tools.navigator import NavigationConstraints
+from repro.tools.search import (
+    HalvingResult,
+    SearchStudy,
+    SuccessiveHalvingSearch,
+    rung_fidelities,
+    rung_sizes,
+)
+
+
+def _base_key(spec):
+    """The candidate's identity with the per-rung seed/fidelity stripped."""
+    key = spec.cell_key
+    for marker in ("/seed=", "/fidelity="):
+        if marker in key:
+            key = key.split(marker)[0]
+    return key
+
+
+def _jitter(spec, salt=""):
+    """Deterministic pseudo-noise in [-1, 1] from the candidate identity."""
+    digest = hashlib.sha256(
+        f"{_base_key(spec)}/{spec.seed}/{salt}".encode()).digest()
+    return int.from_bytes(digest[:4], "big") / 2 ** 31 - 1.0
+
+
+def _candidates(count, name="prop"):
+    """``count`` distinct serverless candidates (memory axis)."""
+    return [ScenarioSpec(name=f"{name}/{i}", provider="aws",
+                         model="mobilenet",
+                         config={"memory_gb": 1.0 + 0.5 * i})
+            for i in range(count)]
+
+
+def _surface_evaluator(surface_seed, amplitude=0.05):
+    """A closed-form evaluator with fidelity-shrinking measurement noise."""
+    def true_cost(spec):
+        return 1.0 + _jitter(spec.with_seed(None).with_fidelity(None),
+                             salt=f"true/{surface_seed}")
+
+    def evaluator(spec):
+        fidelity = spec.fidelity if spec.fidelity is not None else 1.0
+        noise = amplitude * (1.0 - fidelity) * _jitter(
+            spec, salt=f"noise/{surface_seed}")
+        return {"avg_latency_s": 0.1, "success_ratio": 1.0,
+                "cost_usd": true_cost(spec) + noise}
+
+    return evaluator
+
+
+class TestSchedules:
+    def test_rung_sizes_follow_eta_exactly(self):
+        assert rung_sizes(18, 3) == [18, 6, 2, 1]
+        assert rung_sizes(512, 3) == [512, 170, 56, 18, 6, 2, 1]
+        assert rung_sizes(1, 2) == [1]
+
+    def test_rung_fidelities_end_at_full_length(self):
+        fidelities = rung_fidelities(4, 3)
+        assert fidelities[-1] == 1.0
+        assert fidelities == sorted(fidelities)
+        assert all(f >= 0.02 for f in fidelities)
+
+    def test_schedule_validation(self):
+        with pytest.raises(ValueError, match="candidates"):
+            rung_sizes(0, 3)
+        with pytest.raises(ValueError, match="eta"):
+            rung_sizes(4, 1)
+        with pytest.raises(ValueError, match="rungs"):
+            rung_fidelities(0, 3)
+        with pytest.raises(ValueError, match="eta"):
+            SuccessiveHalvingSearch(eta=1)
+        with pytest.raises(ValueError, match="budget_cells"):
+            SuccessiveHalvingSearch(budget_cells=0)
+        with pytest.raises(ValueError, match="min_fidelity"):
+            SuccessiveHalvingSearch(min_fidelity=0.0)
+
+
+class TestHalvingProperties:
+    @given(st.integers(min_value=2, max_value=48),
+           st.integers(min_value=2, max_value=4),
+           st.integers(min_value=0, max_value=999))
+    @settings(max_examples=40, deadline=None)
+    def test_survivors_deterministic_given_seed(self, count, eta,
+                                                surface_seed):
+        evaluator = _surface_evaluator(surface_seed)
+        search = SuccessiveHalvingSearch(eta=eta)
+        first = search.search(_candidates(count), evaluator=evaluator)
+        second = search.search(_candidates(count), evaluator=evaluator)
+        assert [r.survivors for r in first.rungs] == \
+            [r.survivors for r in second.rungs]
+        assert first.best == second.best
+
+    @given(st.integers(min_value=1, max_value=64),
+           st.integers(min_value=2, max_value=5),
+           st.integers(min_value=0, max_value=999))
+    @settings(max_examples=40, deadline=None)
+    def test_rung_sizes_match_eta_recurrence(self, count, eta, surface_seed):
+        result = SuccessiveHalvingSearch(eta=eta).search(
+            _candidates(count),
+            evaluator=_surface_evaluator(surface_seed))
+        sizes = [rung.size for rung in result.rungs]
+        assert sizes == rung_sizes(count, eta)
+        for previous, current in zip(sizes, sizes[1:]):
+            assert current == max(1, previous // eta)
+        # Per-rung seeds derive exactly like replicate seeds.
+        assert [rung.seed for rung in result.rungs] == \
+            [DEFAULT_BASE_SEED + r for r in range(len(sizes))]
+
+    @given(st.integers(min_value=2, max_value=48),
+           st.integers(min_value=2, max_value=4),
+           st.integers(min_value=0, max_value=999))
+    @settings(max_examples=40, deadline=None)
+    def test_winner_survives_every_rung(self, count, eta, surface_seed):
+        result = SuccessiveHalvingSearch(eta=eta).search(
+            _candidates(count),
+            evaluator=_surface_evaluator(surface_seed))
+        assert result.found
+        winner_key = result.rungs[-1].survivors[0]
+        for rung in result.rungs:
+            assert winner_key in rung.survivors
+
+    @given(st.integers(min_value=4, max_value=64),
+           st.integers(min_value=2, max_value=4),
+           st.integers(min_value=1, max_value=80),
+           st.integers(min_value=0, max_value=999))
+    @settings(max_examples=40, deadline=None)
+    def test_total_cells_never_exceed_budget(self, count, eta, budget,
+                                             surface_seed):
+        search = SuccessiveHalvingSearch(eta=eta, budget_cells=budget)
+        candidates = _candidates(count)
+        evaluator = _surface_evaluator(surface_seed)
+        if budget < sum(rung_sizes(1, eta)):
+            with pytest.raises(ValueError, match="budget"):
+                search.search(candidates, evaluator=evaluator,
+                              scorer=lambda spec: 0.0)
+            return
+        result = search.search(candidates, evaluator=evaluator,
+                               scorer=lambda spec: _jitter(spec))
+        assert result.total_evaluations <= budget
+        assert result.total_simulated <= budget
+        # Nothing vanishes: simulated pool + analytic ranking = space.
+        assert result.rungs[0].size + len(result.analytic_only) == count
+
+
+class TestHalvingBehaviour:
+    def test_duplicate_candidates_rejected(self):
+        spec = ScenarioSpec(name="dup", provider="aws", model="mobilenet")
+        with pytest.raises(ValueError, match="duplicate"):
+            SuccessiveHalvingSearch().search(
+                [spec, spec], evaluator=_surface_evaluator(0))
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            SuccessiveHalvingSearch().search(
+                [], evaluator=_surface_evaluator(0))
+
+    def test_infeasible_candidates_rank_last(self):
+        candidates = _candidates(6)
+
+        def evaluator(spec):
+            memory = spec.overrides["memory_gb"]
+            # The cheapest two candidates violate the latency bound.
+            return {"avg_latency_s": 2.0 if memory < 2.0 else 0.2,
+                    "success_ratio": 1.0, "cost_usd": memory}
+
+        result = SuccessiveHalvingSearch(eta=2).search(
+            candidates, NavigationConstraints(max_latency_s=1.0),
+            evaluator=evaluator)
+        assert result.found
+        assert result.best["memory_gb"] == 2.0
+        assert all(not row["feasible"] or row["memory_gb"] >= 2.0
+                   for row in result.evaluated)
+
+    def test_frame_meta_reports_rung_counts(self):
+        result = SuccessiveHalvingSearch(eta=3).search(
+            _candidates(18), evaluator=_surface_evaluator(1))
+        meta = result.frame.meta["halving"]
+        assert meta["eta"] == 3
+        assert [r["candidates"] for r in meta["rungs"]] == [18, 6, 2, 1]
+        assert [r["survivors"] for r in meta["rungs"]] == [6, 2, 1, 1]
+        assert [r["eliminated"] for r in meta["rungs"]] == [12, 4, 1, 0]
+        assert all(r["simulated"] + r["cached"] == r["candidates"]
+                   for r in meta["rungs"])
+
+    def test_labelled_sweep_cells_carry_labels_into_frame(self):
+        sweep = Sweep(name="lab",
+                      base=ScenarioSpec(name="lab", provider="aws",
+                                        model="mobilenet"),
+                      axes={"memory_gb": (2.0, 4.0, 8.0)})
+        result = SuccessiveHalvingSearch(eta=3).search(
+            sweep.cells(), evaluator=_surface_evaluator(2))
+        assert "memory_gb" in result.frame.columns
+        assert result.best["memory_gb"] in (2.0, 4.0, 8.0)
+
+
+class TestAcceptance512:
+    """The ISSUE bar: 512 candidates, <= 25 % simulated, grid agreement."""
+
+    AXES = {"memory_gb": tuple(1.0 + a for a in range(8)),
+            "batch_size": tuple(1 + b for b in range(8)),
+            "target_per_instance": tuple(4.0 + 2 * c for c in range(8))}
+    LABELS = tuple(AXES)
+    #: Per-"workload" quadratic cost bowls with distinct minima, plus a
+    #: hash tiebreak for uniqueness and fidelity-shrinking noise: the
+    #: three reference surfaces the halving search must agree with the
+    #: exhaustive grid on.
+    MINIMA = {"w-ref-a": (2.0, 3, 8.0), "w-ref-b": (6.0, 6, 14.0),
+              "w-ref-c": (4.0, 1, 18.0)}
+
+    def _sweep(self):
+        return Sweep(name="space",
+                     base=ScenarioSpec(name="space", provider="aws",
+                                       model="mobilenet"),
+                     axes=self.AXES)
+
+    def _evaluator(self, workload, amplitude=0.05):
+        minimum = self.MINIMA[workload]
+
+        def true_cost(spec):
+            distance = sum(
+                ((spec.overrides[axis] - target) / 2.0) ** 2
+                for axis, target in zip(self.LABELS, minimum))
+            tiebreak = 1e-6 * _jitter(
+                spec.with_seed(None).with_fidelity(None), salt=workload)
+            return 0.1 * distance + 1.0 + tiebreak
+
+        def evaluator(spec):
+            fidelity = spec.fidelity if spec.fidelity is not None else 1.0
+            noise = amplitude * (1.0 - fidelity) * _jitter(
+                spec, salt=f"noise/{workload}")
+            return {"avg_latency_s": 0.1, "success_ratio": 1.0,
+                    "cost_usd": true_cost(spec) + noise}
+
+        return evaluator, true_cost
+
+    def _design(self, row):
+        return tuple(row[axis] for axis in self.LABELS)
+
+    def test_matches_exhaustive_grid_within_quarter_budget(self):
+        cells = self._sweep().cells()
+        assert len(cells) == 512
+        budget = len(cells) // 4  # 128 cells = 25 %
+        matches = 0
+        for workload in self.MINIMA:
+            evaluator, true_cost = self._evaluator(workload)
+            # Exhaustive grid: every candidate at full fidelity.
+            exhaustive = min(
+                cells, key=lambda cell: (
+                    evaluator(cell.spec.with_seed(
+                        DEFAULT_BASE_SEED))["cost_usd"],
+                    cell.spec.cell_key))
+            result = SuccessiveHalvingSearch(
+                eta=3, budget_cells=budget).search(
+                    cells, NavigationConstraints(),
+                    evaluator=evaluator,
+                    scorer=lambda spec: true_cost(spec)
+                    + 0.02 * _jitter(spec, salt="analytic"))
+            assert result.found
+            assert result.total_simulated <= budget
+            assert result.total_simulated <= 0.25 * len(cells)
+            # The excluded candidates come back analytically ranked.
+            assert len(result.analytic_only) == \
+                len(cells) - result.rungs[0].size
+            assert all("analytic_score" in row and "analytic_rank" in row
+                       for row in result.analytic_only)
+            if self._design(result.best) == \
+                    self._design(dict(exhaustive.labels)):
+                matches += 1
+        assert matches >= 2
+
+    def test_budget_schedule_is_maximal(self):
+        cells = self._sweep().cells()
+        evaluator, _ = self._evaluator("w-ref-a")
+        result = SuccessiveHalvingSearch(eta=3, budget_cells=128).search(
+            cells, evaluator=evaluator, scorer=lambda spec: _jitter(spec))
+        entry = result.rungs[0].size
+        assert sum(rung_sizes(entry, 3)) <= 128
+        assert sum(rung_sizes(entry + 1, 3)) > 128
+
+
+class TestRunCacheReuse:
+    def test_second_search_issues_zero_new_simulations(self):
+        sweep = Sweep(name="cache",
+                      base=ScenarioSpec(name="cache", provider="aws",
+                                        model="mobilenet", workload="w-40"),
+                      axes={"memory_gb": (2.0, 4.0),
+                            "batch_size": (1, 2)})
+        context = ExperimentContext(scale=0.05)
+        search = SuccessiveHalvingSearch(eta=2)
+        first = search.search(sweep.cells(), NavigationConstraints(),
+                              context=context)
+        assert all(rung.cached == 0 for rung in first.rungs)
+        runs_after_first = len(context._runs)
+        second = search.search(sweep.cells(), NavigationConstraints(),
+                               context=context)
+        assert len(context._runs) == runs_after_first
+        assert second.rungs[0].simulated == 0
+        assert second.rungs[0].cached == second.rungs[0].size
+        assert all(rung.simulated == 0 for rung in second.rungs)
+        assert first.best == second.best
+        assert [r.survivors for r in first.rungs] == \
+            [r.survivors for r in second.rungs]
+
+
+class TestSearchStudy:
+    def test_runner_receives_budget_and_eta(self):
+        captured = {}
+
+        def runner(context, eta=3, budget_cells=None):
+            captured.update(eta=eta, budget=budget_cells,
+                            context=context)
+            from repro.core.study import ResultFrame
+            return ResultFrame({"cost_usd": [1.0]})
+
+        study = SearchStudy(name="stub-search", sweeps=(), runner=runner,
+                            eta=4, budget_cells=9)
+        frame = study.run(ExperimentContext(scale=0.1))
+        assert len(frame) == 1
+        assert captured["eta"] == 4
+        assert captured["budget"] == 9
+        resized = study.with_budget(21)
+        resized.run(captured["context"])
+        assert captured["budget"] == 21
+
+    def test_registered_navigator_halving_study(self):
+        from repro.experiments.base import load_registered_studies
+        from repro.core.study import get_study
+        load_registered_studies()
+        assert "navigator-halving" in load_registered_studies()
+        study = get_study("navigator-halving")
+        assert isinstance(study, SearchStudy)
+        # The declared grid is bookkeeping: 2 runtimes x 3 x 3.
+        assert len(study.cells()) == 18
+
+    def test_cli_budget_rejected_for_plain_studies(self):
+        from repro.experiments.runner import main
+        with pytest.raises(SystemExit):
+            main(["sweep", "fig15", "--budget", "4"])
+
+    def test_cli_replicates_rejected_for_search_studies(self):
+        from repro.experiments.runner import main
+        with pytest.raises(SystemExit):
+            main(["sweep", "navigator-halving", "--replicates", "2"])
+
+
+class TestNavigatorHalvingIntegration:
+    def test_navigator_halving_reuses_grid_cache(self):
+        from repro.tools.navigator import DesignSpaceNavigator
+        navigator = DesignSpaceNavigator(
+            provider="aws", model="mobilenet",
+            runtimes=("tf1.15",), memory_sizes_gb=(2.0, 4.0),
+            batch_sizes=(1, 2))
+        context = ExperimentContext(scale=0.05)
+        result = navigator.search(strategy="halving", context=context,
+                                  eta=2)
+        assert result.found
+        assert result.halving is not None
+        assert isinstance(result.halving, HalvingResult)
+        assert [r.size for r in result.halving.rungs] == [4, 2, 1]
+        runs = len(context._runs)
+        again = navigator.search(strategy="halving", context=context,
+                                 eta=2)
+        assert len(context._runs) == runs
+        assert again.halving.rungs[0].simulated == 0
+        assert again.best == result.best
+
+    def test_strategy_validation(self):
+        from repro.tools.navigator import DesignSpaceNavigator
+        from repro.workload.generator import standard_workload
+        navigator = DesignSpaceNavigator(provider="aws", model="mobilenet")
+        with pytest.raises(ValueError, match="grid"):
+            navigator.search()  # grid needs an explicit workload
+        with pytest.raises(ValueError, match="halving"):
+            navigator.search(standard_workload("w-40", scale=0.05),
+                             strategy="halving")
+        with pytest.raises(ValueError, match="strategy"):
+            navigator.search(strategy="annealing")

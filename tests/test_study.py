@@ -900,12 +900,13 @@ class TestReviewHardening:
         assert len(result.evaluated) == 2
         assert result.frame.meta["constrained_out"] == \
             {"nav/aws/mobilenet": 1}
-        # Without servers the all-dropped grid still raises.
+        # Without servers the all-dropped grid yields an empty frame
+        # with the declared schema (feasible column included) instead
+        # of raising — see TestNavigatorEmptyPrefilter in test_tools.py.
         solo = DesignSpaceNavigator(
             provider="aws", model="mobilenet",
             prefilter=lambda labels: False)
-        with pytest.raises(ValueError, match="dropped all"):
-            solo.cells()
+        assert solo.cells() == []
 
     def test_replicate_summary_without_label_metadata_raises(self):
         frame = ResultFrame.from_rows(

@@ -8,6 +8,7 @@ from repro.runtimes import get_runtime
 from repro.tools import (
     AdaptiveBatchingPolicy,
     CostEstimator,
+    DecomposedCostEstimate,
     DesignSpaceNavigator,
     HybridPlanner,
     MemoryTuner,
@@ -212,3 +213,163 @@ class TestNavigator:
                                          include_servers=True)
         kinds = {candidate["platform"] for candidate in navigator.candidates()}
         assert "cpu_server" in kinds and "gpu_server" in kinds
+
+
+class TestDecomposedEstimator:
+    """The decomposed closed form the halving search's rung 0 ranks with."""
+
+    def _scenario(self, name="dec", provider="aws", **config):
+        from repro.core.scenario import ScenarioSpec
+        return ScenarioSpec(name=name, provider=provider, model="mobilenet",
+                            workload="w-40", config=config)
+
+    def test_components_sum_to_blended_total(self, estimator):
+        estimate = estimator.serverless_decomposed(
+            get_model("mobilenet"), get_runtime("tf1.15"), 15_000)
+        assert isinstance(estimate, DecomposedCostEstimate)
+        assert estimate.total == pytest.approx(
+            estimate.compute_cost + estimate.transfer_cost
+            + estimate.memory_cost + estimate.request_cost)
+        assert estimate.compute_cost > 0
+        assert estimate.transfer_cost > 0
+        assert estimate.memory_cost > 0
+        assert estimate.request_cost > 0
+        # Carbon is a proxy column, never part of the dollar sum.
+        assert estimate.carbon_kg > 0
+        assert estimate.carbon_kg < estimate.total
+        assert estimate.fanout == 1.0
+
+    def test_fanout_multiplies_every_component(self, estimator):
+        from repro.serving.deployment import ServiceConfig
+        plain = estimator.serverless_decomposed(
+            get_model("mobilenet"), get_runtime("tf1.15"), 10_000)
+        config = ServiceConfig(request_error_rate=0.05, retry_attempts=3,
+                               hedge_percentile=95.0)
+        fanned = estimator.serverless_decomposed(
+            get_model("mobilenet"), get_runtime("tf1.15"), 10_000,
+            config=config)
+        expected = CostEstimator.fanout_multiplier(config)
+        assert expected > 1.0
+        assert fanned.fanout == pytest.approx(expected)
+        for name in ("compute_cost", "transfer_cost", "memory_cost",
+                     "request_cost", "gb_seconds", "carbon_kg"):
+            assert getattr(fanned, name) == pytest.approx(
+                getattr(plain, name) * expected), name
+
+    def test_fanout_multiplier_closed_form(self):
+        assert CostEstimator.fanout_multiplier(None) == 1.0
+        from repro.serving.deployment import ServiceConfig
+        retries = ServiceConfig(request_error_rate=0.1, retry_attempts=2)
+        # 1 + p for a two-attempt chain.
+        assert CostEstimator.fanout_multiplier(retries) == pytest.approx(1.1)
+        hedged = ServiceConfig(hedge_percentile=99.0)
+        assert CostEstimator.fanout_multiplier(hedged) == pytest.approx(1.01)
+
+    def test_estimate_scenario_decomposed_resolves_references(self,
+                                                              estimator):
+        estimate = estimator.estimate_scenario_decomposed(self._scenario())
+        direct = estimator.serverless_decomposed(
+            get_model("mobilenet"), get_runtime("tf1.15"),
+            self._scenario().workload_spec().target_requests)
+        assert estimate.total == pytest.approx(direct.total)
+        with pytest.raises(ValueError, match="provider"):
+            estimator.estimate_scenario_decomposed(
+                self._scenario(provider="gcp"))
+
+    def _annotated_frame(self, specs):
+        from repro.core.study import ResultFrame
+        rows = [{**spec.as_row(), "cost_usd": 1.0} for spec in specs]
+        frame = ResultFrame.from_rows(rows, name="dec", specs=specs)
+        return CostEstimator.annotate_frame(frame)
+
+    def test_annotate_frame_decomposed_columns(self, estimator):
+        specs = [self._scenario(name=f"dec/{memory}", memory_gb=memory)
+                 for memory in (2.0, 4.0, 8.0)]
+        frame = self._annotated_frame(specs)
+        for name in ("est_cost_usd", "est_transfer_usd", "est_memory_usd",
+                     "est_fanout", "est_carbon_kg"):
+            assert name in frame.columns, name
+        for row, spec in zip(frame.to_rows(), specs):
+            estimate = estimator.estimate_scenario_decomposed(spec)
+            assert row["est_cost_usd"] == pytest.approx(estimate.total)
+            assert row["est_transfer_usd"] == pytest.approx(
+                estimate.transfer_cost)
+            assert row["est_memory_usd"] == pytest.approx(
+                estimate.memory_cost)
+            assert row["est_fanout"] == pytest.approx(estimate.fanout)
+            assert row["est_carbon_kg"] == pytest.approx(estimate.carbon_kg)
+            # Explicit components never exceed the blended total.
+            assert (row["est_transfer_usd"] + row["est_memory_usd"]
+                    < row["est_cost_usd"])
+
+    def test_annotate_frame_ranking_stable_across_equivalent_frames(self):
+        specs = [self._scenario(name=f"dec/{memory}", memory_gb=memory)
+                 for memory in (2.0, 4.0, 8.0)]
+        forward = self._annotated_frame(specs)
+        backward = self._annotated_frame(list(reversed(specs)))
+
+        def ranking(frame):
+            return [row["scenario"] for row in sorted(
+                frame.to_rows(),
+                key=lambda row: (row["est_cost_usd"], row["scenario"]))]
+
+        assert ranking(forward) == ranking(backward)
+
+    def test_annotate_frame_server_rows_are_none(self):
+        from repro.core.scenario import ScenarioSpec
+        specs = [self._scenario(),
+                 ScenarioSpec(name="dec/server", provider="aws",
+                              model="mobilenet", workload="w-40",
+                              platform="cpu_server")]
+        frame = self._annotated_frame(specs)
+        rows = frame.to_rows()
+        assert rows[0]["est_cost_usd"] is not None
+        for name in ("est_cost_usd", "est_transfer_usd", "est_memory_usd",
+                     "est_fanout", "est_carbon_kg"):
+            assert rows[1][name] is None, name
+
+
+class TestNavigatorEmptyPrefilter:
+    """Satellite fix: an emptied candidate space keeps its schema."""
+
+    def _emptied(self):
+        return DesignSpaceNavigator(provider="aws", model="mobilenet",
+                                    prefilter=lambda labels: False)
+
+    def test_emptied_sweep_yields_declared_columns(self):
+        navigator = self._emptied()
+        workload = standard_workload("w-40", seed=4, scale=0.04)
+        result = navigator.search(workload, NavigationConstraints())
+        assert not result.found
+        assert result.evaluated == []
+        assert len(result.frame) == 0
+        # The declared schema survives: the feasible column (the bug),
+        # the axes, and the standard metric columns all present.
+        from repro.core.study import STANDARD_METRIC_COLUMNS
+        columns = set(result.frame.columns)
+        assert "feasible" in columns
+        assert {"runtime", "memory_gb", "batch_size"} <= columns
+        assert set(STANDARD_METRIC_COLUMNS) <= columns
+        assert result.frame.meta["constrained_out"] == \
+            {"nav/aws/mobilenet": 18}
+
+    def test_emptied_sweep_frame_still_slices(self):
+        navigator = self._emptied()
+        workload = standard_workload("w-40", seed=4, scale=0.04)
+        frame = navigator.search(workload, NavigationConstraints()).frame
+        assert frame.to_rows() == []
+        selected = frame.select("runtime", "cost_usd", "feasible")
+        assert len(selected) == 0
+
+    def test_partial_prefilter_still_runs_survivors(self):
+        navigator = DesignSpaceNavigator(
+            provider="aws", model="mobilenet",
+            runtimes=("tf1.15",), memory_sizes_gb=(2.0, 4.0),
+            batch_sizes=(1,),
+            prefilter=lambda labels: labels["memory_gb"] == 2.0)
+        workload = standard_workload("w-40", seed=4, scale=0.04)
+        result = navigator.search(workload, NavigationConstraints())
+        assert len(result.evaluated) == 1
+        assert result.evaluated[0]["memory_gb"] == 2.0
+        assert result.frame.meta["constrained_out"] == \
+            {"nav/aws/mobilenet": 1}
